@@ -1,0 +1,81 @@
+"""E10 -- Figures 9-11, Fact 4.2, Lemmas 4.6/4.7/4.9: the class J_{µ,k}.
+
+Builds a full member J_Y at the smallest buildable parameters (µ=2, k=4:
+2^z = 1024 gadgets, ~132k nodes), verifies that no node has a unique view at
+depth k-1 (Lemma 4.6, hence ψ_S >= k) and that depth k suffices (so
+ψ_S = ψ_PPE = ψ_CPPE = k with Lemma 4.8), and tabulates Fact 4.2.
+
+These are the heaviest benchmarks of the harness (a few seconds each); the
+member is built once per module.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.families import (
+    build_jmuk_member,
+    fact_4_2_z_bounds,
+    gadget_size,
+    jmuk_border_count,
+    jmuk_class_size,
+    jmuk_num_gadgets,
+)
+from repro.views import ViewRefinement
+
+MU, K = 2, 4
+
+
+@pytest.fixture(scope="module")
+def member():
+    z = jmuk_border_count(MU, K)
+    y = tuple((i * 5 + 1) % 2 for i in range(2 ** (z - 1)))
+    return build_jmuk_member(MU, K, y)
+
+
+def bench_fact_4_2_counting(benchmark, table_printer):
+    parameters = [(2, 4), (2, 5), (3, 4), (3, 5), (4, 6)]
+
+    def compute():
+        rows = []
+        for mu, k in parameters:
+            lower, z, upper = fact_4_2_z_bounds(mu, k)
+            rows.append([mu, k, z, lower, upper, 2**z, f"2^(2^{z - 1})"])
+        return rows
+
+    rows = benchmark(compute)
+    table_printer(
+        "E10 / Fact 4.2: z = |L_k|, gadget count 2^z and |J_{µ,k}| = 2^(2^(z-1))",
+        ["µ", "k", "z", "µ^⌊k/2⌋ (lower)", "4µ^⌊k/2⌋ (upper)", "#gadgets", "|J_{µ,k}|"],
+        rows,
+    )
+    assert rows[0][2] == 10
+    assert all(row[3] <= row[2] <= row[4] for row in rows)
+
+
+def bench_member_construction(benchmark, table_printer):
+    z = jmuk_border_count(MU, K)
+    y = tuple(i % 2 for i in range(2 ** (z - 1)))
+    built = benchmark.pedantic(build_jmuk_member, args=(MU, K, y), iterations=1, rounds=2)
+    table_printer(
+        "E10 / Figures 9-11: one full member J_Y at µ=2, k=4",
+        ["µ", "k", "z", "#gadgets", "nodes", "edges", "gadget size"],
+        [[MU, K, z, built.num_gadgets, built.graph.num_nodes, built.graph.num_edges, gadget_size(MU, K)]],
+    )
+    assert built.num_gadgets == jmuk_num_gadgets(MU, K)
+    assert built.graph.num_nodes == built.num_gadgets * gadget_size(MU, K)
+
+
+def bench_lemma_4_6_4_7_selection_index(benchmark, table_printer, member):
+    def analyse():
+        refinement = ViewRefinement(member.graph)
+        return len(refinement.unique_nodes(K - 1)), len(refinement.unique_nodes(K))
+
+    unique_below, unique_at = benchmark.pedantic(analyse, iterations=1, rounds=2)
+    table_printer(
+        "E10 / Lemmas 4.6, 4.7, 4.9: ψ_S(J_Y) = k",
+        ["n", "#unique views at depth k-1 (paper: 0)", "#unique views at depth k (>0)", "ψ_S"],
+        [[member.graph.num_nodes, unique_below, unique_at, K if unique_below == 0 and unique_at else "?"]],
+    )
+    assert unique_below == 0
+    assert unique_at > 0

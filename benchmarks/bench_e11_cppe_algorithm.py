@@ -1,0 +1,83 @@
+"""E11 -- Lemma 4.8: the k-round CPPE algorithm on J_{µ,k}.
+
+Runs the gadget-index decoding and path construction for nodes sampled from
+gadgets across the whole chain (including both boundary gadgets), validates
+every produced path (simple, ends at ρ_0), and times the per-node decision.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms import JmukCppeAlgorithm, jmuk_leader
+from repro.core.tasks import LEADER
+from repro.families import build_jmuk_member, jmuk_border_count
+from repro.portgraph.paths import is_simple_node_sequence, path_from_complete_ports
+
+MU, K = 2, 4
+
+
+@pytest.fixture(scope="module")
+def member():
+    z = jmuk_border_count(MU, K)
+    random.seed(11)
+    y = tuple(random.randint(0, 1) for _ in range(2 ** (z - 1)))
+    return build_jmuk_member(MU, K, y)
+
+
+@pytest.fixture(scope="module")
+def algorithm(member):
+    return JmukCppeAlgorithm(member)
+
+
+def bench_cppe_decisions_across_the_chain(benchmark, table_printer, member, algorithm):
+    random.seed(5)
+    sampled_gadgets = [0, 1, 127, 128, 511, 512, 767, 1022, 1023]
+    nodes = []
+    for gadget in sampled_gadgets:
+        nodes.extend(random.sample(member.gadget_nodes(gadget), 4))
+    nodes.extend(member.rho(i) for i in (0, 1, 512, 1023))
+
+    def decide_all():
+        return {v: algorithm.output(v) for v in nodes}
+
+    outputs = benchmark.pedantic(decide_all, iterations=1, rounds=3)
+    leader = jmuk_leader(member)
+    valid = 0
+    max_length = 0
+    for v, value in outputs.items():
+        if v == leader:
+            valid += value == LEADER
+            continue
+        path = path_from_complete_ports(member.graph, v, value)
+        ok = path is not None and is_simple_node_sequence(path) and path[-1] == leader
+        valid += ok
+        max_length = max(max_length, len(value) // 2)
+    table_printer(
+        "E11 / Lemma 4.8: CPPE outputs on sampled nodes of J_Y (µ=2, k=4)",
+        ["sampled nodes", "valid outputs", "longest output path (edges)", "leader", "rounds of information used"],
+        [[len(outputs), valid, max_length, "ρ_0", K]],
+    )
+    assert valid == len(outputs)
+
+
+def bench_gadget_index_decoding(benchmark, table_printer, member, algorithm):
+    gadgets = [0, 1, 2, 100, 511, 512, 1000, 1023]
+
+    def decode_all():
+        results = []
+        for i in gadgets:
+            for component, block in (("L", 0), ("T", 1), ("R", 2), ("B", 3)):
+                code = algorithm.component_code(i, component)
+                results.append(algorithm.decode_gadget_index(code, block) == i)
+        return results
+
+    results = benchmark(decode_all)
+    table_printer(
+        "E11: gadget-index decoding from border-node degrees (the W values of Lemma 4.8)",
+        ["gadgets probed", "component codes decoded", "all correct"],
+        [[len(gadgets), len(results), all(results)]],
+    )
+    assert all(results)

@@ -1,0 +1,86 @@
+"""E12 -- Theorems 4.11/4.12 + Lemma 4.10: the PPE/CPPE advice lower bound on J_{µ,k}.
+
+Reproduces the two ingredients:
+
+* Lemma 4.10(1): the "left edge" node w_{1,1} of H_L of gadget 0 has the same
+  depth-k view in every member of the class; (2): a port sequence that leads
+  it (simply) into the right half of one member cannot do so in a member
+  differing in a bit -- verified on actual members at µ=2, k=4;
+* counting: |J_{µ,k}| versus the paper's (insufficient) budget 2^((4µ)^(k/6))
+  at the theorem's own parameters (µ = ⌈Δ/4⌉, Δ >= 16, k >= 6), handled with
+  exact exponents because the numbers dwarf anything materialisable.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import lemma_4_10_statement_2, ppe_cppe_lower_bound_rows
+from repro.families import build_jmuk_member, jmuk_border_count
+from repro.portgraph.paths import outgoing_ports_of_path, shortest_path
+from repro.views import views_equal_across_graphs
+
+MU, K = 2, 4
+
+
+@pytest.fixture(scope="module")
+def member_pair():
+    z = jmuk_border_count(MU, K)
+    random.seed(23)
+    y = tuple(random.randint(0, 1) for _ in range(2 ** (z - 1)))
+    y_other = (1 - y[0],) + y[1:]
+    return build_jmuk_member(MU, K, y), build_jmuk_member(MU, K, y_other)
+
+
+def bench_lemma_4_10_statement_1(benchmark, table_printer, member_pair):
+    first, second = member_pair
+
+    def check():
+        a = first.border_node(0, "L", 1, 1)
+        b = second.border_node(0, "L", 1, 1)
+        return views_equal_across_graphs(first.graph, a, second.graph, b, K)
+
+    equal = benchmark(check)
+    table_printer(
+        "E12 / Lemma 4.10(1): w_{1,1} of H_L of Ĥ_0 has the same view in all members",
+        ["µ", "k", "depth", "views equal (paper: yes)"],
+        [[MU, K, K, equal]],
+    )
+    assert equal
+
+
+def bench_lemma_4_10_statement_2(benchmark, table_printer, member_pair):
+    first, second = member_pair
+    start = first.border_node(0, "L", 1, 1)
+    target = first.rho(first.num_gadgets // 2 + 5)
+    path = shortest_path(first.graph, start, target)
+    sequence = outgoing_ports_of_path(first.graph, path)
+
+    def check():
+        return lemma_4_10_statement_2(first, second, sequence)
+
+    holds = benchmark(check)
+    table_printer(
+        "E12 / Lemma 4.10(2): a right-half-reaching port sequence fails in the other member",
+        ["sequence length", "reaches right half in J_α", "fails in J_β (paper: yes)"],
+        [[len(sequence), True, holds]],
+    )
+    assert holds
+
+
+def bench_theorem_4_11_counting(benchmark, table_printer):
+    parameters = [(2, 4), (3, 5), (4, 6), (8, 6)]
+    rows = benchmark(ppe_cppe_lower_bound_rows, parameters)
+    table_printer(
+        "E12 / Theorems 4.11-4.12: |J_{µ,k}| vs the paper's advice budget 2^((4µ)^(k/6))",
+        ["µ", "Δ=4µ", "k", "log2 |J_{µ,k}|", "paper budget bits", "forces collision",
+         "min bits for PPE/CPPE", "Selection budget bits"],
+        [[r.delta // 4, r.delta, r.k, r.class_size_log2,
+          None if r.paper_budget_bits is None else f"{r.paper_budget_bits:.3g}",
+          r.collision_at_paper_budget, r.pigeonhole_bits, r.selection_budget_bits] for r in rows],
+    )
+    stated = [r for r in rows if r.paper_budget_bits is not None]
+    assert stated and all(r.collision_at_paper_budget for r in stated)
+    assert all(r.pigeonhole_bits > r.selection_budget_bits for r in stated)

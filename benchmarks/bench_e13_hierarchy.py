@@ -1,0 +1,56 @@
+"""E13 -- Fact 1.1: the hierarchy ψ_CPPE >= ψ_PPE >= ψ_PE >= ψ_S.
+
+Computes all four election indices exactly on a spread of small graphs
+(including the paper's own 3-node example with ψ_CPPE = 1 > 0 = ψ_S) and
+checks the ordering, plus the downward output derivations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Task, all_election_indices, indices_respect_hierarchy
+from repro.portgraph import generators
+
+
+def _study_graphs():
+    return [
+        generators.three_node_line(),
+        generators.star_graph(3),
+        generators.star_graph(5),
+        generators.path_graph(6),
+        generators.asymmetric_cycle(5),
+        generators.asymmetric_cycle(7),
+        generators.random_connected_graph(8, extra_edges=3, seed=2),
+        generators.random_connected_graph(9, extra_edges=5, seed=4),
+        generators.random_connected_graph(10, extra_edges=2, seed=8),
+    ]
+
+
+def bench_fact_1_1_indices(benchmark, table_printer):
+    graphs = _study_graphs()
+
+    def compute():
+        return [(graph, all_election_indices(graph)) for graph in graphs]
+
+    results = benchmark(compute)
+    rows = []
+    for graph, indices in results:
+        rows.append([
+            graph.name,
+            graph.num_nodes,
+            indices[Task.SELECTION],
+            indices[Task.PORT_ELECTION],
+            indices[Task.PORT_PATH_ELECTION],
+            indices[Task.COMPLETE_PORT_PATH_ELECTION],
+            indices_respect_hierarchy(indices),
+        ])
+    table_printer(
+        "E13 / Fact 1.1: election indices of assorted feasible graphs",
+        ["graph", "n", "ψ_S", "ψ_PE", "ψ_PPE", "ψ_CPPE", "hierarchy holds"],
+        rows,
+    )
+    assert all(row[-1] for row in rows)
+    # the paper's example: 3-node line with ports 0,0,1,0 has ψ_S = 0, ψ_CPPE = 1
+    line_row = rows[0]
+    assert line_row[2] == 0 and line_row[5] == 1

@@ -1,0 +1,69 @@
+"""E14 -- substrate performance: the LOCAL-model simulator and partition refinement.
+
+Not a table of the paper, but the scalability record of the simulator and the
+view machinery everything else runs on (the "measure before optimising"
+discipline of the HPC guides): rounds/second of the message-passing engine
+and refinement throughput on graphs up to the full 132k-node J_Y member.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.families import build_component, build_gadget, build_jmuk_member, jmuk_border_count
+from repro.portgraph import generators
+from repro.sim import gather_views
+from repro.views import ViewRefinement
+
+
+@pytest.mark.parametrize("n", [50, 200, 800])
+def bench_simulator_view_gathering(benchmark, table_printer, n):
+    graph = generators.random_connected_graph(n, extra_edges=n, seed=1)
+    rounds = 3
+    views = benchmark(gather_views, graph, rounds)
+    table_printer(
+        "E14: LOCAL-model engine, view gathering",
+        ["n", "m", "rounds", "messages per round"],
+        [[graph.num_nodes, graph.num_edges, rounds, 2 * graph.num_edges]],
+    )
+    assert len(views) == n
+
+
+@pytest.mark.parametrize(
+    "name,builder",
+    [
+        ("component H (µ=3, k=5)", lambda: build_component(3, 5)[0]),
+        ("gadget (µ=3, k=5)", lambda: build_gadget(3, 5)[0]),
+        ("random n=20000", lambda: generators.random_connected_graph(20000, extra_edges=20000, seed=3)),
+    ],
+)
+def bench_refinement_throughput(benchmark, table_printer, name, builder):
+    graph = builder()
+
+    def refine():
+        refinement = ViewRefinement(graph)
+        return refinement.num_classes(6)
+
+    classes = benchmark(refine)
+    table_printer(
+        "E14: partition refinement throughput",
+        ["graph", "n", "m", "classes at depth 6"],
+        [[name, graph.num_nodes, graph.num_edges, classes]],
+    )
+    assert classes >= 1
+
+
+def bench_full_member_refinement(benchmark, table_printer):
+    z = jmuk_border_count(2, 4)
+    member = build_jmuk_member(2, 4, tuple(i % 2 for i in range(2 ** (z - 1))))
+
+    def refine():
+        return ViewRefinement(member.graph).num_classes(4)
+
+    classes = benchmark.pedantic(refine, iterations=1, rounds=2)
+    table_printer(
+        "E14: refinement on the full J_Y member (132k nodes)",
+        ["n", "m", "depth", "classes"],
+        [[member.graph.num_nodes, member.graph.num_edges, 4, classes]],
+    )
+    assert classes == member.graph.num_nodes

@@ -1,0 +1,43 @@
+"""E1 -- Figure 1: the trees T_{X,1} and T_{X,2}.
+
+Regenerates the structural data of Figure 1 (Δ = 4, k = 2,
+X = (1, 2, 3, 3, 2, 2)) and times the construction of the Building Block 3
+trees over a parameter sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.families import build_tree_with_path, figure_1_example, leaf_count, num_augmented_trees
+from repro.views import views_equal_across_graphs
+
+
+def bench_figure_1_construction(benchmark, table_printer):
+    graph1, handles1 = benchmark(figure_1_example, 1)
+    graph2, handles2 = figure_1_example(2)
+    rows = [
+        ["T_{X,1}", graph1.num_nodes, graph1.num_edges, len(handles1.leaves), len(handles1.path_nodes)],
+        ["T_{X,2}", graph2.num_nodes, graph2.num_edges, len(handles2.leaves), len(handles2.path_nodes)],
+    ]
+    table_printer(
+        "E1 / Figure 1: T_{X,1} and T_{X,2} for Δ=4, k=2, X=(1,2,3,3,2,2)",
+        ["tree", "nodes", "edges", "z leaves (paper: 6)", "path nodes (paper: k+1=3)"],
+        rows,
+    )
+    assert len(handles1.leaves) == 6
+    assert graph1.num_nodes == graph2.num_nodes == 25
+    # the two variants differ, but not below depth k (Proposition 2.4 at the root)
+    assert views_equal_across_graphs(graph1, handles1.root, graph2, handles2.root, 1)
+
+
+@pytest.mark.parametrize("delta,k", [(4, 1), (4, 2), (5, 2), (6, 2), (4, 3)])
+def bench_tree_construction_sweep(benchmark, table_printer, delta, k):
+    sequence = tuple((i % (delta - 1)) + 1 for i in range(leaf_count(delta, k)))
+    graph, handles = benchmark(build_tree_with_path, delta, k, sequence, 1)
+    table_printer(
+        f"E1: T_(X,1) sweep point Δ={delta}, k={k}",
+        ["Δ", "k", "z=(Δ-2)(Δ-1)^(k-1)", "|T_{Δ,k}| (Fact 2.3 base)", "nodes", "edges"],
+        [[delta, k, leaf_count(delta, k), num_augmented_trees(delta, k), graph.num_nodes, graph.num_edges]],
+    )
+    assert len(handles.leaves) == leaf_count(delta, k)

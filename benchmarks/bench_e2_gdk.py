@@ -1,0 +1,49 @@
+"""E2 -- Figure 2, Fact 2.3, Lemmas 2.5-2.7: the class G_{Δ,k}.
+
+Rebuilds members G_i, checks that exactly the root of the single copy of
+T_{i,2} has a unique depth-k view (Lemma 2.6), that ψ_S(G_i) = k (Lemma 2.7),
+and tabulates the class sizes of Fact 2.3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import selection_index
+from repro.families import build_gdk_member, gdk_class_size
+from repro.views import ViewRefinement
+
+
+@pytest.mark.parametrize("delta,k,index", [(4, 1, 3), (4, 1, 9), (5, 1, 4), (4, 2, 2)])
+def bench_gdk_member_construction(benchmark, table_printer, delta, k, index):
+    member = benchmark(build_gdk_member, delta, k, index)
+    refinement = ViewRefinement(member.graph)
+    psi = selection_index(member.graph, refinement=refinement)
+    unique = refinement.unique_nodes(k)
+    table_printer(
+        f"E2 / Figure 2: G_{{Δ={delta},k={k}}}[{index}]",
+        ["Δ", "k", "i", "nodes", "edges", "ψ_S (paper: k)", "#unique@k (paper: 1)", "unique is r_{i,2}"],
+        [[
+            delta, k, index,
+            member.graph.num_nodes, member.graph.num_edges,
+            psi, len(unique), unique == [member.distinguished_root],
+        ]],
+    )
+    assert psi == k
+    assert unique == [member.distinguished_root]
+
+
+def bench_fact_2_3_class_sizes(benchmark, table_printer):
+    parameters = [(4, 1), (5, 1), (6, 1), (4, 2), (5, 2), (6, 3), (8, 4)]
+
+    def compute():
+        return [(delta, k, gdk_class_size(delta, k)) for delta, k in parameters]
+
+    rows = benchmark(compute)
+    table_printer(
+        "E2 / Fact 2.3: |G_{Δ,k}| = (Δ-1)^((Δ-2)(Δ-1)^(k-1))",
+        ["Δ", "k", "|G_{Δ,k}| (exact)"],
+        [[delta, k, size if size < 10**40 else f"~2^{size.bit_length() - 1}"] for delta, k, size in rows],
+    )
+    assert rows[0][2] == 9
+    assert rows[1][2] == 64

@@ -1,0 +1,73 @@
+"""E4 -- Theorem 2.9 + Lemma 2.8: the Selection advice lower bound on G_{Δ,k}.
+
+Reproduces the two ingredients of the proof:
+
+* counting (Fact 2.3 + Pigeonhole): the number of graphs in the class versus
+  the number of advice strings of the paper's (insufficient) budget
+  (1/8)(Δ-1)^k log2 Δ;
+* indistinguishability (Lemma 2.8): corresponding tree roots have identical
+  depth-k views across two members that would receive the same advice.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.advice import num_advice_strings_up_to, pigeonhole_forces_collision
+from repro.analysis import corresponding_views_equal, selection_lower_bound_rows
+from repro.families import build_gdk_member, gdk_class_size
+
+
+def bench_theorem_2_9_counting(benchmark, table_printer):
+    parameters = [(5, 1), (5, 2), (6, 2), (8, 3), (12, 4)]
+    rows = benchmark(selection_lower_bound_rows, parameters)
+    table_printer(
+        "E4 / Theorem 2.9: |G_{Δ,k}| vs advice strings of the paper's budget",
+        ["Δ", "k", "|class| (bits)", "paper budget (bits)", "forces collision", "min distinguishing bits"],
+        [[r.delta, r.k, r.class_size.bit_length(), round(r.paper_budget_bits, 1), r.collision_at_paper_budget,
+          r.pigeonhole_bits] for r in rows],
+    )
+    assert all(r.collision_at_paper_budget for r in rows)
+
+
+def bench_lemma_2_8_indistinguishability(benchmark, table_printer):
+    delta, k, alpha, beta = 4, 1, 2, 5
+
+    def check():
+        g_alpha = build_gdk_member(delta, k, alpha)
+        g_beta = build_gdk_member(delta, k, beta)
+        pairs = [
+            (g_alpha.tree_root(j, b, 1), g_beta.tree_root(j, b, 1))
+            for j in range(1, alpha + 1)
+            for b in (1, 2)
+        ]
+        return corresponding_views_equal(g_alpha.graph, g_beta.graph, pairs, k), len(pairs)
+
+    equal, num_pairs = benchmark(check)
+    table_printer(
+        "E4 / Lemma 2.8: B^k(r_{j,b}) agrees across G_α and G_β",
+        ["Δ", "k", "α", "β", "root pairs compared", "all views equal (paper: yes)"],
+        [[delta, k, alpha, beta, num_pairs, equal]],
+    )
+    assert equal
+
+
+def bench_explicit_fooling_argument(benchmark, table_printer):
+    """The full Theorem 2.9 story at Δ=4, k=1: with a too-small budget, two graphs collide
+    and the colliding advice makes two nodes of the larger graph elect themselves."""
+    delta, k = 4, 1
+    class_size = gdk_class_size(delta, k)
+    budget = math.floor(math.log2(class_size)) - 2  # deliberately insufficient
+
+    def count():
+        return num_advice_strings_up_to(budget), class_size
+
+    strings, graphs = benchmark(count)
+    table_printer(
+        "E4: explicit pigeonhole at Δ=4, k=1",
+        ["budget bits", "#advice strings", "#graphs in class", "collision forced"],
+        [[budget, strings, graphs, pigeonhole_forces_collision(graphs, budget)]],
+    )
+    assert pigeonhole_forces_collision(graphs, budget)

@@ -1,0 +1,61 @@
+"""E5 -- Figure 3, Fact 3.1, Propositions 3.2/3.3/3.5, Lemmas 3.6/3.8: the class U_{Δ,k}.
+
+Builds the template U and a member G_σ, verifies that no node has a unique
+view at depth k-1 (Lemma 3.6) while exactly the cycle roots do at depth k
+(Lemma 3.8), and tabulates Fact 3.1's class sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.families import build_udk_member, build_udk_template, udk_class_size, udk_tree_count
+from repro.views import ViewRefinement
+
+
+def bench_template_construction(benchmark, table_printer):
+    member = benchmark(build_udk_template, 4, 1)
+    graph = member.graph
+    y = udk_tree_count(4, 1)
+    table_printer(
+        "E5 / Figure 3: the template U for Δ=4, k=1",
+        ["Δ", "k", "y=|T_{Δ,k}|", "nodes", "edges", "max degree (paper: 2Δ-1)", "cycle roots (paper: 2y)"],
+        [[4, 1, y, graph.num_nodes, graph.num_edges, graph.max_degree, len(member.cycle_roots)]],
+    )
+    assert graph.max_degree == 2 * 4 - 1
+    assert len(member.cycle_roots) == 2 * y
+
+
+@pytest.mark.parametrize("delta,k", [(4, 1)])
+def bench_lemma_3_6_and_3_8(benchmark, table_printer, delta, k):
+    sigma = tuple((j % (delta - 1)) + 1 for j in range(udk_tree_count(delta, k)))
+    member = build_udk_member(delta, k, sigma)
+
+    def analyse():
+        refinement = ViewRefinement(member.graph)
+        return refinement.unique_nodes(k - 1), refinement.unique_nodes(k)
+
+    unique_below, unique_at = benchmark(analyse)
+    cycle_roots = set(member.cycle_root_nodes())
+    table_printer(
+        f"E5 / Lemmas 3.6 and 3.8 on G_σ (Δ={delta}, k={k})",
+        ["#unique@k-1 (paper: 0)", "#unique@k (paper: 2y)", "unique@k are exactly the cycle roots"],
+        [[len(unique_below), len(unique_at), set(unique_at) == cycle_roots]],
+    )
+    assert not unique_below
+    assert set(unique_at) == cycle_roots
+
+
+def bench_fact_3_1_class_sizes(benchmark, table_printer):
+    parameters = [(4, 1), (5, 1), (6, 1), (4, 2)]
+
+    def compute():
+        return [(delta, k, udk_class_size(delta, k)) for delta, k in parameters]
+
+    rows = benchmark(compute)
+    table_printer(
+        "E5 / Fact 3.1: |U_{Δ,k}| = (Δ-1)^(|T_{Δ,k}|)",
+        ["Δ", "k", "|U_{Δ,k}|"],
+        [[delta, k, size if size < 10**40 else f"~2^{size.bit_length() - 1}"] for delta, k, size in rows],
+    )
+    assert rows[0][2] == 3**9

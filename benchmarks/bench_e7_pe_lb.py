@@ -1,0 +1,69 @@
+"""E7 -- Theorem 3.11: the Port Election advice lower bound on U_{Δ,k}.
+
+Reproduces both halves of the argument:
+
+* counting: |U_{Δ,k}| versus the number of advice strings of the paper's
+  (insufficient) budget (1/4)|T_{Δ,k}| log2 Δ, and the resulting exponential
+  separation from the Selection budget of Theorem 2.2;
+* indistinguishability: the hub roots r_{j,1,1} have identical depth-k views
+  in every member of the class (their correct PE output nevertheless differs
+  per member -- it is the swapped port Δ-1+s_j).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import udk_port_election_outputs
+from repro.analysis import pe_lower_bound_rows
+from repro.families import build_udk_member, build_udk_template, udk_tree_count
+from repro.views import views_equal_across_graphs
+
+
+def bench_theorem_3_11_counting(benchmark, table_printer):
+    parameters = [(4, 1), (5, 1), (6, 1), (7, 1), (8, 1)]
+    rows = benchmark(pe_lower_bound_rows, parameters)
+    table_printer(
+        "E7 / Theorem 3.11: advice needed for PE in minimum time vs Selection budget",
+        ["Δ", "k", "|U_{Δ,k}| bits", "paper budget bits", "forces collision",
+         "min bits for PE (pigeonhole)", "Selection budget bits (Thm 2.2)"],
+        [[r.delta, r.k, r.class_size.bit_length(), int(r.paper_budget_bits), r.collision_at_paper_budget,
+          r.pigeonhole_bits, r.selection_budget_bits] for r in rows],
+    )
+    assert all(r.collision_at_paper_budget for r in rows)
+    # exponential separation from Δ = 6 on (the theorem is asymptotic in Δ)
+    assert all(r.pigeonhole_bits > r.selection_budget_bits for r in rows if r.delta >= 6)
+
+
+def bench_hub_root_indistinguishability_vs_output(benchmark, table_printer):
+    delta, k = 4, 1
+    y = udk_tree_count(delta, k)
+    template = build_udk_template(delta, k)
+    member_a = build_udk_member(delta, k, tuple(1 for _ in range(y)))
+    member_b = build_udk_member(delta, k, tuple(2 for _ in range(y)))
+
+    def check():
+        same_views = all(
+            views_equal_across_graphs(
+                member_a.graph, member_a.hub_roots[(j, 1)],
+                member_b.graph, member_b.hub_roots[(j, 1)], k,
+            )
+            for j in range(1, y + 1)
+        )
+        outputs_a = udk_port_election_outputs(member_a)
+        outputs_b = udk_port_election_outputs(member_b)
+        differing = sum(
+            outputs_a[member_a.hub_roots[(j, 1)]] != outputs_b[member_b.hub_roots[(j, 1)]]
+            for j in range(1, y + 1)
+        )
+        return same_views, differing
+
+    same_views, differing = benchmark(check)
+    table_printer(
+        "E7: hub roots look identical across members yet must answer differently",
+        ["Δ", "k", "hub roots compared", "views equal across members (paper: yes)",
+         "hub roots whose PE output differs (paper: all)"],
+        [[delta, k, y, same_views, differing]],
+    )
+    assert same_views
+    assert differing == y

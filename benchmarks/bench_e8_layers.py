@@ -1,0 +1,52 @@
+"""E8 -- Figure 4 + Fact 4.1: the layer graphs L_0, ..., L_k.
+
+Builds every layer graph for several µ and checks the node counts against the
+closed forms of Fact 4.1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.families import build_layer_graph, fact_4_1_layer_sizes, layer_size
+
+
+@pytest.mark.parametrize("mu", [2, 3, 4])
+def bench_fact_4_1_layer_sizes(benchmark, table_printer, mu):
+    k = 6
+
+    def build_all():
+        return [build_layer_graph(mu, m)[0] for m in range(k + 1)]
+
+    graphs = benchmark(build_all)
+    predicted = fact_4_1_layer_sizes(mu, k)
+    rows = [
+        [m, predicted[m], graphs[m].num_nodes, graphs[m].num_edges, predicted[m] == graphs[m].num_nodes]
+        for m in range(k + 1)
+    ]
+    table_printer(
+        f"E8 / Fact 4.1: layer graph sizes for µ={mu} (Figure 4 shows µ=3)",
+        ["m", "|L_m| predicted", "|L_m| built", "edges", "match"],
+        rows,
+    )
+    assert all(row[-1] for row in rows)
+
+
+def bench_figure_4_shapes(benchmark, table_printer):
+    """The µ=3 layer graphs of Figure 4: middle counts and degrees."""
+
+    def build():
+        return {m: build_layer_graph(3, m) for m in range(6)}
+
+    layers = benchmark(build)
+    rows = []
+    for m, (graph, handles) in layers.items():
+        middles = handles.middle_nodes() if m >= 2 else []
+        rows.append([m, graph.num_nodes, len(middles), graph.max_degree])
+    table_printer(
+        "E8 / Figure 4: layer graphs for µ=3",
+        ["m", "nodes", "middle nodes", "max degree"],
+        rows,
+    )
+    assert layers[4][0].num_nodes == 17
+    assert layers[5][0].num_nodes == 26

@@ -1,0 +1,46 @@
+"""E9 -- Figures 5-8, Lemma 4.3, Proposition 4.4, Fact 4.5: the component H and gadget Ĥ.
+
+Builds the component graph and the four-component gadget, checks the reach
+properties the later lemmas rely on (every node sees ρ within k; no node sees
+all layer-k nodes within k-1), and times the constructions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import lemma_4_3_holds
+from repro.families import build_component, build_gadget, component_size, gadget_size
+from repro.portgraph.paths import eccentricity
+from repro.views import views_equal_across_graphs
+
+
+@pytest.mark.parametrize("mu,k", [(2, 4), (3, 4), (2, 5), (3, 5)])
+def bench_component_construction(benchmark, table_printer, mu, k):
+    graph, handles = benchmark(build_component, mu, k)
+    lemma43 = lemma_4_3_holds(graph, handles)
+    table_printer(
+        f"E9 / Figures 5-7: component H for µ={mu}, k={k}",
+        ["µ", "k", "nodes (formula)", "nodes (built)", "edges", "ecc(ρ) (paper: k)",
+         "Lemma 4.3 holds", "z = |L_k|"],
+        [[mu, k, component_size(mu, k), graph.num_nodes, graph.num_edges,
+          eccentricity(graph, handles.root), lemma43, handles.z]],
+    )
+    assert graph.num_nodes == component_size(mu, k)
+    assert eccentricity(graph, handles.root) == k
+    assert lemma43
+
+
+@pytest.mark.parametrize("mu,k", [(2, 4), (3, 4)])
+def bench_gadget_construction(benchmark, table_printer, mu, k):
+    graph, handles = benchmark(build_gadget, mu, k)
+    other_graph, other_handles = build_gadget(mu, k)
+    prop_4_4 = views_equal_across_graphs(graph, handles.rho, other_graph, other_handles.rho, k - 1)
+    table_printer(
+        f"E9 / Figure 8: gadget Ĥ for µ={mu}, k={k}",
+        ["µ", "k", "nodes (formula)", "nodes (built)", "deg(ρ) (paper: 4µ)",
+         "Prop 4.4: ρ views equal at depth k-1 across copies"],
+        [[mu, k, gadget_size(mu, k), graph.num_nodes, graph.degree(handles.rho), prop_4_4]],
+    )
+    assert graph.degree(handles.rho) == 4 * mu
+    assert prop_4_4

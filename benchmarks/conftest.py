@@ -1,0 +1,34 @@
+"""Shared fixtures and table-printing helpers for the benchmark harness.
+
+Every benchmark module regenerates the rows of one of the paper's
+figures/facts/theorems (see DESIGN.md's per-experiment index E1..E14 and
+EXPERIMENTS.md for the paper-vs-measured record).  Each module both
+
+* prints the reproduced table (parameter columns, paper-predicted value,
+  measured value), and
+* times the underlying computation with ``pytest-benchmark``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import pytest
+
+from repro.analysis import format_table
+
+
+def emit_table(title: str, headers: Sequence[str], rows: List[List[object]]) -> None:
+    """Print one reproduced table.  ``-s`` shows it live; it is also captured in the report."""
+    print()
+    print(f"== {title} ==")
+    print(format_table(list(headers), rows))
+
+
+@pytest.fixture(scope="session")
+def table_printer():
+    return emit_table

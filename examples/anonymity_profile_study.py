@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""How fast does a network de-anonymise?  Per-node anonymity depths.
+
+For every node, the *anonymity depth* is the number of LOCAL rounds after
+which its view becomes unique -- the moment it could safely say "it's me" in a
+Selection algorithm.  ψ_S(G) is the minimum of these depths; the maximum tells
+how long the last twins survive.  The study prints the profiles of a few
+networks, including a member of the paper's class G_{Δ,k}, whose whole point
+is that only one special node ever reaches a unique view by depth k.
+
+Run with:  python examples/anonymity_profile_study.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis import anonymity_profile, format_table
+from repro.families import build_gdk_member
+from repro.portgraph import generators
+
+
+def describe(name: str, graph) -> None:
+    profile = anonymity_profile(graph)
+    histogram = Counter(d for d in profile.depths.values() if d is not None)
+    forever = len(profile.forever_anonymous)
+    depth_summary = ", ".join(f"{count}@{depth}" for depth, count in sorted(histogram.items()))
+    print(
+        f"{name:<28} n={graph.num_nodes:<5} ψ_S={str(profile.selection_index):<5} "
+        f"classes/depth={profile.classes_by_depth}  unique-at-depth: {depth_summary or '--'}"
+        + (f"  forever-anonymous: {forever}" if forever else "")
+    )
+
+
+def main() -> None:
+    print("Anonymity profiles (how many nodes first become unique at each depth):\n")
+    describe("asymmetric ring (n=10)", generators.asymmetric_cycle(10))
+    describe("star (5 leaves)", generators.star_graph(5))
+    describe("grid 3x4", generators.grid_graph(3, 4))
+    describe("hypercube dim 3 (symmetric)", generators.hypercube_graph(3))
+    describe("caterpillar 4x2", generators.caterpillar_graph(4, 2))
+    describe("random (n=14)", generators.random_connected_graph(14, extra_edges=7, seed=3))
+
+    print("\nThe paper's G_{Δ,k} construction concentrates uniqueness in one node:")
+    member = build_gdk_member(4, 1, 3)
+    profile = anonymity_profile(member.graph)
+    rows = []
+    for depth in range(profile.stable_depth + 1):
+        count = sum(1 for d in profile.depths.values() if d == depth)
+        note = "only r_{i,2} (Lemma 2.6)" if depth == member.k else ""
+        rows.append([depth, count, note])
+    if profile.forever_anonymous:
+        rows.append(["never", len(profile.forever_anonymous), ""])
+    print(format_table(["depth", "#nodes first unique here", "note"], rows))
+    print(
+        f"\nψ_S = {profile.selection_index} = k = {member.k}: exactly one node -- the root of the single "
+        "copy of T_{i,2} -- is unique at depth k (Lemma 2.6).  The graph is feasible, so every node "
+        "does become unique eventually, but only at depths strictly beyond k: that gap is what makes "
+        "electing in *minimum* time require advice."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Gallery of the paper's lower-bound constructions.
+
+Builds small instances of every construction of the paper -- the trees of
+Figure 1, a member of G_{Δ,k} (Figure 2), the template U (Figure 3), the
+layer graphs (Figure 4), the component H and gadget Ĥ (Figures 5-8) and a
+small prefix view of the class J_{µ,k} (Figures 9-11) -- prints their
+statistics, and exports the small ones to Graphviz DOT files in the current
+directory so they can be rendered and compared against the paper's figures.
+
+Run with:  python examples/family_gallery.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import format_table, summarize_graph
+from repro.families import (
+    build_component,
+    build_gadget,
+    build_gdk_member,
+    build_layer_graph,
+    build_udk_template,
+    figure_1_example,
+    gadget_size,
+    jmuk_border_count,
+    jmuk_class_size,
+    jmuk_num_gadgets,
+)
+from repro.portgraph.io import graph_to_dot
+
+OUTPUT_DIR = Path(".")
+EXPORT_DOT = True
+MAX_DOT_NODES = 120
+
+
+def show(title: str, graph, highlight=None) -> None:
+    summary = summarize_graph(graph, max_depth=4)
+    print(
+        f"{title:<38} n={summary.num_nodes:<6} m={summary.num_edges:<6} "
+        f"Δ={summary.max_degree:<3} ψ_S={summary.selection_index}"
+    )
+    if EXPORT_DOT and graph.num_nodes <= MAX_DOT_NODES:
+        filename = OUTPUT_DIR / (title.split(" ")[0].replace("/", "-") + ".dot")
+        filename.write_text(graph_to_dot(graph, highlight=highlight or {}))
+        print(f"{'':<38} wrote {filename}")
+
+
+def main() -> None:
+    print("Figure 1: the trees T_{X,1} and T_{X,2} (Δ=4, k=2, X=(1,2,3,3,2,2))")
+    for variant in (1, 2):
+        graph, handles = figure_1_example(variant)
+        show(f"T_X{variant} (figure 1)", graph, highlight={handles.root: "lightblue"})
+
+    print("\nFigure 2: a member of G_{Δ,k}")
+    member = build_gdk_member(4, 1, 3)
+    show("G_{4,1}[3] (figure 2)", member.graph, highlight={member.distinguished_root: "gold"})
+
+    print("\nFigure 3: the template U of the class U_{Δ,k}")
+    template = build_udk_template(4, 1)
+    show("U(4,1) (figure 3)", template.graph)
+
+    print("\nFigure 4: layer graphs for µ=3")
+    rows = []
+    for m in range(6):
+        graph, _handles = build_layer_graph(3, m)
+        rows.append([m, graph.num_nodes, graph.num_edges])
+    print(format_table(["m", "|L_m|", "edges"], rows))
+
+    print("\nFigures 5-8: component H and gadget Ĥ for µ=2, k=4")
+    component_graph, component_handles = build_component(2, 4)
+    show("H(2,4) (figures 5-7)", component_graph, highlight={component_handles.root: "lightblue"})
+    gadget_graph, gadget_handles = build_gadget(2, 4)
+    show("gadget(2,4) (figure 8)", gadget_graph, highlight={gadget_handles.rho: "gold"})
+
+    print("\nFigures 9-11: the class J_{µ,k} at µ=2, k=4 (not exported: 132k nodes)")
+    z = jmuk_border_count(2, 4)
+    rows = [
+        ["z = |L_4|", z],
+        ["gadgets chained (2^z)", jmuk_num_gadgets(2, 4)],
+        ["nodes per gadget", gadget_size(2, 4)],
+        ["total nodes of one member", jmuk_num_gadgets(2, 4) * gadget_size(2, 4)],
+        ["members in the class (2^(2^(z-1)))", f"2^{2 ** (z - 1)}"],
+    ]
+    print(format_table(["quantity", "value"], rows))
+    assert jmuk_class_size(2, 4) == 2 ** (2 ** (z - 1))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that the package can be installed in editable mode on machines without the
+``wheel`` package (offline environments where ``pip install -e .`` cannot
+build an editable wheel): ``python setup.py develop --user`` or
+``pip install -e . --no-build-isolation`` both work through it.
+"""
+
+from setuptools import setup
+
+setup()

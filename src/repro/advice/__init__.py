@@ -1,0 +1,93 @@
+"""Algorithms with advice: oracles, bit-exact advice strings, bounds and counting."""
+
+from .bitstrings import (
+    BitReader,
+    BitWriter,
+    bits_from_bytes,
+    bytes_from_bits,
+    decode_symbols,
+    elias_gamma_encode,
+    encode_symbols,
+    encode_unsigned,
+)
+from .family_advice import (
+    decode_jmuk_y,
+    decode_udk_sigma,
+    encode_jmuk_y,
+    encode_udk_sigma,
+    jmuk_cppe_sufficient_advice_bits,
+    sufficient_vs_necessary_bits,
+    udk_pe_sufficient_advice_bits,
+)
+from .counting import (
+    min_advice_bits_to_distinguish,
+    num_advice_strings_up_to,
+    pigeonhole_forces_collision,
+)
+from .map_advice import (
+    MapAdviceOracle,
+    UniversalMapAlgorithm,
+    decode_map_advice,
+    encode_map_advice,
+    map_advice_bits,
+    universal_scheme,
+)
+from .oracle import AdvisedScheme, NoAdviceOracle, Oracle
+from .selection_advice import (
+    SelectionAdviceOracle,
+    SelectionFromViewAdvice,
+    decode_view_advice,
+    encode_view_advice,
+    measured_selection_advice_bits,
+    selection_with_advice_scheme,
+)
+from .size_bounds import (
+    augmented_tree_family_size,
+    pe_advice_lower_bound_bits,
+    ppe_cppe_advice_lower_bound_bits,
+    selection_advice_lower_bound_bits,
+    selection_advice_upper_bound_bits,
+    tree_leaf_count,
+)
+
+__all__ = [
+    "BitWriter",
+    "BitReader",
+    "encode_symbols",
+    "decode_symbols",
+    "encode_unsigned",
+    "elias_gamma_encode",
+    "bits_from_bytes",
+    "bytes_from_bits",
+    "Oracle",
+    "NoAdviceOracle",
+    "AdvisedScheme",
+    "SelectionAdviceOracle",
+    "SelectionFromViewAdvice",
+    "selection_with_advice_scheme",
+    "encode_view_advice",
+    "decode_view_advice",
+    "measured_selection_advice_bits",
+    "MapAdviceOracle",
+    "UniversalMapAlgorithm",
+    "universal_scheme",
+    "encode_map_advice",
+    "decode_map_advice",
+    "map_advice_bits",
+    "selection_advice_upper_bound_bits",
+    "selection_advice_lower_bound_bits",
+    "pe_advice_lower_bound_bits",
+    "ppe_cppe_advice_lower_bound_bits",
+    "tree_leaf_count",
+    "augmented_tree_family_size",
+    "encode_udk_sigma",
+    "decode_udk_sigma",
+    "udk_pe_sufficient_advice_bits",
+    "encode_jmuk_y",
+    "decode_jmuk_y",
+    "jmuk_cppe_sufficient_advice_bits",
+    "sufficient_vs_necessary_bits",
+    "num_advice_strings_up_to",
+    "min_advice_bits_to_distinguish",
+    "pigeonhole_forces_collision",
+]

@@ -1,0 +1,162 @@
+"""Full-map advice and the universal minimum-time algorithms.
+
+Several of the paper's arguments ("given a map of the graph, the nodes can
+solve Z in ψ_Z(G) rounds" -- Lemma 2.7, Lemma 3.9, Lemma 4.8) assume that the
+complete map of the network is available to every node.  In the advice
+framework that is simply one particular -- large -- advice string: a
+serialisation of the port-labeled graph.
+
+The universal algorithm for task ``Z`` decodes the map, recomputes ψ_Z and a
+decision assignment (leader plus per-view-class output) exactly as
+:mod:`repro.core.election_index` does, gathers its own view for ψ_Z rounds
+and looks its output up by its view.  This is a *correct minimum-time*
+algorithm for every feasible graph, at the price of advice linear in the size
+of the map -- the baseline against which the paper's specialised advice sizes
+are compared.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..core.election_index import (
+    path_election_assignment,
+    port_election_assignment,
+    selection_assignment,
+    selection_index,
+    port_election_index,
+    port_path_election_index,
+    complete_port_path_election_index,
+)
+from ..core.tasks import LEADER, NON_LEADER, Task
+from ..portgraph.graph import PortLabeledGraph
+from ..portgraph.io import graph_from_dict, graph_to_dict
+from ..sim.algorithm import ViewGatheringAlgorithm
+from ..sim.model import Advice
+from ..views.refinement import ViewRefinement
+from ..views.view_tree import ViewNode, augmented_view
+from .bitstrings import bits_from_bytes, bytes_from_bits
+from .oracle import AdvisedScheme, Oracle
+
+__all__ = [
+    "encode_map_advice",
+    "decode_map_advice",
+    "MapAdviceOracle",
+    "UniversalMapAlgorithm",
+    "universal_scheme",
+    "map_advice_bits",
+]
+
+
+def encode_map_advice(graph: PortLabeledGraph) -> str:
+    """Serialise a graph (its *map*) into an advice bit string."""
+    payload = json.dumps(graph_to_dict(graph), separators=(",", ":")).encode("utf-8")
+    return bits_from_bytes(payload)
+
+
+def decode_map_advice(advice: str) -> PortLabeledGraph:
+    """Recover the map from :func:`encode_map_advice` output."""
+    payload = bytes_from_bits(advice)
+    return graph_from_dict(json.loads(payload.decode("utf-8")), validate=False)
+
+
+def map_advice_bits(graph: PortLabeledGraph) -> int:
+    """Size in bits of the full-map advice for ``graph``."""
+    return len(encode_map_advice(graph))
+
+
+class MapAdviceOracle(Oracle):
+    """The oracle that hands every node the complete map."""
+
+    def advise(self, graph: PortLabeledGraph) -> Advice:
+        return encode_map_advice(graph)
+
+
+def _decision_table(
+    graph: PortLabeledGraph, task: Task
+) -> Tuple[int, Dict[Tuple[int, ...], Any]]:
+    """(rounds, view-key -> output) decision table for ``task`` on ``graph`` in minimum time."""
+    refinement = ViewRefinement(graph)
+    if task is Task.SELECTION:
+        depth = selection_index(graph, refinement=refinement)
+        if depth is None:
+            raise ValueError("graph is infeasible")
+        leader = selection_assignment(graph, depth, refinement=refinement)
+        table = {
+            augmented_view(graph, v, depth).canonical_key(): (
+                LEADER if v == leader else NON_LEADER
+            )
+            for v in graph.nodes()
+        }
+        return depth, table
+    if task is Task.PORT_ELECTION:
+        depth = port_election_index(graph, refinement=refinement)
+        if depth is None:
+            raise ValueError("graph is infeasible")
+        leader, ports = port_election_assignment(graph, depth, refinement=refinement)
+        table = {
+            augmented_view(graph, v, depth).canonical_key(): (
+                LEADER if v == leader else ports[v]
+            )
+            for v in graph.nodes()
+        }
+        return depth, table
+    complete = task is Task.COMPLETE_PORT_PATH_ELECTION
+    index_fn = complete_port_path_election_index if complete else port_path_election_index
+    depth = index_fn(graph, refinement=refinement)
+    if depth is None:
+        raise ValueError("graph is infeasible")
+    leader, sequences = path_election_assignment(
+        graph, depth, complete=complete, refinement=refinement
+    )
+    table = {
+        augmented_view(graph, v, depth).canonical_key(): (
+            LEADER if v == leader else sequences[v]
+        )
+        for v in graph.nodes()
+    }
+    return depth, table
+
+
+class UniversalMapAlgorithm(ViewGatheringAlgorithm):
+    """Universal minimum-time algorithm for any task, given the map as advice.
+
+    All nodes decode the same map and therefore compute the same decision
+    table; the table is keyed by view, so equal-view nodes necessarily produce
+    equal outputs, exactly as the model demands.
+    """
+
+    def __init__(self, task: Task) -> None:
+        super().__init__()
+        self._task = task
+        self._rounds: Optional[int] = None
+        self._table: Optional[Dict[Tuple[int, ...], Any]] = None
+
+    def setup(self, degree: int, advice: Advice) -> None:
+        super().setup(degree, advice)
+        if advice is None:
+            raise ValueError("the universal algorithm requires the map as advice")
+        graph = decode_map_advice(advice)
+        self._rounds, self._table = _decision_table(graph, self._task)
+
+    def rounds_needed(self) -> Optional[int]:
+        return self._rounds
+
+    def decide(self, view: ViewNode) -> Any:
+        assert self._table is not None
+        key = view.canonical_key()
+        try:
+            return self._table[key]
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise RuntimeError("gathered view does not appear in the advised map") from exc
+
+
+def universal_scheme(task: Task) -> AdvisedScheme:
+    """Map-advice scheme solving ``task`` in exactly ψ_task(G) rounds on any feasible graph."""
+    return AdvisedScheme(
+        task=task,
+        oracle=MapAdviceOracle(),
+        algorithm_factory=lambda: UniversalMapAlgorithm(task),
+        name=f"universal-map-{task.value}",
+    )

@@ -1,0 +1,75 @@
+"""The algorithms-with-advice framework.
+
+Following the framework used by the paper (and by [11, 25, 36]), an *oracle*
+knows the entire network and provides the same binary string -- the advice --
+to every node before the computation starts.  A distributed algorithm then
+runs in the LOCAL model; its decisions may depend only on the node's view and
+on the advice.  The *size of advice* is the length of the string in bits.
+
+An :class:`AdvisedScheme` bundles an oracle with the node-algorithm factory
+that consumes its advice, so tests and benchmarks can run the whole
+oracle-then-distributed pipeline in one call and account for both resources
+(rounds and advice bits).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..core.tasks import ElectionOutcome, Task
+from ..portgraph.graph import PortLabeledGraph
+from ..sim.engine import run_synchronous
+from ..sim.model import Advice, NodeAlgorithm
+
+__all__ = ["Oracle", "NoAdviceOracle", "AdvisedScheme"]
+
+
+class Oracle(abc.ABC):
+    """An all-knowing oracle that maps a network to an advice bit string."""
+
+    @abc.abstractmethod
+    def advise(self, graph: PortLabeledGraph) -> Advice:
+        """The advice string for ``graph`` (``None`` for "no advice")."""
+
+    def advice_size(self, graph: PortLabeledGraph) -> int:
+        """Length of the advice in bits."""
+        advice = self.advise(graph)
+        return 0 if advice is None else len(advice)
+
+
+class NoAdviceOracle(Oracle):
+    """The trivial oracle providing no information."""
+
+    def advise(self, graph: PortLabeledGraph) -> Advice:
+        return None
+
+
+@dataclass
+class AdvisedScheme:
+    """An oracle together with the distributed algorithm consuming its advice."""
+
+    task: Task
+    oracle: Oracle
+    algorithm_factory: Callable[[], NodeAlgorithm]
+    name: str = ""
+
+    def run(
+        self,
+        graph: PortLabeledGraph,
+        *,
+        rounds: Optional[int] = None,
+    ) -> ElectionOutcome:
+        """Compute the advice for ``graph``, run the distributed algorithm, collect outputs."""
+        advice = self.oracle.advise(graph)
+        result = run_synchronous(
+            graph, self.algorithm_factory, rounds=rounds, advice=advice
+        )
+        return ElectionOutcome(
+            task=self.task,
+            outputs=result.outputs,
+            rounds=result.trace.rounds,
+            advice_bits=0 if advice is None else len(advice),
+            metadata={"scheme": self.name or type(self.oracle).__name__},
+        )

@@ -1,0 +1,117 @@
+"""Theorem 2.2: Selection in minimum time with O((Δ-1)^{ψ_S} log Δ) advice.
+
+The oracle knows the whole graph.  It computes ψ_S(G), picks -- among all
+nodes whose augmented truncated view at depth ψ_S(G) is unique (Proposition
+2.1 guarantees at least one) -- the node ``u`` whose view is
+lexicographically smallest, and encodes ``B^{ψ_S(G)}(u)`` as a binary string.
+
+The distributed algorithm is oblivious to the graph: each node decodes the
+advice into a view, reads off its height ``h``, gathers its own ``B^h`` in
+``h`` communication rounds, and outputs ``leader`` iff its own view equals
+the advice view.  Exactly one node matches, so Selection is solved in
+ψ_S(G) rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.tasks import LEADER, NON_LEADER, Task
+from ..portgraph.graph import PortLabeledGraph
+from ..sim.algorithm import ViewGatheringAlgorithm
+from ..sim.model import Advice
+from ..views.encoding import view_from_symbols, view_to_symbols
+from ..views.refinement import ViewRefinement
+from ..views.view_tree import ViewNode, augmented_view
+from .bitstrings import decode_symbols, encode_symbols
+from .oracle import AdvisedScheme, Oracle
+
+__all__ = [
+    "encode_view_advice",
+    "decode_view_advice",
+    "SelectionAdviceOracle",
+    "SelectionFromViewAdvice",
+    "selection_with_advice_scheme",
+    "measured_selection_advice_bits",
+]
+
+
+def encode_view_advice(view: ViewNode) -> str:
+    """Encode an augmented truncated view as an advice bit string."""
+    return encode_symbols(view_to_symbols(view))
+
+
+def decode_view_advice(advice: str) -> ViewNode:
+    """Decode an advice bit string back into the view it encodes."""
+    return view_from_symbols(decode_symbols(advice))
+
+
+class SelectionAdviceOracle(Oracle):
+    """The oracle of Theorem 2.2.
+
+    Parameters
+    ----------
+    depth:
+        Override the view depth to encode.  By default the oracle uses
+        ψ_S(G), the minimum time; passing a larger depth models "more time,
+        same advice scheme".
+    """
+
+    def __init__(self, depth: Optional[int] = None) -> None:
+        self._depth = depth
+
+    def advise(self, graph: PortLabeledGraph) -> Advice:
+        refinement = ViewRefinement(graph)
+        depth = self._depth
+        if depth is None:
+            depth = refinement.first_depth_with_unique_node()
+            if depth is None:
+                raise ValueError(
+                    "graph is infeasible: no node ever has a unique view, "
+                    "so Selection cannot be solved at all"
+                )
+        unique = refinement.unique_nodes(depth)
+        if not unique:
+            raise ValueError(f"no node has a unique view at depth {depth}")
+        views = {v: augmented_view(graph, v, depth) for v in unique}
+        chosen = min(unique, key=lambda v: views[v].canonical_key())
+        return encode_view_advice(views[chosen])
+
+
+class SelectionFromViewAdvice(ViewGatheringAlgorithm):
+    """The distributed algorithm of Theorem 2.2 (view comparison against the advice)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._advice_view: Optional[ViewNode] = None
+
+    def setup(self, degree: int, advice: Advice) -> None:
+        super().setup(degree, advice)
+        if advice is None:
+            raise ValueError("the Theorem 2.2 algorithm requires advice")
+        self._advice_view = decode_view_advice(advice)
+
+    def rounds_needed(self) -> Optional[int]:
+        assert self._advice_view is not None
+        return self._advice_view.height
+
+    def decide(self, view: ViewNode) -> str:
+        assert self._advice_view is not None
+        if view == self._advice_view:
+            return LEADER
+        return NON_LEADER
+
+
+def selection_with_advice_scheme(depth: Optional[int] = None) -> AdvisedScheme:
+    """The full Theorem 2.2 oracle/algorithm pair as an :class:`AdvisedScheme`."""
+    return AdvisedScheme(
+        task=Task.SELECTION,
+        oracle=SelectionAdviceOracle(depth),
+        algorithm_factory=SelectionFromViewAdvice,
+        name="theorem-2.2-selection",
+    )
+
+
+def measured_selection_advice_bits(graph: PortLabeledGraph, depth: Optional[int] = None) -> int:
+    """The exact advice size (in bits) the Theorem 2.2 oracle uses on ``graph``."""
+    return SelectionAdviceOracle(depth).advice_size(graph)

@@ -1,0 +1,36 @@
+"""The paper's algorithms: minimum-time election on the constructed families.
+
+* :mod:`repro.algorithms.selection` -- Lemma 2.7 / Theorem 2.2 Selection.
+* :mod:`repro.algorithms.port_election` -- Lemma 3.9 Port Election on U_{Δ,k}.
+* :mod:`repro.algorithms.cppe_election` -- Lemma 4.8 CPPE on J_{µ,k}.
+* :mod:`repro.algorithms.derive` -- the Fact 1.1 derivations between tasks.
+
+The universal minimum-time algorithm for arbitrary feasible graphs (map
+advice) lives in :mod:`repro.advice.map_advice`.
+"""
+
+from .cppe_election import JmukCppeAlgorithm, jmuk_cppe_outputs, jmuk_leader
+from .derive import (
+    cppe_to_ppe,
+    pe_to_selection,
+    ppe_to_pe,
+    weaken_outcome,
+    weaken_outputs,
+)
+from .port_election import udk_leader, udk_port_election_outputs
+from .selection import gdk_selection_outputs, selection_outputs
+
+__all__ = [
+    "selection_outputs",
+    "gdk_selection_outputs",
+    "udk_port_election_outputs",
+    "udk_leader",
+    "JmukCppeAlgorithm",
+    "jmuk_cppe_outputs",
+    "jmuk_leader",
+    "cppe_to_ppe",
+    "ppe_to_pe",
+    "pe_to_selection",
+    "weaken_outputs",
+    "weaken_outcome",
+]

@@ -1,0 +1,82 @@
+"""Fact 1.1: deriving weaker-task solutions from stronger ones.
+
+If CPPE is solved, every non-leader can keep only the outgoing ports of its
+output to solve PPE; keeping only the first outgoing port solves PE; and
+outputting plain ``non-leader`` solves Selection.  These derivations cost no
+extra communication, which is exactly why the election indices form the
+hierarchy ψ_CPPE >= ψ_PPE >= ψ_PE >= ψ_S.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from ..core.tasks import LEADER, NON_LEADER, ElectionOutcome, Task, output_is_leader
+
+__all__ = [
+    "cppe_to_ppe",
+    "ppe_to_pe",
+    "pe_to_selection",
+    "weaken_outputs",
+    "weaken_outcome",
+]
+
+
+def cppe_to_ppe(outputs: Mapping[int, Any]) -> Dict[int, Any]:
+    """Keep only the outgoing ports (p_1, p_2, ...) of every CPPE output."""
+    derived: Dict[int, Any] = {}
+    for node, value in outputs.items():
+        if output_is_leader(value):
+            derived[node] = LEADER
+        else:
+            derived[node] = tuple(value[::2])
+    return derived
+
+
+def ppe_to_pe(outputs: Mapping[int, Any]) -> Dict[int, Any]:
+    """Keep only the first outgoing port of every PPE output."""
+    derived: Dict[int, Any] = {}
+    for node, value in outputs.items():
+        if output_is_leader(value):
+            derived[node] = LEADER
+        else:
+            derived[node] = value[0]
+    return derived
+
+
+def pe_to_selection(outputs: Mapping[int, Any]) -> Dict[int, Any]:
+    """Forget the port outputs of non-leaders."""
+    return {
+        node: LEADER if output_is_leader(value) else NON_LEADER
+        for node, value in outputs.items()
+    }
+
+
+_CHAIN = {
+    Task.COMPLETE_PORT_PATH_ELECTION: (Task.PORT_PATH_ELECTION, cppe_to_ppe),
+    Task.PORT_PATH_ELECTION: (Task.PORT_ELECTION, ppe_to_pe),
+    Task.PORT_ELECTION: (Task.SELECTION, pe_to_selection),
+}
+
+
+def weaken_outputs(task: Task, outputs: Mapping[int, Any], target: Task) -> Dict[int, Any]:
+    """Derive outputs for the weaker ``target`` task from outputs of ``task``."""
+    if target.strength > task.strength:
+        raise ValueError(f"cannot strengthen {task.value} outputs into {target.value}")
+    current_task, current = task, dict(outputs)
+    while current_task is not target:
+        current_task, transform = _CHAIN[current_task]
+        current = transform(current)
+    return current
+
+
+def weaken_outcome(outcome: ElectionOutcome, target: Task) -> ElectionOutcome:
+    """Derive an :class:`ElectionOutcome` for the weaker ``target`` task."""
+    outputs = weaken_outputs(outcome.task, outcome.outputs, target)
+    return ElectionOutcome(
+        task=target,
+        outputs=outputs,
+        rounds=outcome.rounds,
+        advice_bits=outcome.advice_bits,
+        metadata=dict(outcome.metadata),
+    )

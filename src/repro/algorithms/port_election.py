@@ -1,0 +1,114 @@
+"""Lemma 3.9: Port Election in k rounds on the class U_{Δ,k}.
+
+Every node of a member G_σ (or of the template U) behaves according to its
+degree after gathering its view for k rounds:
+
+* degree 1 -- output port 0 (its only port, which necessarily heads towards
+  the cycle);
+* degree Δ+2 -- the node is a cycle root r_{j,b}; it compares its view with
+  the views of all cycle roots in the map and outputs ``leader`` if its view
+  is the lexicographically smallest one, and the cycle port Δ+1 otherwise;
+* degree 2Δ-1 -- the node is a hub root r_{j,1,1} or r_{j,1,2}; the map tells
+  it (via its view, which is identical for the two copies but distinct across
+  j -- Claim 1 of the paper) which port leads towards the cycle, namely the
+  port carrying the connector path, which is the σ-dependent port the lower
+  bound of Theorem 3.11 is about;
+* any other degree -- the node outputs the first port of a shortest path
+  towards the closest cycle root it can see within distance k, or towards the
+  closest hub root if no cycle root is visible.
+
+The implementation is the graph-side ("semantic") version of the algorithm:
+decisions are computed from the constructed member's handles, but every
+quantity used is available within distance k of the deciding node, which is
+asserted where it matters (`_require_local`).  The honest simulator-backed
+route exists for small graphs through the universal map-advice algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.tasks import LEADER
+from ..families.udk import UdkMember
+from ..portgraph.paths import bfs_distances, shortest_path
+from ..views.encoding import augmented_view_key
+from ..views.refinement import ViewRefinement
+
+__all__ = ["udk_port_election_outputs", "udk_leader"]
+
+
+def _require_local(distance: int, k: int, what: str) -> None:
+    if distance > k:
+        raise AssertionError(
+            f"algorithm would need non-local information: {what} lies at distance "
+            f"{distance} > k = {k}"
+        )
+
+
+def udk_leader(member: UdkMember) -> int:
+    """The cycle root with the lexicographically smallest view at depth k (r_min of Lemma 3.9)."""
+    graph, k = member.graph, member.k
+    cycle_roots = member.cycle_root_nodes()
+    return min(cycle_roots, key=lambda v: augmented_view_key(graph, v, k))
+
+
+def udk_port_election_outputs(member: UdkMember) -> Dict[int, object]:
+    """Outputs of the Lemma 3.9 Port Election algorithm after k rounds on ``member``."""
+    graph, delta, k = member.graph, member.delta, member.k
+    cycle_roots = set(member.cycle_root_nodes())
+    hub_roots = set(member.hub_root_nodes())
+    leader = udk_leader(member)
+
+    # Sanity check of Lemma 3.8 (each cycle root's view at depth k is unique),
+    # which is what makes the leader well defined.
+    refinement = ViewRefinement(graph)
+    for root in cycle_roots:
+        if not refinement.has_unique_view(root, k):
+            raise AssertionError("Lemma 3.8 violated: a cycle root's depth-k view is not unique")
+
+    # Distances to the nearest cycle root / hub root, shared across all nodes.
+    near_cycle: Dict[int, int] = {}
+    near_cycle_dist: Dict[int, int] = {}
+    for root in cycle_roots:
+        for node, d in enumerate(bfs_distances(graph, root)):
+            if d >= 0 and (node not in near_cycle_dist or d < near_cycle_dist[node]):
+                near_cycle_dist[node] = d
+                near_cycle[node] = root
+    near_hub: Dict[int, int] = {}
+    near_hub_dist: Dict[int, int] = {}
+    for root in hub_roots:
+        for node, d in enumerate(bfs_distances(graph, root)):
+            if d >= 0 and (node not in near_hub_dist or d < near_hub_dist[node]):
+                near_hub_dist[node] = d
+                near_hub[node] = root
+
+    outputs: Dict[int, object] = {}
+    for v in graph.nodes():
+        degree = graph.degree(v)
+        if degree == delta + 2:
+            # cycle root: leader or the cycle port Δ+1 towards the leader
+            outputs[v] = LEADER if v == leader else delta + 1
+        elif degree == 2 * delta - 1:
+            # hub root: the port carrying the connector path towards the cycle
+            connector_port = None
+            for port in graph.ports(v):
+                neighbour = graph.neighbor(v, port)
+                if graph.degree(neighbour) == 2 and near_cycle_dist[neighbour] <= k:
+                    # connector interior nodes have degree 2 and reach the cycle in <= k hops
+                    connector_port = port
+                    break
+            if connector_port is None:
+                raise AssertionError("hub root has no connector port towards the cycle")
+            outputs[v] = connector_port
+        elif degree == 1:
+            outputs[v] = 0
+        else:
+            if near_cycle_dist.get(v, k + 1) <= k:
+                target = near_cycle[v]
+                _require_local(near_cycle_dist[v], k, "the nearest cycle root")
+            else:
+                target = near_hub[v]
+                _require_local(near_hub_dist[v], k, "the nearest hub root")
+            path = shortest_path(graph, v, target)
+            outputs[v] = graph.port_to(v, path[1])
+    return outputs

@@ -1,0 +1,73 @@
+"""Map-based Selection in minimum time (Lemma 2.7 and Theorem 2.2's algorithm).
+
+Two entry points:
+
+* :func:`gdk_selection_outputs` -- the algorithm of Lemma 2.7 specialised to
+  the class G_{Δ,k}: every node learns B^k, compares it with the unique view
+  singled out by the map (the root of the single copy of T_{i,2}), and
+  outputs ``leader`` on a match.  It runs in exactly k rounds, certifying
+  ψ_S(G_i) <= k.
+
+* :func:`selection_outputs` -- the same idea for an arbitrary feasible graph
+  at an arbitrary depth (used by tests and benches as the map-knowledge
+  baseline); at depth ψ_S(G) it is the minimum-time Selection algorithm.
+
+Both return plain output dictionaries ready for
+:func:`repro.core.validate.validate_selection`.  The simulator-backed,
+advice-string version of the same algorithm lives in
+:mod:`repro.advice.selection_advice`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.tasks import LEADER, NON_LEADER
+from ..families.gdk import GdkMember
+from ..portgraph.graph import PortLabeledGraph
+from ..views.refinement import ViewRefinement
+
+__all__ = ["selection_outputs", "gdk_selection_outputs"]
+
+
+def selection_outputs(
+    graph: PortLabeledGraph,
+    depth: Optional[int] = None,
+    *,
+    refinement: Optional[ViewRefinement] = None,
+) -> Dict[int, str]:
+    """Outputs of the map-based Selection algorithm run for ``depth`` rounds.
+
+    The elected node is the one whose (unique) depth-``depth`` view is
+    lexicographically smallest, exactly as in Theorem 2.2; ``depth`` defaults
+    to ψ_S(G).
+    """
+    from ..core.election_index import selection_assignment, selection_index
+
+    refinement = refinement or ViewRefinement(graph)
+    if depth is None:
+        depth = selection_index(graph, refinement=refinement)
+        if depth is None:
+            raise ValueError("graph is infeasible; Selection cannot be solved")
+    leader = selection_assignment(graph, depth, refinement=refinement)
+    if leader is None:
+        raise ValueError(f"no node has a unique view at depth {depth}")
+    return {v: LEADER if v == leader else NON_LEADER for v in graph.nodes()}
+
+
+def gdk_selection_outputs(member: GdkMember) -> Dict[int, str]:
+    """Lemma 2.7's k-round Selection algorithm on a member G_i of G_{Δ,k}.
+
+    The map tells every node that the node to elect is the unique node whose
+    augmented view at depth k is unique -- which the construction guarantees
+    is the root r_{i,2} of the single copy of T_{i,2}.
+    """
+    refinement = ViewRefinement(member.graph)
+    distinguished = member.distinguished_root
+    if not refinement.has_unique_view(distinguished, member.k):
+        raise AssertionError(
+            "construction violated: r_{i,2} does not have a unique view at depth k"
+        )
+    return {
+        v: LEADER if v == distinguished else NON_LEADER for v in member.graph.nodes()
+    }

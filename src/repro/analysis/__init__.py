@@ -1,0 +1,44 @@
+"""Analysis utilities: lemma verification, advice-separation tables, statistics."""
+
+from .anonymity import AnonymityProfile, anonymity_depths, anonymity_profile
+from .indistinguishability import (
+    corresponding_views_equal,
+    every_node_has_twin_at_depth,
+    lemma_4_3_holds,
+    lemma_4_10_statement_2,
+    only_unique_view_nodes,
+)
+from .separation import (
+    SelectionAdviceRow,
+    SeparationRow,
+    pe_lower_bound_rows,
+    ppe_cppe_lower_bound_rows,
+    selection_advice_table,
+    selection_lower_bound_rows,
+)
+from .statistics import GraphSummary, format_table, summarize_graph, view_class_profile
+from .tradeoff import TradeoffRow, map_advice_vs_time, selection_advice_vs_time
+
+__all__ = [
+    "AnonymityProfile",
+    "anonymity_depths",
+    "anonymity_profile",
+    "only_unique_view_nodes",
+    "every_node_has_twin_at_depth",
+    "corresponding_views_equal",
+    "lemma_4_3_holds",
+    "lemma_4_10_statement_2",
+    "SelectionAdviceRow",
+    "selection_advice_table",
+    "SeparationRow",
+    "selection_lower_bound_rows",
+    "pe_lower_bound_rows",
+    "ppe_cppe_lower_bound_rows",
+    "TradeoffRow",
+    "selection_advice_vs_time",
+    "map_advice_vs_time",
+    "GraphSummary",
+    "summarize_graph",
+    "view_class_profile",
+    "format_table",
+]

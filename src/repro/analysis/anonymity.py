@@ -1,0 +1,79 @@
+"""Per-node anonymity profiles (extension).
+
+The election index ψ_S(G) is a *global* quantity: the first depth at which
+*some* node becomes unique.  For understanding and for designing algorithms
+it is often more informative to know, per node, how much of the network it
+must see before it stops having twins -- its *anonymity depth* -- and how the
+number of distinct views grows with depth.  These profiles also explain the
+constructions of the paper at a glance: in G_{Δ,k} every node except
+r_{i,2} has anonymity depth strictly greater than k (most of them infinite:
+they have twins forever), while r_{i,2}'s is exactly k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..portgraph.graph import PortLabeledGraph
+from ..views.refinement import ViewRefinement
+
+__all__ = ["AnonymityProfile", "anonymity_depths", "anonymity_profile"]
+
+
+@dataclass
+class AnonymityProfile:
+    """Summary of how quickly a network de-anonymises with view depth."""
+
+    #: anonymity depth per node: smallest h with a unique B^h, or None if the node has a twin forever
+    depths: Dict[int, Optional[int]]
+    #: number of distinct views at each depth 0..stable
+    classes_by_depth: List[int]
+    #: ψ_S(G): the smallest per-node anonymity depth (None if the graph is infeasible)
+    selection_index: Optional[int]
+    #: depth at which the view partition stops refining
+    stable_depth: int
+
+    @property
+    def forever_anonymous(self) -> List[int]:
+        """Nodes that share their view with some other node at every depth."""
+        return [v for v, depth in self.depths.items() if depth is None]
+
+    @property
+    def max_finite_depth(self) -> Optional[int]:
+        finite = [d for d in self.depths.values() if d is not None]
+        return max(finite) if finite else None
+
+
+def anonymity_depths(
+    graph: PortLabeledGraph, *, refinement: Optional[ViewRefinement] = None
+) -> Dict[int, Optional[int]]:
+    """For every node, the smallest depth at which its view becomes unique (None if never)."""
+    refinement = refinement or ViewRefinement(graph)
+    stable = refinement.ensure_stable()
+    depths: Dict[int, Optional[int]] = {v: None for v in graph.nodes()}
+    remaining = set(graph.nodes())
+    for depth in range(stable + 1):
+        if not remaining:
+            break
+        for v in list(remaining):
+            if refinement.has_unique_view(v, depth):
+                depths[v] = depth
+                remaining.discard(v)
+    return depths
+
+
+def anonymity_profile(
+    graph: PortLabeledGraph, *, refinement: Optional[ViewRefinement] = None
+) -> AnonymityProfile:
+    """The full anonymity profile of a network."""
+    refinement = refinement or ViewRefinement(graph)
+    stable = refinement.ensure_stable()
+    depths = anonymity_depths(graph, refinement=refinement)
+    finite = [d for d in depths.values() if d is not None]
+    return AnonymityProfile(
+        depths=depths,
+        classes_by_depth=[refinement.num_classes(d) for d in range(stable + 1)],
+        selection_index=min(finite) if finite else None,
+        stable_depth=stable,
+    )

@@ -1,0 +1,118 @@
+"""Computational verification of the paper's indistinguishability lemmas.
+
+The lower bounds all rest on statements of the form "these two nodes (in the
+same graph, or in two different graphs of the class) have exactly the same
+augmented truncated view at depth k".  This module provides the generic
+checkers the per-lemma tests and benches use:
+
+* within one graph -- twin existence (Lemmas 2.5/2.6, 3.6, 4.6) and
+  uniqueness of distinguished nodes (Lemma 2.6, Lemma 3.8);
+* across two graphs -- equality of views of corresponding nodes
+  (Lemma 2.8, Proposition 2.4, Lemma 4.10(1));
+* Lemma 4.3 -- for every node of a component, some border pair is invisible
+  at depth k-1;
+* Lemma 4.10(2) -- a fixed port sequence cannot lead into the right half of
+  two different members of J_{µ,k}.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..families.component import ComponentHandles
+from ..families.jmuk import JmukMember
+from ..portgraph.graph import PortLabeledGraph
+from ..portgraph.paths import bfs_distances, follow_ports, is_simple_node_sequence
+from ..views.refinement import ViewRefinement
+from ..views.view_tree import augmented_view
+
+__all__ = [
+    "only_unique_view_nodes",
+    "every_node_has_twin_at_depth",
+    "corresponding_views_equal",
+    "lemma_4_3_holds",
+    "lemma_4_10_statement_2",
+]
+
+
+def only_unique_view_nodes(
+    graph: PortLabeledGraph, depth: int, *, refinement: Optional[ViewRefinement] = None
+) -> List[int]:
+    """The nodes whose depth-``depth`` view is unique (Lemma 2.6 / Lemma 3.8 checks)."""
+    refinement = refinement or ViewRefinement(graph)
+    return refinement.unique_nodes(depth)
+
+
+def every_node_has_twin_at_depth(
+    graph: PortLabeledGraph, depth: int, *, refinement: Optional[ViewRefinement] = None
+) -> bool:
+    """Whether no node has a unique view at ``depth`` (the ψ_S >= depth+1 direction)."""
+    refinement = refinement or ViewRefinement(graph)
+    return not refinement.unique_nodes(depth)
+
+
+def corresponding_views_equal(
+    first: PortLabeledGraph,
+    second: PortLabeledGraph,
+    pairs: Iterable[Tuple[int, int]],
+    depth: int,
+) -> bool:
+    """Whether B^depth of every paired node agrees across the two graphs.
+
+    This is the shape of Lemma 2.8 (roots r_{j,b} across G_α and G_β),
+    Proposition 2.4 (roots across the trees T_{j,b}) and Lemma 4.10(1)
+    (the w_{1,1} node of H_L of gadget 0 across members of J_{µ,k}).
+    """
+    for node_first, node_second in pairs:
+        key_first = augmented_view(first, node_first, depth).canonical_key()
+        key_second = augmented_view(second, node_second, depth).canonical_key()
+        if key_first != key_second:
+            return False
+    return True
+
+
+def lemma_4_3_holds(graph: PortLabeledGraph, component: ComponentHandles) -> bool:
+    """Lemma 4.3: every node of the component misses some border pair at depth k-1.
+
+    For every node v there must exist an index ℓ such that both w_{ℓ,1} and
+    w_{ℓ,2} are at distance >= k from v.
+    """
+    k = component.k
+    for v in component.all_nodes():
+        dist = bfs_distances(graph, v)
+        if not any(
+            dist[w1] >= k and dist[w2] >= k for (w1, w2) in component.border
+        ):
+            return False
+    return True
+
+
+def lemma_4_10_statement_2(
+    first: JmukMember,
+    second: JmukMember,
+    port_sequence: Sequence[int],
+) -> bool:
+    """Lemma 4.10(2): if a port sequence reaches the right half of ``first`` simply, it fails in ``second``.
+
+    ``port_sequence`` is followed from the node w_{1,1} of H_L of gadget 0 in
+    both members.  The statement holds if, whenever the walk in ``first`` is a
+    simple path containing a node of a right-half gadget, the walk in
+    ``second`` is either not simple or never leaves the left half.
+    """
+    half = first.num_gadgets // 2
+
+    def classify(member: JmukMember) -> Tuple[bool, bool]:
+        start = member.border_node(0, "L", 1, 1)
+        nodes = follow_ports(member.graph, start, port_sequence)
+        if nodes is None:
+            return False, False
+        simple = is_simple_node_sequence(nodes)
+        reaches_right = any(member.gadget_of_node(v) >= half for v in nodes)
+        return simple, reaches_right
+
+    simple_first, right_first = classify(first)
+    if not (simple_first and right_first):
+        # the hypothesis of the statement is not met; nothing to check
+        return True
+    simple_second, right_second = classify(second)
+    return (not simple_second) or (not right_second)

@@ -1,0 +1,190 @@
+"""Advice-separation studies: the quantitative heart of the paper.
+
+The headline result is a separation: Selection in minimum time needs advice
+polynomial in Δ (Theorem 2.2), while each of PE, PPE, CPPE in minimum time
+needs advice exponential in Δ on a suitable class (Theorems 2.9, 3.11,
+4.11/4.12).  The functions here produce the rows of the tables the benchmark
+harness prints: measured advice sizes of the constructive upper bound, the
+exact class sizes, and the pigeonhole thresholds those class sizes imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..advice.counting import min_advice_bits_to_distinguish, pigeonhole_forces_collision
+from ..advice.selection_advice import measured_selection_advice_bits
+from ..advice.size_bounds import (
+    pe_advice_lower_bound_bits,
+    selection_advice_upper_bound_bits,
+)
+from ..core.election_index import selection_index
+from ..families.counting import fact_2_3_class_size, fact_3_1_class_size
+from ..portgraph.graph import PortLabeledGraph
+
+__all__ = [
+    "SelectionAdviceRow",
+    "selection_advice_table",
+    "SeparationRow",
+    "selection_lower_bound_rows",
+    "pe_lower_bound_rows",
+    "ppe_cppe_lower_bound_rows",
+]
+
+
+@dataclass
+class SelectionAdviceRow:
+    """One row of the Theorem 2.2 table: measured vs bounded advice for Selection."""
+
+    graph_name: str
+    num_nodes: int
+    max_degree: int
+    selection_index: int
+    measured_bits: int
+    bound_bits: int
+
+    @property
+    def within_bound(self) -> bool:
+        return self.measured_bits <= self.bound_bits
+
+
+def selection_advice_table(graphs: Iterable[PortLabeledGraph]) -> List[SelectionAdviceRow]:
+    """Measured Theorem 2.2 advice size next to the explicit upper bound, per graph."""
+    rows: List[SelectionAdviceRow] = []
+    for graph in graphs:
+        index = selection_index(graph)
+        if index is None:
+            continue
+        measured = measured_selection_advice_bits(graph)
+        bound = selection_advice_upper_bound_bits(graph.max_degree, index)
+        rows.append(
+            SelectionAdviceRow(
+                graph_name=graph.name or f"n={graph.num_nodes}",
+                num_nodes=graph.num_nodes,
+                max_degree=graph.max_degree,
+                selection_index=index,
+                measured_bits=measured,
+                bound_bits=bound,
+            )
+        )
+    return rows
+
+
+@dataclass
+class SeparationRow:
+    """One row of a lower-bound table: class size vs the advice it forces.
+
+    Class sizes that are astronomically large powers of two (the J_{µ,k}
+    family at the paper's parameters) are carried as ``class_size_log2``
+    instead of as explicit integers.
+    """
+
+    family: str
+    delta: int
+    k: int
+    #: advice length (bits) below which the Pigeonhole Principle forces a collision
+    pigeonhole_bits: int
+    class_size: Optional[int] = None
+    class_size_log2: Optional[int] = None
+    #: the paper's stated insufficient advice budget for these parameters (bits), if defined
+    paper_budget_bits: Optional[float] = None
+    #: the Theorem 2.2 Selection budget for the same parameters (the "cheap" side of the separation)
+    selection_budget_bits: Optional[int] = None
+
+    @property
+    def collision_at_paper_budget(self) -> Optional[bool]:
+        """Whether the paper's stated (insufficient) budget indeed forces an advice collision."""
+        if self.paper_budget_bits is None:
+            return None
+        budget = int(self.paper_budget_bits)
+        if self.class_size is not None:
+            return pigeonhole_forces_collision(self.class_size, budget)
+        assert self.class_size_log2 is not None
+        # the class size is 2^log2: it exceeds 2^{budget+1} - 1 iff log2 >= budget + 1
+        return self.class_size_log2 >= budget + 1
+
+
+def selection_lower_bound_rows(parameters: Sequence[tuple]) -> List[SeparationRow]:
+    """Theorem 2.9 rows: |G_{Δ,k}| and the advice its size forces, for (Δ, k) pairs."""
+    rows = []
+    for delta, k in parameters:
+        size = fact_2_3_class_size(delta, k)
+        rows.append(
+            SeparationRow(
+                family="G_{Δ,k}",
+                delta=delta,
+                k=k,
+                class_size=size,
+                pigeonhole_bits=min_advice_bits_to_distinguish(size),
+                paper_budget_bits=((delta - 1) ** k) / 8 * _log2(delta) if delta >= 5 else None,
+                selection_budget_bits=selection_advice_upper_bound_bits(delta, k),
+            )
+        )
+    return rows
+
+
+def _power_of_two_pigeonhole_bits(exponent: int) -> int:
+    """min_advice_bits_to_distinguish(2^exponent) without building the huge integer.
+
+    2^{L+1} - 1 >= 2^E holds iff L >= E, so the answer is exactly E (for E >= 1).
+    """
+    return max(0, exponent)
+
+
+def pe_lower_bound_rows(parameters: Sequence[tuple]) -> List[SeparationRow]:
+    """Theorem 3.11 rows: |U_{Δ,k}| and the advice its size forces."""
+    rows = []
+    for delta, k in parameters:
+        size = fact_3_1_class_size(delta, k)
+        rows.append(
+            SeparationRow(
+                family="U_{Δ,k}",
+                delta=delta,
+                k=k,
+                class_size=size,
+                pigeonhole_bits=min_advice_bits_to_distinguish(size),
+                paper_budget_bits=float(pe_advice_lower_bound_bits(delta, k)),
+                selection_budget_bits=selection_advice_upper_bound_bits(2 * delta - 1, k),
+            )
+        )
+    return rows
+
+
+def ppe_cppe_lower_bound_rows(parameters: Sequence[tuple]) -> List[SeparationRow]:
+    """Theorem 4.11/4.12 rows: |J_{µ,k}| and the advice its size forces, for (µ, k) pairs.
+
+    |J_{µ,k}| = 2^{2^{z-1}} can be far too large to materialise (already
+    ~2^{2^105} at the theorem's smallest parameters), so the rows carry the
+    exact exponent instead of the integer.
+    """
+    from ..families.jmuk import jmuk_border_count
+
+    rows = []
+    for mu, k in parameters:
+        z = jmuk_border_count(mu, k)
+        class_log2 = 2 ** (z - 1)
+        paper_budget: Optional[float]
+        if k >= 6:
+            exponent = (4 * mu) ** (k / 6)
+            paper_budget = float(2**int(exponent)) if exponent == int(exponent) else 2.0**exponent
+        else:
+            paper_budget = None
+        rows.append(
+            SeparationRow(
+                family="J_{µ,k}",
+                delta=4 * mu,
+                k=k,
+                class_size_log2=class_log2,
+                pigeonhole_bits=_power_of_two_pigeonhole_bits(class_log2),
+                paper_budget_bits=paper_budget,
+                selection_budget_bits=selection_advice_upper_bound_bits(4 * mu, k),
+            )
+        )
+    return rows
+
+
+def _log2(value: int) -> float:
+    import math
+
+    return math.log2(value)

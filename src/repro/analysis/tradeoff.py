@@ -1,0 +1,82 @@
+"""Time-versus-advice trade-offs (extension).
+
+The paper's concluding section asks what happens to the advice requirements
+when the allotted time exceeds the strict minimum ψ_Z(G) (this is the theme
+of references [11] and [25] for CPPE/PPE).  This module provides the
+measurement side of that question for the schemes implemented here:
+
+* :func:`selection_advice_vs_time` -- the Theorem 2.2 oracle generalised to an
+  arbitrary allotted time t >= ψ_S(G): it encodes the chosen node's view at
+  depth t, so the advice *grows* with t for this particular scheme (the view
+  gets bigger) -- illustrating that more time does not automatically mean less
+  advice for a fixed scheme;
+* :func:`map_advice_vs_time` -- the trivially time-independent baseline: the
+  full map always suffices at ψ_Z(G) rounds, for every Z.
+
+Both return table rows used by the E15 ablation bench and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..advice.map_advice import map_advice_bits
+from ..advice.selection_advice import measured_selection_advice_bits
+from ..core.election_index import selection_index
+from ..portgraph.graph import PortLabeledGraph
+from ..views.refinement import ViewRefinement
+
+__all__ = ["TradeoffRow", "selection_advice_vs_time", "map_advice_vs_time"]
+
+
+@dataclass
+class TradeoffRow:
+    """One point of a time-versus-advice curve."""
+
+    graph_name: str
+    allotted_time: int
+    minimum_time: int
+    advice_bits: int
+    scheme: str
+
+
+def selection_advice_vs_time(
+    graph: PortLabeledGraph,
+    extra_rounds: Iterable[int] = (0, 1, 2, 3),
+    *,
+    refinement: Optional[ViewRefinement] = None,
+) -> List[TradeoffRow]:
+    """Measured advice of the view-comparison Selection scheme at time ψ_S(G) + extra."""
+    refinement = refinement or ViewRefinement(graph)
+    minimum = selection_index(graph, refinement=refinement)
+    if minimum is None:
+        raise ValueError("graph is infeasible")
+    rows: List[TradeoffRow] = []
+    for extra in extra_rounds:
+        depth = minimum + extra
+        bits = measured_selection_advice_bits(graph, depth)
+        rows.append(
+            TradeoffRow(
+                graph_name=graph.name or f"n={graph.num_nodes}",
+                allotted_time=depth,
+                minimum_time=minimum,
+                advice_bits=bits,
+                scheme="theorem-2.2-view-comparison",
+            )
+        )
+    return rows
+
+
+def map_advice_vs_time(graph: PortLabeledGraph) -> TradeoffRow:
+    """The map-advice baseline: time-independent advice of |map| bits."""
+    minimum = selection_index(graph)
+    if minimum is None:
+        raise ValueError("graph is infeasible")
+    return TradeoffRow(
+        graph_name=graph.name or f"n={graph.num_nodes}",
+        allotted_time=minimum,
+        minimum_time=minimum,
+        advice_bits=map_advice_bits(graph),
+        scheme="full-map",
+    )

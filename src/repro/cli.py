@@ -1,0 +1,152 @@
+"""Command-line interface: quick access to the main pieces of the reproduction.
+
+Examples
+--------
+Summarise a built-in generator graph and compute its election indices::
+
+    repro-leader-election indices --generator asymmetric-cycle --size 8
+
+Construct a member of one of the paper's families and print its statistics::
+
+    repro-leader-election family gdk --delta 4 --k 1 --index 3
+    repro-leader-election family udk --delta 4 --k 1
+    repro-leader-election family jmuk --mu 2 --k 4
+
+Print the counting facts for a parameter triple::
+
+    repro-leader-election counts --delta 5 --k 2 --mu 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .analysis.statistics import format_table, summarize_graph
+from .core import Task, all_election_indices
+from .families import (
+    build_gdk_member,
+    build_jmuk_member,
+    build_jmuk_template,
+    build_udk_member,
+    build_udk_template,
+    family_summary,
+    jmuk_border_count,
+    udk_tree_count,
+)
+from .portgraph import generators
+
+__all__ = ["main", "build_parser"]
+
+_GENERATORS = {
+    "path": lambda n: generators.path_graph(n),
+    "cycle": lambda n: generators.cycle_graph(n),
+    "asymmetric-cycle": lambda n: generators.asymmetric_cycle(n),
+    "star": lambda n: generators.star_graph(n),
+    "complete": lambda n: generators.complete_graph(n),
+    "rotational-complete": lambda n: generators.rotational_complete_graph(n),
+    "random": lambda n: generators.random_connected_graph(n, extra_edges=n // 2, seed=0),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-leader-election",
+        description="Reproduction of 'Four Shades of Deterministic Leader Election in Anonymous Networks'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    indices = sub.add_parser("indices", help="compute ψ_S, ψ_PE, ψ_PPE, ψ_CPPE of a generator graph")
+    indices.add_argument("--generator", choices=sorted(_GENERATORS), default="asymmetric-cycle")
+    indices.add_argument("--size", type=int, default=6)
+
+    family = sub.add_parser("family", help="construct a member of one of the paper's graph families")
+    family.add_argument("name", choices=["gdk", "udk", "jmuk"])
+    family.add_argument("--delta", type=int, default=4)
+    family.add_argument("--k", type=int, default=1)
+    family.add_argument("--mu", type=int, default=2)
+    family.add_argument("--index", type=int, default=1, help="G_i index for gdk")
+    family.add_argument("--template", action="store_true", help="build the template (udk / jmuk)")
+
+    counts = sub.add_parser("counts", help="print the counting facts (Facts 2.3, 3.1, 4.1, 4.2)")
+    counts.add_argument("--delta", type=int, default=5)
+    counts.add_argument("--k", type=int, default=2)
+    counts.add_argument("--mu", type=int, default=2)
+
+    return parser
+
+
+def _print_summary(graph) -> None:
+    summary = summarize_graph(graph, max_depth=6)
+    rows = [
+        ["name", summary.name],
+        ["nodes", summary.num_nodes],
+        ["edges", summary.num_edges],
+        ["max degree", summary.max_degree],
+        ["feasible", summary.feasible],
+        ["selection index ψ_S", summary.selection_index],
+        ["view classes by depth", summary.view_classes_by_depth],
+    ]
+    print(format_table(["property", "value"], rows))
+
+
+def _command_indices(args: argparse.Namespace) -> int:
+    graph = _GENERATORS[args.generator](args.size)
+    _print_summary(graph)
+    indices = all_election_indices(graph)
+    rows = [[task.value, task.full_name, indices[task]] for task in Task.ordered()]
+    print()
+    print(format_table(["task", "name", "ψ_Z(G)"], rows))
+    return 0
+
+
+def _command_family(args: argparse.Namespace) -> int:
+    if args.name == "gdk":
+        member = build_gdk_member(args.delta, args.k, args.index)
+        graph = member.graph
+    elif args.name == "udk":
+        if args.template:
+            member = build_udk_template(args.delta, args.k)
+        else:
+            sigma = tuple(1 for _ in range(udk_tree_count(args.delta, args.k)))
+            member = build_udk_member(args.delta, args.k, sigma)
+        graph = member.graph
+    else:
+        if args.k < 4:
+            print("J_{µ,k} requires k >= 4", file=sys.stderr)
+            return 2
+        if args.template:
+            member = build_jmuk_template(args.mu, args.k)
+        else:
+            z = jmuk_border_count(args.mu, args.k)
+            member = build_jmuk_member(args.mu, args.k, tuple(0 for _ in range(2 ** (z - 1))))
+        graph = member.graph
+    _print_summary(graph)
+    return 0
+
+
+def _command_counts(args: argparse.Namespace) -> int:
+    from .families import format_count
+
+    summary = family_summary(args.delta, args.k, args.mu)
+    print(json.dumps({key: format_count(value) for key, value in summary.items()}, indent=2))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "indices":
+        return _command_indices(args)
+    if args.command == "family":
+        return _command_family(args)
+    if args.command == "counts":
+        return _command_counts(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

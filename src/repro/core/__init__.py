@@ -1,0 +1,57 @@
+"""Core leader-election layer: tasks, validators, feasibility, election indices."""
+
+from .election_index import (
+    SearchLimitExceeded,
+    all_election_indices,
+    complete_port_path_election_index,
+    election_index,
+    path_election_assignment,
+    port_election_assignment,
+    port_election_index,
+    port_path_election_index,
+    selection_assignment,
+    selection_index,
+)
+from .feasibility import infeasibility_witness, is_feasible, symmetry_classes
+from .hierarchy import index_gaps, indices_respect_hierarchy, verify_fact_1_1
+from .tasks import LEADER, NON_LEADER, ElectionOutcome, Task, output_is_leader
+from .validate import (
+    ValidationResult,
+    validate,
+    validate_complete_port_path_election,
+    validate_outcome,
+    validate_port_election,
+    validate_port_path_election,
+    validate_selection,
+)
+
+__all__ = [
+    "Task",
+    "LEADER",
+    "NON_LEADER",
+    "ElectionOutcome",
+    "output_is_leader",
+    "ValidationResult",
+    "validate",
+    "validate_outcome",
+    "validate_selection",
+    "validate_port_election",
+    "validate_port_path_election",
+    "validate_complete_port_path_election",
+    "is_feasible",
+    "infeasibility_witness",
+    "symmetry_classes",
+    "SearchLimitExceeded",
+    "selection_index",
+    "port_election_index",
+    "port_path_election_index",
+    "complete_port_path_election_index",
+    "election_index",
+    "all_election_indices",
+    "selection_assignment",
+    "port_election_assignment",
+    "path_election_assignment",
+    "indices_respect_hierarchy",
+    "verify_fact_1_1",
+    "index_gaps",
+]

@@ -1,0 +1,418 @@
+"""Exact election indices ψ_Z(G) for the four tasks.
+
+For a feasible network ``G`` whose map is given to the nodes, the *Z-index*
+ψ_Z(G) is the minimum number of communication rounds in which task
+``Z ∈ {S, PE, PPE, CPPE}`` can be solved (Section 1 of the paper).  Because a
+node's decision after ``t`` rounds is a function of its augmented truncated
+view ``B^t``, the indices admit exact combinatorial characterisations:
+
+* **ψ_S(G)** is the smallest ``t`` at which some node's ``B^t`` is unique
+  (Proposition 2.1 for necessity; the map-based comparison algorithm for
+  sufficiency).
+
+* **ψ_PE(G)** is the smallest ``t`` at which there is a node ``u`` with a
+  unique ``B^t`` such that every other view-equivalence class has a *common*
+  port that starts a simple path to ``u`` from each of its members.
+
+* **ψ_PPE(G)** / **ψ_CPPE(G)** are the smallest ``t`` at which there is such
+  a ``u`` and every other class has a *common outgoing-port sequence*
+  (respectively, a common sequence of (outgoing, incoming) port pairs) that
+  traces a simple path from each member to ``u``.
+
+ψ_S and ψ_PE are computed in polynomial time.  ψ_PPE and ψ_CPPE use an exact
+joint breadth-first search over common sequences, which is exponential in the
+worst case but bounded by ``max_states`` (raising :class:`SearchLimitExceeded`
+rather than silently guessing).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..portgraph.graph import PortLabeledGraph
+from ..views.refinement import ViewRefinement
+from .tasks import Task
+
+__all__ = [
+    "SearchLimitExceeded",
+    "selection_index",
+    "port_election_index",
+    "port_path_election_index",
+    "complete_port_path_election_index",
+    "election_index",
+    "all_election_indices",
+    "selection_assignment",
+    "port_election_assignment",
+    "path_election_assignment",
+]
+
+
+class SearchLimitExceeded(RuntimeError):
+    """Raised when the PPE/CPPE sequence search exceeds its state budget."""
+
+
+# --------------------------------------------------------------------------- #
+# ψ_S
+# --------------------------------------------------------------------------- #
+def selection_index(
+    graph: PortLabeledGraph, *, refinement: Optional[ViewRefinement] = None
+) -> Optional[int]:
+    """ψ_S(G): smallest depth at which some node has a unique augmented view.
+
+    Returns ``None`` for infeasible graphs (no such depth exists).
+    """
+    refinement = refinement or ViewRefinement(graph)
+    return refinement.first_depth_with_unique_node()
+
+
+def selection_assignment(
+    graph: PortLabeledGraph,
+    depth: int,
+    *,
+    refinement: Optional[ViewRefinement] = None,
+) -> Optional[int]:
+    """The leader a map-based Selection algorithm elects at ``depth``.
+
+    Among all nodes with a unique ``B^depth``, the one with the smallest view
+    in the canonical (lexicographic) order is chosen, mirroring the oracle of
+    Theorem 2.2.  Returns ``None`` if no node has a unique view at ``depth``.
+    """
+    from ..views.encoding import augmented_view_key
+
+    refinement = refinement or ViewRefinement(graph)
+    unique = refinement.unique_nodes(depth)
+    if not unique:
+        return None
+    return min(unique, key=lambda v: augmented_view_key(graph, v, depth))
+
+
+# --------------------------------------------------------------------------- #
+# ψ_PE
+# --------------------------------------------------------------------------- #
+class _RemovedNodeComponents:
+    """Cached connected components of ``G - v`` for varying ``v``.
+
+    ``component(v, w)`` is the component id of ``w`` in the graph with node
+    ``v`` deleted; two nodes are connected in ``G - v`` iff their ids match.
+    """
+
+    def __init__(self, graph: PortLabeledGraph) -> None:
+        self._graph = graph
+        self._cache: Dict[int, List[int]] = {}
+
+    def components_without(self, removed: int) -> List[int]:
+        cached = self._cache.get(removed)
+        if cached is not None:
+            return cached
+        graph = self._graph
+        comp = [-1] * graph.num_nodes
+        comp[removed] = -2
+        next_id = 0
+        for start in graph.nodes():
+            if comp[start] != -1:
+                continue
+            comp[start] = next_id
+            queue = deque([start])
+            while queue:
+                x = queue.popleft()
+                for y in graph.neighbors(x):
+                    if comp[y] == -1:
+                        comp[y] = next_id
+                        queue.append(y)
+            next_id += 1
+        self._cache[removed] = comp
+        return comp
+
+    def first_port_ok(self, v: int, port: int, leader: int) -> bool:
+        """Whether ``port`` at ``v`` starts a simple path from ``v`` to ``leader``."""
+        w = self._graph.neighbor(v, port)
+        if w == leader:
+            return True
+        comp = self.components_without(v)
+        return comp[w] == comp[leader]
+
+
+def _pe_class_port(
+    graph: PortLabeledGraph,
+    members: Sequence[int],
+    leader: int,
+    cut: _RemovedNodeComponents,
+) -> Optional[int]:
+    """A single port valid as PE output for every member of a class, or ``None``."""
+    min_degree = min(graph.degree(v) for v in members)
+    for port in range(min_degree):
+        if all(cut.first_port_ok(v, port, leader) for v in members):
+            return port
+    return None
+
+
+def port_election_assignment(
+    graph: PortLabeledGraph,
+    depth: int,
+    *,
+    refinement: Optional[ViewRefinement] = None,
+) -> Optional[Tuple[int, Dict[int, int]]]:
+    """A (leader, per-node port) assignment realising PE at ``depth``, or ``None``.
+
+    The assignment is constant on view-equivalence classes at ``depth``, so it
+    can be implemented by a distributed algorithm running for ``depth`` rounds
+    with the map as advice.
+    """
+    refinement = refinement or ViewRefinement(graph)
+    classes = refinement.classes(depth)
+    cut = _RemovedNodeComponents(graph)
+    singleton_nodes = sorted(m[0] for m in classes.values() if len(m) == 1)
+    for leader in singleton_nodes:
+        ports: Dict[int, int] = {}
+        feasible = True
+        for members in classes.values():
+            if members == [leader]:
+                continue
+            port = _pe_class_port(graph, members, leader, cut)
+            if port is None:
+                feasible = False
+                break
+            for v in members:
+                ports[v] = port
+        if feasible:
+            return leader, ports
+    return None
+
+
+def port_election_index(
+    graph: PortLabeledGraph,
+    *,
+    refinement: Optional[ViewRefinement] = None,
+    max_depth: Optional[int] = None,
+) -> Optional[int]:
+    """ψ_PE(G); ``None`` if the graph is infeasible (or ``max_depth`` is hit first)."""
+    refinement = refinement or ViewRefinement(graph)
+    start = refinement.first_depth_with_unique_node(max_depth=max_depth)
+    if start is None:
+        return None
+    depth = start
+    stable = refinement.ensure_stable()
+    while max_depth is None or depth <= max_depth:
+        if port_election_assignment(graph, depth, refinement=refinement) is not None:
+            return depth
+        if depth >= stable:
+            # At the fixpoint every class is a singleton in a feasible graph,
+            # so PE is solvable there; reaching this point means infeasible.
+            return None
+        depth += 1
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# ψ_PPE and ψ_CPPE
+# --------------------------------------------------------------------------- #
+def _common_path_sequence(
+    graph: PortLabeledGraph,
+    members: Sequence[int],
+    leader: int,
+    *,
+    complete: bool,
+    max_length: Optional[int] = None,
+    max_states: int = 200_000,
+) -> Optional[Tuple[int, ...]]:
+    """A common port sequence tracing a simple path from every member to ``leader``.
+
+    For ``complete=False`` the sequence is the PPE-style outgoing ports
+    ``(p1, ..., pk)``; for ``complete=True`` it is the CPPE-style flat
+    ``(p1, q1, ..., pk, qk)``.  Returns ``None`` if no common sequence of
+    length at most ``max_length`` exists.  Raises :class:`SearchLimitExceeded`
+    when the joint search grows beyond ``max_states`` states.
+    """
+    if any(v == leader for v in members):
+        return None
+    if max_length is None:
+        max_length = graph.num_nodes - 1
+    start_positions = tuple(members)
+    start_visited = tuple(frozenset((v,)) for v in members)
+    queue: deque = deque([(start_positions, start_visited, ())])
+    seen = {(start_positions, start_visited)}
+    while queue:
+        positions, visited, sequence = queue.popleft()
+        steps_taken = len(sequence) // 2 if complete else len(sequence)
+        if steps_taken >= max_length:
+            continue
+        min_degree = min(graph.degree(v) for v in positions)
+        for port in range(min_degree):
+            next_nodes: List[int] = []
+            incoming_ports = set()
+            blocked = False
+            for i, v in enumerate(positions):
+                u, q = graph.endpoint(v, port)
+                if u in visited[i]:
+                    blocked = True
+                    break
+                next_nodes.append(u)
+                incoming_ports.add(q)
+            if blocked:
+                continue
+            if complete and len(incoming_ports) != 1:
+                continue
+            if complete:
+                new_sequence = sequence + (port, next(iter(incoming_ports)))
+            else:
+                new_sequence = sequence + (port,)
+            if all(u == leader for u in next_nodes):
+                return new_sequence
+            if any(u == leader for u in next_nodes):
+                # Some members reached the leader early: their simple path can
+                # no longer end at the leader later, so this branch is dead.
+                continue
+            new_positions = tuple(next_nodes)
+            new_visited = tuple(
+                visited[i] | {next_nodes[i]} for i in range(len(positions))
+            )
+            key = (new_positions, new_visited)
+            if key in seen:
+                continue
+            seen.add(key)
+            if len(seen) > max_states:
+                raise SearchLimitExceeded(
+                    f"common-path search exceeded {max_states} states "
+                    f"(class size {len(members)})"
+                )
+            queue.append((new_positions, new_visited, new_sequence))
+    return None
+
+
+def path_election_assignment(
+    graph: PortLabeledGraph,
+    depth: int,
+    *,
+    complete: bool,
+    refinement: Optional[ViewRefinement] = None,
+    max_states: int = 200_000,
+) -> Optional[Tuple[int, Dict[int, Tuple[int, ...]]]]:
+    """A (leader, per-node sequence) assignment realising PPE/CPPE at ``depth``, or ``None``."""
+    refinement = refinement or ViewRefinement(graph)
+    classes = refinement.classes(depth)
+    singleton_nodes = sorted(m[0] for m in classes.values() if len(m) == 1)
+    for leader in singleton_nodes:
+        sequences: Dict[int, Tuple[int, ...]] = {}
+        feasible = True
+        for members in classes.values():
+            if members == [leader]:
+                continue
+            sequence = _common_path_sequence(
+                graph, members, leader, complete=complete, max_states=max_states
+            )
+            if sequence is None:
+                feasible = False
+                break
+            for v in members:
+                sequences[v] = sequence
+        if feasible:
+            return leader, sequences
+    return None
+
+
+def _path_index(
+    graph: PortLabeledGraph,
+    *,
+    complete: bool,
+    refinement: Optional[ViewRefinement],
+    max_depth: Optional[int],
+    max_states: int,
+) -> Optional[int]:
+    refinement = refinement or ViewRefinement(graph)
+    start = refinement.first_depth_with_unique_node(max_depth=max_depth)
+    if start is None:
+        return None
+    stable = refinement.ensure_stable()
+    depth = start
+    while max_depth is None or depth <= max_depth:
+        assignment = path_election_assignment(
+            graph, depth, complete=complete, refinement=refinement, max_states=max_states
+        )
+        if assignment is not None:
+            return depth
+        if depth >= stable:
+            return None
+        depth += 1
+    return None
+
+
+def port_path_election_index(
+    graph: PortLabeledGraph,
+    *,
+    refinement: Optional[ViewRefinement] = None,
+    max_depth: Optional[int] = None,
+    max_states: int = 200_000,
+) -> Optional[int]:
+    """ψ_PPE(G) (exact, bounded search)."""
+    return _path_index(
+        graph,
+        complete=False,
+        refinement=refinement,
+        max_depth=max_depth,
+        max_states=max_states,
+    )
+
+
+def complete_port_path_election_index(
+    graph: PortLabeledGraph,
+    *,
+    refinement: Optional[ViewRefinement] = None,
+    max_depth: Optional[int] = None,
+    max_states: int = 200_000,
+) -> Optional[int]:
+    """ψ_CPPE(G) (exact, bounded search)."""
+    return _path_index(
+        graph,
+        complete=True,
+        refinement=refinement,
+        max_depth=max_depth,
+        max_states=max_states,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# dispatch helpers
+# --------------------------------------------------------------------------- #
+def election_index(
+    task: Task,
+    graph: PortLabeledGraph,
+    *,
+    refinement: Optional[ViewRefinement] = None,
+    max_depth: Optional[int] = None,
+    max_states: int = 200_000,
+) -> Optional[int]:
+    """ψ_Z(G) for any of the four tasks Z."""
+    if task is Task.SELECTION:
+        return selection_index(graph, refinement=refinement)
+    if task is Task.PORT_ELECTION:
+        return port_election_index(graph, refinement=refinement, max_depth=max_depth)
+    if task is Task.PORT_PATH_ELECTION:
+        return port_path_election_index(
+            graph, refinement=refinement, max_depth=max_depth, max_states=max_states
+        )
+    if task is Task.COMPLETE_PORT_PATH_ELECTION:
+        return complete_port_path_election_index(
+            graph, refinement=refinement, max_depth=max_depth, max_states=max_states
+        )
+    raise ValueError(f"unknown task {task!r}")
+
+
+def all_election_indices(
+    graph: PortLabeledGraph,
+    *,
+    max_depth: Optional[int] = None,
+    max_states: int = 200_000,
+) -> Dict[Task, Optional[int]]:
+    """ψ_Z(G) for all four tasks, sharing one refinement."""
+    refinement = ViewRefinement(graph)
+    return {
+        task: election_index(
+            task,
+            graph,
+            refinement=refinement,
+            max_depth=max_depth,
+            max_states=max_states,
+        )
+        for task in Task.ordered()
+    }

@@ -1,0 +1,141 @@
+"""The four shades of leader election.
+
+The paper studies four formulations of leader election in anonymous
+port-labeled networks, in increasing order of strength (Section 1):
+
+* **Selection (S)** -- one node outputs *leader*, all others output
+  *non-leader*.
+* **Port Election (PE)** -- one node outputs *leader*, every other node
+  outputs the first port number on a simple path from itself to the leader.
+* **Port Path Election (PPE)** -- every non-leader outputs the sequence
+  ``(p1, ..., pk)`` of outgoing ports of a simple path from itself to the
+  leader.
+* **Complete Port Path Election (CPPE)** -- every non-leader outputs the
+  sequence ``(p1, q1, ..., pk, qk)`` of outgoing and incoming port numbers of
+  a simple path from itself to the leader; all such paths must end at a
+  common node, the leader.
+
+This module defines the task enumeration, the output conventions used across
+the library, and the :class:`ElectionOutcome` container produced by the
+distributed algorithms and consumed by the validators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Task",
+    "LEADER",
+    "NON_LEADER",
+    "ElectionOutcome",
+    "output_is_leader",
+]
+
+
+class Task(str, Enum):
+    """The four leader-election task variants of the paper."""
+
+    SELECTION = "S"
+    PORT_ELECTION = "PE"
+    PORT_PATH_ELECTION = "PPE"
+    COMPLETE_PORT_PATH_ELECTION = "CPPE"
+
+    @property
+    def full_name(self) -> str:
+        return {
+            Task.SELECTION: "Selection",
+            Task.PORT_ELECTION: "Port Election",
+            Task.PORT_PATH_ELECTION: "Port Path Election",
+            Task.COMPLETE_PORT_PATH_ELECTION: "Complete Port Path Election",
+        }[self]
+
+    @property
+    def strength(self) -> int:
+        """Position in the Fact 1.1 hierarchy (larger = stronger)."""
+        return {
+            Task.SELECTION: 0,
+            Task.PORT_ELECTION: 1,
+            Task.PORT_PATH_ELECTION: 2,
+            Task.COMPLETE_PORT_PATH_ELECTION: 3,
+        }[self]
+
+    @classmethod
+    def ordered(cls) -> Tuple["Task", ...]:
+        """The tasks in increasing order of strength."""
+        return (
+            cls.SELECTION,
+            cls.PORT_ELECTION,
+            cls.PORT_PATH_ELECTION,
+            cls.COMPLETE_PORT_PATH_ELECTION,
+        )
+
+
+#: Output value of the node that declares itself the leader.
+LEADER = "leader"
+
+#: Output value of a non-leader node in the Selection task.
+NON_LEADER = "non-leader"
+
+
+def output_is_leader(value: Any) -> bool:
+    """Whether an output value designates its node as the leader.
+
+    The leader outputs the string ``"leader"``; for CPPE the paper's
+    formulation also allows the leader to output the empty port sequence
+    (its path to itself has length zero), so ``()`` counts as well.
+    """
+    return value == LEADER or value == ()
+
+
+@dataclass
+class ElectionOutcome:
+    """Outputs of all nodes after an election algorithm terminates.
+
+    Attributes
+    ----------
+    task:
+        Which of the four tasks the outputs claim to solve.
+    outputs:
+        Mapping from node handle to its output value (``LEADER`` /
+        ``NON_LEADER`` / port / port sequence depending on the task).
+    rounds:
+        Number of communication rounds used (if known).
+    advice_bits:
+        Length in bits of the advice string given to the nodes (if any).
+    """
+
+    task: Task
+    outputs: Dict[int, Any]
+    rounds: Optional[int] = None
+    advice_bits: Optional[int] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def leaders(self) -> List[int]:
+        """Nodes whose output designates them as leader."""
+        return [v for v, value in self.outputs.items() if output_is_leader(value)]
+
+    def leader(self) -> int:
+        """The unique leader; raises ``ValueError`` if there is not exactly one."""
+        leaders = self.leaders()
+        if len(leaders) != 1:
+            raise ValueError(f"expected exactly one leader, found {len(leaders)}")
+        return leaders[0]
+
+    def output(self, node: int) -> Any:
+        return self.outputs[node]
+
+    def non_leader_outputs(self) -> Dict[int, Any]:
+        """Outputs of all nodes that did not declare themselves leader."""
+        return {v: value for v, value in self.outputs.items() if not output_is_leader(value)}
+
+    @classmethod
+    def from_pairs(
+        cls, task: Task, pairs: Iterable[Tuple[int, Any]], **kwargs: Any
+    ) -> "ElectionOutcome":
+        return cls(task, dict(pairs), **kwargs)
+
+    def __len__(self) -> int:
+        return len(self.outputs)

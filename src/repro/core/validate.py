@@ -1,0 +1,191 @@
+"""Validators for claimed solutions of the four election tasks.
+
+Given a graph and the outputs of all nodes, these functions decide whether
+the outputs constitute a correct solution of Selection, Port Election, Port
+Path Election, or Complete Port Path Election (as defined in Section 1 of the
+paper) and, if not, report *why* -- which is what the tests and benchmark
+harnesses rely on to certify the paper's algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..portgraph.graph import PortLabeledGraph
+from ..portgraph.paths import (
+    follow_ports,
+    is_first_port_of_simple_path,
+    is_simple_node_sequence,
+    path_from_complete_ports,
+)
+from .tasks import LEADER, NON_LEADER, ElectionOutcome, Task, output_is_leader
+
+__all__ = [
+    "ValidationResult",
+    "validate_selection",
+    "validate_port_election",
+    "validate_port_path_election",
+    "validate_complete_port_path_election",
+    "validate_outcome",
+    "validate",
+]
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating a claimed election solution."""
+
+    task: Task
+    ok: bool
+    leader: Optional[int] = None
+    errors: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def raise_if_invalid(self) -> "ValidationResult":
+        if not self.ok:
+            raise AssertionError(
+                f"invalid {self.task.full_name} solution: " + "; ".join(self.errors[:5])
+            )
+        return self
+
+
+def _check_coverage(graph: PortLabeledGraph, outputs: Mapping[int, Any], errors: List[str]) -> bool:
+    missing = [v for v in graph.nodes() if v not in outputs]
+    if missing:
+        errors.append(f"{len(missing)} nodes have no output (e.g. node {missing[0]})")
+        return False
+    return True
+
+
+def _find_unique_leader(outputs: Mapping[int, Any], errors: List[str]) -> Optional[int]:
+    leaders = [v for v, value in outputs.items() if output_is_leader(value)]
+    if len(leaders) != 1:
+        errors.append(f"expected exactly one leader output, found {len(leaders)}")
+        return None
+    return leaders[0]
+
+
+def validate_selection(
+    graph: PortLabeledGraph, outputs: Mapping[int, Any]
+) -> ValidationResult:
+    """Selection: one node outputs ``leader``, every other node ``non-leader``."""
+    errors: List[str] = []
+    if not _check_coverage(graph, outputs, errors):
+        return ValidationResult(Task.SELECTION, False, errors=errors)
+    leader = _find_unique_leader(outputs, errors)
+    if leader is None:
+        return ValidationResult(Task.SELECTION, False, errors=errors)
+    for v, value in outputs.items():
+        if v == leader:
+            continue
+        if value not in (NON_LEADER, 0):
+            errors.append(f"node {v}: non-leader output {value!r} is not 'non-leader'")
+    return ValidationResult(Task.SELECTION, not errors, leader=leader, errors=errors)
+
+
+def validate_port_election(
+    graph: PortLabeledGraph, outputs: Mapping[int, Any]
+) -> ValidationResult:
+    """Port Election: every non-leader outputs the first port of a simple path to the leader."""
+    errors: List[str] = []
+    if not _check_coverage(graph, outputs, errors):
+        return ValidationResult(Task.PORT_ELECTION, False, errors=errors)
+    leader = _find_unique_leader(outputs, errors)
+    if leader is None:
+        return ValidationResult(Task.PORT_ELECTION, False, errors=errors)
+    for v, value in outputs.items():
+        if v == leader:
+            continue
+        if not isinstance(value, int) or isinstance(value, bool):
+            errors.append(f"node {v}: PE output {value!r} is not a port number")
+            continue
+        if not (0 <= value < graph.degree(v)):
+            errors.append(f"node {v}: port {value} does not exist (degree {graph.degree(v)})")
+            continue
+        if not is_first_port_of_simple_path(graph, v, value, leader):
+            errors.append(
+                f"node {v}: port {value} is not the first port of any simple path to leader {leader}"
+            )
+    return ValidationResult(Task.PORT_ELECTION, not errors, leader=leader, errors=errors)
+
+
+def _validate_path_outputs(
+    graph: PortLabeledGraph,
+    outputs: Mapping[int, Any],
+    task: Task,
+    *,
+    complete: bool,
+) -> ValidationResult:
+    errors: List[str] = []
+    if not _check_coverage(graph, outputs, errors):
+        return ValidationResult(task, False, errors=errors)
+    leader = _find_unique_leader(outputs, errors)
+    if leader is None:
+        return ValidationResult(task, False, errors=errors)
+    for v, value in outputs.items():
+        if v == leader:
+            continue
+        if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):
+            errors.append(f"node {v}: output {value!r} is not a port sequence")
+            continue
+        sequence = tuple(value)
+        if not sequence:
+            errors.append(f"node {v}: non-leader output is an empty port sequence")
+            continue
+        if complete:
+            if len(sequence) % 2 != 0:
+                errors.append(f"node {v}: CPPE sequence has odd length {len(sequence)}")
+                continue
+            nodes = path_from_complete_ports(graph, v, sequence)
+        else:
+            nodes = follow_ports(graph, v, sequence)
+        if nodes is None:
+            errors.append(f"node {v}: port sequence {sequence} cannot be followed")
+            continue
+        if not is_simple_node_sequence(nodes):
+            errors.append(f"node {v}: port sequence {sequence} does not trace a simple path")
+            continue
+        if nodes[-1] != leader:
+            errors.append(
+                f"node {v}: path ends at node {nodes[-1]}, not at the leader {leader}"
+            )
+    return ValidationResult(task, not errors, leader=leader, errors=errors)
+
+
+def validate_port_path_election(
+    graph: PortLabeledGraph, outputs: Mapping[int, Any]
+) -> ValidationResult:
+    """PPE: every non-leader outputs the outgoing-port sequence of a simple path to the leader."""
+    return _validate_path_outputs(graph, outputs, Task.PORT_PATH_ELECTION, complete=False)
+
+
+def validate_complete_port_path_election(
+    graph: PortLabeledGraph, outputs: Mapping[int, Any]
+) -> ValidationResult:
+    """CPPE: every non-leader outputs the (out, in) port-pair sequence of a simple path to the leader."""
+    return _validate_path_outputs(
+        graph, outputs, Task.COMPLETE_PORT_PATH_ELECTION, complete=True
+    )
+
+
+_VALIDATORS = {
+    Task.SELECTION: validate_selection,
+    Task.PORT_ELECTION: validate_port_election,
+    Task.PORT_PATH_ELECTION: validate_port_path_election,
+    Task.COMPLETE_PORT_PATH_ELECTION: validate_complete_port_path_election,
+}
+
+
+def validate(
+    task: Task, graph: PortLabeledGraph, outputs: Mapping[int, Any]
+) -> ValidationResult:
+    """Validate a claimed solution of ``task`` on ``graph``."""
+    return _VALIDATORS[task](graph, outputs)
+
+
+def validate_outcome(graph: PortLabeledGraph, outcome: ElectionOutcome) -> ValidationResult:
+    """Validate an :class:`ElectionOutcome` against its own task."""
+    return validate(outcome.task, graph, outcome.outputs)

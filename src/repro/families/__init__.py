@@ -1,0 +1,109 @@
+"""The paper's lower-bound graph families: G_{Δ,k}, U_{Δ,k} and J_{µ,k}."""
+
+from .component import ComponentHandles, add_component, build_component, component_size
+from .counting import (
+    fact_2_3_class_size,
+    fact_3_1_class_size,
+    fact_4_1_layer_sizes,
+    fact_4_2_class_size,
+    fact_4_2_z_bounds,
+    family_summary,
+    format_count,
+)
+from .gadget import (
+    COMPONENT_KEYS,
+    GadgetHandles,
+    add_gadget,
+    build_gadget,
+    component_port_block,
+    gadget_size,
+)
+from .gdk import GdkMember, build_gdk_member, gdk_class_size, iter_gdk_members
+from .jmuk import (
+    JmukMember,
+    build_jmuk_member,
+    build_jmuk_template,
+    gadget_index_bit,
+    jmuk_border_count,
+    jmuk_class_size,
+    jmuk_num_gadgets,
+)
+from .layered import LayerHandles, add_layer, build_layer_graph, layer_size
+from .trees import (
+    TreeHandles,
+    add_augmented_tree,
+    add_base_tree,
+    add_tree_with_path,
+    build_tree_with_path,
+    figure_1_example,
+    index_of_sequence,
+    iter_leaf_sequences,
+    leaf_count,
+    num_augmented_trees,
+    sequence_from_index,
+)
+from .udk import (
+    UdkMember,
+    build_udk_member,
+    build_udk_template,
+    iter_udk_members,
+    udk_class_size,
+    udk_tree_count,
+)
+
+__all__ = [
+    # trees
+    "TreeHandles",
+    "leaf_count",
+    "num_augmented_trees",
+    "iter_leaf_sequences",
+    "sequence_from_index",
+    "index_of_sequence",
+    "add_base_tree",
+    "add_augmented_tree",
+    "add_tree_with_path",
+    "build_tree_with_path",
+    "figure_1_example",
+    # G_{Δ,k}
+    "GdkMember",
+    "gdk_class_size",
+    "build_gdk_member",
+    "iter_gdk_members",
+    # U_{Δ,k}
+    "UdkMember",
+    "udk_class_size",
+    "udk_tree_count",
+    "build_udk_template",
+    "build_udk_member",
+    "iter_udk_members",
+    # layers / component / gadget / J_{µ,k}
+    "LayerHandles",
+    "layer_size",
+    "add_layer",
+    "build_layer_graph",
+    "ComponentHandles",
+    "component_size",
+    "add_component",
+    "build_component",
+    "COMPONENT_KEYS",
+    "GadgetHandles",
+    "gadget_size",
+    "add_gadget",
+    "build_gadget",
+    "component_port_block",
+    "JmukMember",
+    "jmuk_border_count",
+    "jmuk_num_gadgets",
+    "jmuk_class_size",
+    "gadget_index_bit",
+    "build_jmuk_template",
+    "build_jmuk_member",
+    # counting facts
+    "fact_2_3_class_size",
+    "fact_3_1_class_size",
+    "fact_4_1_layer_sizes",
+    "fact_4_2_class_size",
+    "fact_4_2_z_bounds",
+    "family_summary",
+    "format_count",
+]

@@ -1,0 +1,197 @@
+"""Part 2 of Section 4.1: the component graph H.
+
+``H`` is the disjoint union of the layer graphs L_0, ..., L_{k-1} plus two
+copies L_{k,1}, L_{k,2} of L_k, joined by inter-layer edges exactly as the
+paper prescribes (Figures 5-7).  The construction is deliberately such that
+every node of H sees all of H within distance k, but no node sees *all* the
+layer-k nodes within distance k-1 (Lemma 4.3) -- which is where the class
+J_{µ,k} hides the identity of the gadget a node belongs to.
+
+The builder optionally reuses an externally supplied node as the component's
+root r^0_0 (with a port offset); this is how the gadget of Part 3 merges the
+four components at the common node ρ without rebuilding anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..portgraph.builder import GraphBuilder
+from ..portgraph.graph import PortLabeledGraph
+from .layered import LayerHandles, add_layer, layer_size
+
+__all__ = ["ComponentHandles", "add_component", "build_component", "component_size"]
+
+
+@dataclass
+class ComponentHandles:
+    """Handles of one component H embedded in a builder."""
+
+    mu: int
+    k: int
+    #: the root r^0_0 (the node that becomes ρ in a gadget)
+    root: int
+    #: layer handles for L_0 .. L_{k-1}
+    layers: List[LayerHandles]
+    #: the two copies of the top layer, L_{k,1} and L_{k,2}
+    top_layers: Tuple[LayerHandles, LayerHandles]
+    #: border nodes (w_{q,1}, w_{q,2}) for q = 1..z, in the paper's lexicographic order
+    border: List[Tuple[int, int]] = field(default_factory=list)
+    #: every node of the component except the (possibly shared) root
+    nodes_without_root: List[int] = field(default_factory=list)
+
+    @property
+    def z(self) -> int:
+        """Number of layer-k nodes (the length of the border list)."""
+        return len(self.border)
+
+    def border_node(self, q: int, copy: int) -> int:
+        """w_{q,copy} with q in 1..z and copy in {1, 2}."""
+        return self.border[q - 1][copy - 1]
+
+    def all_nodes(self) -> List[int]:
+        return [self.root] + self.nodes_without_root
+
+
+def component_size(mu: int, k: int) -> int:
+    """Number of nodes of the component H (including its root)."""
+    return sum(layer_size(mu, m) for m in range(k)) + 2 * layer_size(mu, k)
+
+
+def _connect_generic(
+    builder: GraphBuilder,
+    mu: int,
+    m: int,
+    src: LayerHandles,
+    dst: LayerHandles,
+    *,
+    second_copy: bool = False,
+) -> None:
+    """The 'Edges between L_m and L_{m+1} when 2 <= m' rule.
+
+    With ``second_copy=True`` the port labels used at the L_m side are shifted
+    past the ones used for the first copy of L_{m+1} (the m = k-1 case of the
+    construction), so the two applications never clash.
+    """
+    # roots
+    root_port = mu + 1 + (1 if second_copy else 0)
+    for b in (0, 1):
+        builder.add_edge(src.root(b), root_port, dst.root(b), mu)
+
+    # non-middle, non-root nodes: 1 <= |σ| <= height - 1
+    plain_port = mu + 2 + (1 if second_copy else 0)
+    for depth in range(1, src.height):
+        for sigma in src.sequences_at_depth(depth):
+            for b in (0, 1):
+                builder.add_edge(src.node(b, sigma), plain_port, dst.node(b, sigma), mu + 1)
+
+    middle_depth = src.height
+    if m % 2 == 0:
+        # Case 1: m even.  Each identified middle connects to the two
+        # corresponding middle nodes of the odd layer above.
+        base = (3 if m == 2 else 4) + (2 if second_copy else 0)
+        for sigma in src.sequences_at_depth(middle_depth):
+            middle = src.node(0, sigma)
+            builder.add_edge(middle, base, dst.node(0, sigma), 2)
+            builder.add_edge(middle, base + 1, dst.node(1, sigma), 2)
+    else:
+        # Case 2: m odd.  Each middle connects to its copy in the even layer
+        # above and to the µ identified middles adjacent to that copy.
+        offset = (mu + 1) if second_copy else 0
+        for sigma in src.sequences_at_depth(middle_depth):
+            for b in (0, 1):
+                middle = src.node(b, sigma)
+                builder.add_edge(middle, 3 + offset, dst.node(b, sigma), mu + 1)
+                for i in range(mu):
+                    target = dst.node(b, sigma + (i,))
+                    target_port = 2 if b == 0 else 3
+                    builder.add_edge(middle, 4 + i + offset, target, target_port)
+
+
+def add_component(
+    builder: GraphBuilder,
+    mu: int,
+    k: int,
+    *,
+    root: Optional[int] = None,
+    root_port_offset: int = 0,
+) -> ComponentHandles:
+    """Add one component H to ``builder``.
+
+    Parameters
+    ----------
+    root:
+        Existing node handle to use as r^0_0 (the gadget's ρ); a fresh node is
+        created when omitted.
+    root_port_offset:
+        Added to the µ port labels the root uses towards L_1 (the gadget uses
+        offsets 0, µ, 2µ, 3µ for its four components).
+    """
+    if mu < 2 or k < 4:
+        raise ValueError("the component graph H requires µ >= 2 and k >= 4")
+
+    before = builder.num_nodes
+    if root is None:
+        root = builder.add_node()
+        own_root = True
+    else:
+        own_root = False
+
+    layers: List[LayerHandles] = []
+    # L_0 is just the root; register it as a layer for uniform bookkeeping.
+    layer0 = LayerHandles(mu=mu, index=0, height=0, by_address={(0, ()): root}, nodes=[root])
+    layers.append(layer0)
+    for m in range(1, k):
+        layers.append(add_layer(builder, mu, m))
+    top1 = add_layer(builder, mu, k)
+    top2 = add_layer(builder, mu, k)
+
+    # --- edges between L_0 and L_1 -------------------------------------- #
+    layer1 = layers[1]
+    for i in range(mu):
+        builder.add_edge(root, root_port_offset + i, layer1.clique_node(i), mu - 1)
+
+    # --- edges between L_1 and L_2 -------------------------------------- #
+    layer2 = layers[2]
+    for i in range(mu):
+        builder.add_edge(layer1.clique_node(i), mu, layer2.node(0, (i,)), 2)
+    builder.add_edge(layer1.clique_node(0), mu + 1, layer2.root(0), mu)
+    builder.add_edge(layer1.clique_node(mu - 1), mu + 1, layer2.root(1), mu)
+
+    # --- generic rule for 2 <= m < k - 1 --------------------------------- #
+    for m in range(2, k - 1):
+        _connect_generic(builder, mu, m, layers[m], layers[m + 1])
+
+    # --- m = k - 1: connect to both copies of L_k ------------------------ #
+    _connect_generic(builder, mu, k - 1, layers[k - 1], top1)
+    _connect_generic(builder, mu, k - 1, layers[k - 1], top2, second_copy=True)
+
+    # --- border bookkeeping ---------------------------------------------- #
+    ordered1 = top1.ordered_nodes()
+    ordered2 = top2.ordered_nodes()
+    border = list(zip(ordered1, ordered2))
+
+    new_nodes = list(range(before, builder.num_nodes))
+    nodes_without_root = [v for v in new_nodes if v != root]
+    if own_root:
+        # the root was the first node created inside this call
+        assert root in new_nodes
+
+    return ComponentHandles(
+        mu=mu,
+        k=k,
+        root=root,
+        layers=layers,
+        top_layers=(top1, top2),
+        border=border,
+        nodes_without_root=nodes_without_root,
+    )
+
+
+def build_component(mu: int, k: int, *, name: str = "") -> Tuple[PortLabeledGraph, ComponentHandles]:
+    """Build the component graph H standalone (used by the E9 bench and tests)."""
+    builder = GraphBuilder(name=name or f"H(µ={mu},k={k})")
+    handles = add_component(builder, mu, k)
+    graph = builder.build()
+    return graph, handles

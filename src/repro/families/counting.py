@@ -1,0 +1,81 @@
+"""The counting facts of the paper (Facts 2.3, 3.1, 4.1, 4.2) as exact integers.
+
+These closed forms are what the lower-bound theorems feed into the Pigeonhole
+Principle; the benchmark harness checks them against the actually-constructed
+graphs at buildable parameters and evaluates them symbolically at the paper's
+asymptotic parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .gdk import gdk_class_size
+from .jmuk import jmuk_border_count, jmuk_class_size, jmuk_num_gadgets
+from .layered import layer_size
+from .trees import leaf_count, num_augmented_trees
+from .udk import udk_class_size, udk_tree_count
+
+__all__ = [
+    "fact_2_3_class_size",
+    "fact_3_1_class_size",
+    "fact_4_1_layer_sizes",
+    "fact_4_2_class_size",
+    "fact_4_2_z_bounds",
+    "family_summary",
+    "format_count",
+]
+
+
+def format_count(value: int, *, exact_digit_limit: int = 60) -> str:
+    """Human-readable rendering of a possibly astronomical exact count.
+
+    Small values are printed exactly; larger ones as a power-of-two estimate
+    derived from the bit length (the class sizes of the paper easily exceed
+    what decimal expansion can sensibly show).
+    """
+    if value < 10**exact_digit_limit:
+        return str(value)
+    return f"~2^{value.bit_length() - 1} ({value.bit_length()} bits)"
+
+
+def fact_2_3_class_size(delta: int, k: int) -> int:
+    """Fact 2.3: |G_{Δ,k}| = |T_{Δ,k}| = (Δ-1)^{(Δ-2)(Δ-1)^{k-1}}."""
+    return gdk_class_size(delta, k)
+
+
+def fact_3_1_class_size(delta: int, k: int) -> int:
+    """Fact 3.1: |U_{Δ,k}| = (Δ-1)^{|T_{Δ,k}|} = (Δ-1)^{(Δ-1)^{(Δ-2)(Δ-1)^{k-1}}}."""
+    return udk_class_size(delta, k)
+
+
+def fact_4_1_layer_sizes(mu: int, k: int) -> Dict[int, int]:
+    """Fact 4.1: the number of nodes of every layer graph L_0, ..., L_k."""
+    return {m: layer_size(mu, m) for m in range(k + 1)}
+
+
+def fact_4_2_class_size(mu: int, k: int) -> int:
+    """Fact 4.2: |J_{µ,k}| = 2^{2^{z-1}} where z = |L_k|."""
+    return jmuk_class_size(mu, k)
+
+
+def fact_4_2_z_bounds(mu: int, k: int) -> Tuple[int, int, int]:
+    """Fact 4.2's bounds on z: µ^{⌊k/2⌋} <= z <= 4µ^{⌊k/2⌋}.  Returns (lower, z, upper)."""
+    z = jmuk_border_count(mu, k)
+    lower = mu ** (k // 2)
+    upper = 4 * mu ** (k // 2)
+    return lower, z, upper
+
+
+def family_summary(delta: int, k: int, mu: int) -> Dict[str, int]:
+    """A small table of all the counting facts for one parameter triple."""
+    return {
+        "z_trees": leaf_count(delta, k),
+        "num_augmented_trees": num_augmented_trees(delta, k),
+        "gdk_class_size": gdk_class_size(delta, k),
+        "udk_tree_count": udk_tree_count(delta, k),
+        "udk_class_size": udk_class_size(delta, k),
+        "jmuk_border_count": jmuk_border_count(mu, k) if k >= 4 else 0,
+        "jmuk_num_gadgets": jmuk_num_gadgets(mu, k) if k >= 4 else 0,
+        "jmuk_class_size": jmuk_class_size(mu, k) if k >= 4 else 0,
+    }

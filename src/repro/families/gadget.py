@@ -1,0 +1,81 @@
+"""Part 3 of Section 4.1: the gadget graph Ĥ.
+
+A gadget consists of four copies of the component graph H -- called left,
+top, right and bottom (H_L, H_T, H_R, H_B) -- whose four r^0_0 nodes are
+merged into a single node ρ of degree 4µ.  The ports at ρ are 0..µ-1 into
+H_L, µ..2µ-1 into H_T, 2µ..3µ-1 into H_R and 3µ..4µ-1 into H_B (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..portgraph.builder import GraphBuilder
+from ..portgraph.graph import PortLabeledGraph
+from .component import ComponentHandles, add_component, component_size
+
+__all__ = [
+    "COMPONENT_KEYS",
+    "GadgetHandles",
+    "add_gadget",
+    "build_gadget",
+    "gadget_size",
+    "component_port_block",
+]
+
+#: The four component positions in the order of their port blocks at ρ.
+COMPONENT_KEYS: Tuple[str, ...] = ("L", "T", "R", "B")
+
+
+@dataclass
+class GadgetHandles:
+    """Handles of one gadget Ĥ embedded in a builder."""
+
+    mu: int
+    k: int
+    #: the merged centre node ρ
+    rho: int
+    #: the four components keyed by "L", "T", "R", "B"
+    components: Dict[str, ComponentHandles]
+
+    @property
+    def z(self) -> int:
+        return self.components["L"].z
+
+    def component(self, key: str) -> ComponentHandles:
+        return self.components[key]
+
+    def border_node(self, key: str, q: int, copy: int) -> int:
+        """w_{q,copy} of component ``key``."""
+        return self.components[key].border_node(q, copy)
+
+
+def component_port_block(mu: int, key: str) -> range:
+    """The ports of ρ that lead into the given component (before any Part 5 swap)."""
+    index = COMPONENT_KEYS.index(key)
+    return range(index * mu, (index + 1) * mu)
+
+
+def gadget_size(mu: int, k: int) -> int:
+    """Number of nodes of the gadget Ĥ (four components sharing one root)."""
+    return 4 * (component_size(mu, k) - 1) + 1
+
+
+def add_gadget(builder: GraphBuilder, mu: int, k: int) -> GadgetHandles:
+    """Add one gadget Ĥ to ``builder`` and return its handles."""
+    rho = builder.add_node()
+    components: Dict[str, ComponentHandles] = {}
+    for index, key in enumerate(COMPONENT_KEYS):
+        components[key] = add_component(
+            builder, mu, k, root=rho, root_port_offset=index * mu
+        )
+    return GadgetHandles(mu=mu, k=k, rho=rho, components=components)
+
+
+def build_gadget(mu: int, k: int, *, name: str = "") -> Tuple[PortLabeledGraph, GadgetHandles]:
+    """Build the gadget Ĥ standalone (used by the E9 bench and tests)."""
+    builder = GraphBuilder(name=name or f"gadget(µ={mu},k={k})")
+    handles = add_gadget(builder, mu, k)
+    graph = builder.build()
+    return graph, handles

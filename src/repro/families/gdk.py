@@ -1,0 +1,111 @@
+"""The class G_{Δ,k} of Section 2.2.1 (Selection lower bound, Theorem 2.9).
+
+For Δ >= 3 and k >= 1, the class contains |T_{Δ,k}| = (Δ-1)^{(Δ-2)(Δ-1)^{k-1}}
+graphs G_1, ..., G_{|T_{Δ,k}|} (Fact 2.3).  Graph G_i is the disjoint union of
+
+* the tree T_{i,2} (one copy),
+* two copies of T_{j',2} for every j' < i,
+* two copies of T_{j,1} for every j <= i,
+* a cycle C_i on 4i-1 nodes c_1, ..., c_{4i-1},
+
+glued together by one edge per cycle node: c_{4j-3} and c_{4j-2} to the roots
+of the two copies of T_{j,1}, c_{4j-1} to the root of the first copy of
+T_{j,2}, and c_{4j'} to the root of the second copy of T_{j',2}.  The port at
+the cycle node is 2 and the port at the tree root is Δ-1.
+
+The point of the construction (Lemmas 2.5-2.7): every node except the root of
+the single copy of T_{i,2} has a "twin" with the same view at depth k, so
+ψ_S(G_i) = k, yet distinguishing which G_i one is in requires seeing the leaf
+attachment counts -- which is why advice polylogarithmic in the class size
+cannot exist (Theorem 2.9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from ..portgraph.builder import GraphBuilder
+from ..portgraph.graph import PortLabeledGraph
+from .trees import TreeHandles, add_tree_with_path, num_augmented_trees, sequence_from_index
+
+__all__ = ["GdkMember", "gdk_class_size", "build_gdk_member", "iter_gdk_members"]
+
+
+@dataclass
+class GdkMember:
+    """One graph G_i of the class G_{Δ,k}, with the handles the proofs talk about."""
+
+    delta: int
+    k: int
+    index: int
+    graph: PortLabeledGraph
+    #: cycle nodes c_1, ..., c_{4i-1} in order
+    cycle_nodes: List[int]
+    #: tree handles keyed by (j, variant, copy) with copy in {1, 2}
+    trees: Dict[Tuple[int, int, int], TreeHandles] = field(default_factory=dict)
+
+    @property
+    def distinguished_root(self) -> int:
+        """The root r_{i,2} of the unique copy of T_{i,2} (the node Lemma 2.6 singles out)."""
+        return self.trees[(self.index, 2, 1)].root
+
+    def tree_root(self, j: int, variant: int, copy: int) -> int:
+        return self.trees[(j, variant, copy)].root
+
+
+def gdk_class_size(delta: int, k: int) -> int:
+    """|G_{Δ,k}| = (Δ-1)^{(Δ-2)(Δ-1)^{k-1}} (Fact 2.3)."""
+    return num_augmented_trees(delta, k)
+
+
+def build_gdk_member(delta: int, k: int, index: int) -> GdkMember:
+    """Construct the graph G_index of the class G_{Δ,k} (index is 1-based as in the paper)."""
+    if delta < 3 or k < 1:
+        raise ValueError("G_{Δ,k} requires Δ >= 3 and k >= 1")
+    total = gdk_class_size(delta, k)
+    if not (1 <= index <= total):
+        raise ValueError(f"index {index} out of range 1..{total}")
+
+    builder = GraphBuilder(name=f"G_{{Δ={delta},k={k}}}[{index}]")
+
+    # The cycle C_index on 4·index - 1 nodes with "oriented" 0/1 ports.
+    cycle_length = 4 * index - 1
+    cycle_nodes = builder.add_nodes(cycle_length)
+    for position in range(cycle_length):
+        nxt = (position + 1) % cycle_length
+        builder.add_edge(cycle_nodes[position], 0, cycle_nodes[nxt], 1)
+
+    trees: Dict[Tuple[int, int, int], TreeHandles] = {}
+
+    def attach_tree(j: int, variant: int, copy: int, cycle_node: int) -> None:
+        sequence = sequence_from_index(delta, k, j)
+        handles = add_tree_with_path(builder, delta, k, sequence, variant)
+        trees[(j, variant, copy)] = handles
+        # port 2 at the cycle node, port Δ-1 at the tree root
+        builder.add_edge(cycle_node, 2, handles.root, delta - 1)
+
+    for j in range(1, index + 1):
+        attach_tree(j, 1, 1, cycle_nodes[4 * j - 3 - 1])
+        attach_tree(j, 1, 2, cycle_nodes[4 * j - 2 - 1])
+        attach_tree(j, 2, 1, cycle_nodes[4 * j - 1 - 1])
+    for j in range(1, index):
+        attach_tree(j, 2, 2, cycle_nodes[4 * j - 1])
+
+    graph = builder.build()
+    return GdkMember(
+        delta=delta,
+        k=k,
+        index=index,
+        graph=graph,
+        cycle_nodes=cycle_nodes,
+        trees=trees,
+    )
+
+
+def iter_gdk_members(delta: int, k: int, indices: Iterator[int] | None = None) -> Iterator[GdkMember]:
+    """Iterate over members G_i; by default over the whole class (use with care -- it is huge)."""
+    if indices is None:
+        indices = iter(range(1, gdk_class_size(delta, k) + 1))
+    for index in indices:
+        yield build_gdk_member(delta, k, index)

@@ -1,0 +1,175 @@
+"""Parts 4 and 5 of Section 4.1: the template J and the class J_{µ,k}.
+
+The template ``J`` chains 2^z copies of the gadget Ĥ (z = |L_k|): for every
+gadget index i >= 1 and every position q whose bit is set in the z-bit
+representation of i, four edges among layer-k ("border") nodes are added --
+inside H_B of gadget i-1, inside H_T of gadget i, and crosswise between H_R
+of gadget i-1 and H_L of gadget i (Figure 9).  These edges *encode the gadget
+index* in the degrees of the border nodes: reading them off a component tells
+a node which gadget it sits in (the W values of Lemma 4.8) -- but only if it
+sees the whole layer k, which takes k rounds (Lemma 4.3).
+
+A class member ``J_Y`` for a binary sequence Y of length 2^{z-1} applies, for
+every i with y_i = 1, a port swap at ρ_i exchanging the H_R and H_B blocks,
+and at ρ_{2^z-1-i} exchanging the H_L and H_T blocks (Figure 10).  There are
+2^{2^{z-1}} members (Fact 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..portgraph.builder import GraphBuilder
+from ..portgraph.graph import PortLabeledGraph
+from .gadget import COMPONENT_KEYS, GadgetHandles, add_gadget, gadget_size
+from .layered import layer_size
+
+__all__ = [
+    "JmukMember",
+    "jmuk_border_count",
+    "jmuk_num_gadgets",
+    "jmuk_class_size",
+    "gadget_index_bit",
+    "build_jmuk_template",
+    "build_jmuk_member",
+]
+
+
+def jmuk_border_count(mu: int, k: int) -> int:
+    """z: the number of nodes of the layer graph L_k (Fact 4.2 bounds it by µ^{k/2}..4µ^{k/2})."""
+    if mu < 2 or k < 4:
+        raise ValueError("J_{µ,k} requires µ >= 2 and k >= 4")
+    return layer_size(mu, k)
+
+
+def jmuk_num_gadgets(mu: int, k: int) -> int:
+    """Number of gadgets chained in the template J: 2^z."""
+    return 2 ** jmuk_border_count(mu, k)
+
+
+def jmuk_class_size(mu: int, k: int) -> int:
+    """|J_{µ,k}| = 2^{2^{z-1}} (Fact 4.2)."""
+    return 2 ** (2 ** (jmuk_border_count(mu, k) - 1))
+
+
+def gadget_index_bit(value: int, q: int, z: int) -> int:
+    """The q-th bit (1-based, most significant first) of the z-bit representation of ``value``."""
+    if not (1 <= q <= z):
+        raise ValueError(f"bit position {q} out of range 1..{z}")
+    return (value >> (z - q)) & 1
+
+
+@dataclass
+class JmukMember:
+    """The template J (``y=None``) or a member J_Y of the class J_{µ,k}."""
+
+    mu: int
+    k: int
+    z: int
+    y: Optional[Tuple[int, ...]]
+    graph: PortLabeledGraph
+    #: node-handle offset of each gadget copy
+    gadget_offsets: List[int]
+    #: handles of the single gadget the copies were cloned from (offset-relative)
+    template_handles: GadgetHandles
+
+    @property
+    def num_gadgets(self) -> int:
+        return len(self.gadget_offsets)
+
+    def rho(self, i: int) -> int:
+        """The centre node ρ_i of gadget Ĥ_i."""
+        return self.gadget_offsets[i] + self.template_handles.rho
+
+    def rho_nodes(self) -> List[int]:
+        return [self.rho(i) for i in range(self.num_gadgets)]
+
+    def border_node(self, i: int, component: str, q: int, copy: int) -> int:
+        """w_{q,copy} of component ``component`` of gadget Ĥ_i."""
+        return self.gadget_offsets[i] + self.template_handles.border_node(component, q, copy)
+
+    def component_nodes(self, i: int, component: str) -> List[int]:
+        """All nodes of the given component of gadget Ĥ_i (excluding ρ_i)."""
+        offset = self.gadget_offsets[i]
+        return [offset + v for v in self.template_handles.component(component).nodes_without_root]
+
+    def gadget_nodes(self, i: int) -> List[int]:
+        """All nodes of gadget Ĥ_i (including ρ_i)."""
+        nodes = [self.rho(i)]
+        for key in COMPONENT_KEYS:
+            nodes.extend(self.component_nodes(i, key))
+        return nodes
+
+    def gadget_of_node(self, node: int) -> int:
+        """The index of the gadget containing ``node``."""
+        size = gadget_size(self.mu, self.k)
+        return node // size
+
+
+def _build(mu: int, k: int, y: Optional[Sequence[int]]) -> JmukMember:
+    z = jmuk_border_count(mu, k)
+    num_gadgets = 2**z
+    if y is not None:
+        y = tuple(y)
+        if len(y) != 2 ** (z - 1):
+            raise ValueError(f"Y must have length 2^(z-1) = {2 ** (z - 1)}, got {len(y)}")
+        if any(bit not in (0, 1) for bit in y):
+            raise ValueError("Y must be a binary sequence")
+
+    # Build one gadget standalone and clone it.
+    gadget_builder = GraphBuilder()
+    template_handles = add_gadget(gadget_builder, mu, k)
+    label = "J-template" if y is None else "J_Y"
+    builder = GraphBuilder(name=f"{label}(µ={mu},k={k})")
+    gadget_offsets = [builder.add_graph(gadget_builder) for _ in range(num_gadgets)]
+
+    def border(i: int, component: str, q: int, copy: int) -> int:
+        return gadget_offsets[i] + template_handles.border_node(component, q, copy)
+
+    # Part 4: chain the gadgets, encoding each index i in border-node degrees.
+    for i in range(1, num_gadgets):
+        for q in range(1, z + 1):
+            if gadget_index_bit(i, q, z) != 1:
+                continue
+            pairs = (
+                (border(i - 1, "B", q, 1), border(i - 1, "B", q, 2)),
+                (border(i, "T", q, 1), border(i, "T", q, 2)),
+                (border(i - 1, "R", q, 1), border(i, "L", q, 2)),
+                (border(i - 1, "R", q, 2), border(i, "L", q, 1)),
+            )
+            for u, v in pairs:
+                builder.add_edge(u, builder.degree(u), v, builder.degree(v))
+
+    # Part 5: port swaps at the ρ nodes (class members only).
+    if y is not None:
+        for i, bit in enumerate(y):
+            if bit != 1:
+                continue
+            rho_low = gadget_offsets[i] + template_handles.rho
+            rho_high = gadget_offsets[num_gadgets - 1 - i] + template_handles.rho
+            for x in range(2 * mu, 3 * mu):
+                builder.swap_ports(rho_low, x, x + mu)
+            for x in range(0, mu):
+                builder.swap_ports(rho_high, x, x + mu)
+
+    graph = builder.build()
+    return JmukMember(
+        mu=mu,
+        k=k,
+        z=z,
+        y=None if y is None else tuple(y),
+        graph=graph,
+        gadget_offsets=gadget_offsets,
+        template_handles=template_handles,
+    )
+
+
+def build_jmuk_template(mu: int, k: int) -> JmukMember:
+    """The template graph J (Part 4, before any port swapping)."""
+    return _build(mu, k, None)
+
+
+def build_jmuk_member(mu: int, k: int, y: Sequence[int]) -> JmukMember:
+    """The class member J_Y of J_{µ,k} for the binary sequence Y of length 2^{z-1}."""
+    return _build(mu, k, y)

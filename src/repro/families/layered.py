@@ -1,0 +1,198 @@
+"""Part 1 of Section 4.1: the layer graphs L_0, ..., L_k.
+
+``L_0`` is a single node; ``L_1`` is a clique on µ nodes; for j >= 1,
+``L_{2j}`` consists of two port-labeled full µ-ary trees of height j whose
+leaves are identified pairwise (the *middle* nodes), and ``L_{2j+1}`` of two
+such trees whose corresponding leaves are joined by an edge.  Figure 4 of the
+paper shows the first six layer graphs for µ = 3; Fact 4.1 gives their sizes.
+
+Nodes of a layer graph are addressed exactly as in the paper: ``v^m_b(σ)`` is
+the node reached from root ``r^m_b`` by following the child-port sequence σ.
+For even layers the two addresses of an identified middle node resolve to the
+same handle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..portgraph.builder import GraphBuilder
+from ..portgraph.graph import PortLabeledGraph
+
+__all__ = ["LayerHandles", "layer_size", "add_layer", "build_layer_graph"]
+
+Address = Tuple[int, Tuple[int, ...]]
+
+
+def layer_size(mu: int, m: int) -> int:
+    """Number of nodes of L_m (Fact 4.1)."""
+    if mu < 2 or m < 0:
+        raise ValueError("layer graphs require µ >= 2 and m >= 0")
+    if m == 0:
+        return 1
+    if m == 1:
+        return mu
+    j = m // 2
+    if m % 2 == 0:
+        return (mu ** (j + 1) + mu**j - 2) // (mu - 1)
+    return (2 * mu ** (j + 1) - 2) // (mu - 1)
+
+
+@dataclass
+class LayerHandles:
+    """Handles and addressing of one layer graph embedded in a builder."""
+
+    mu: int
+    index: int
+    #: tree height j (0 for L_0 and L_1)
+    height: int
+    #: node handles by address (b, σ); for identified middles both addresses are present
+    by_address: Dict[Address, int]
+    #: all node handles of the layer, without duplicates
+    nodes: List[int] = field(default_factory=list)
+
+    def root(self, b: int) -> int:
+        """The root r^m_b (for m >= 2); L_0's single node for b = 0."""
+        return self.by_address[(b, ())]
+
+    def node(self, b: int, sigma: Sequence[int]) -> int:
+        """The node v^m_b(σ)."""
+        return self.by_address[(b, tuple(sigma))]
+
+    def clique_node(self, i: int) -> int:
+        """The i-th node of L_1 (the node the paper calls v^0_0(i))."""
+        if self.index != 1:
+            raise ValueError("clique_node is only defined for L_1")
+        return self.nodes[i]
+
+    def sequences_at_depth(self, depth: int) -> Iterator[Tuple[int, ...]]:
+        """All child-port sequences of the given length (in lexicographic order)."""
+        yield from itertools.product(range(self.mu), repeat=depth)
+
+    def middle_depth(self) -> int:
+        """Depth of the middle nodes (the tree height)."""
+        return self.height
+
+    def middle_nodes(self) -> List[int]:
+        """The middle nodes (identified for even layers, both sides for odd layers)."""
+        depth = self.height
+        out: List[int] = []
+        seen = set()
+        for b in (0, 1):
+            for sigma in self.sequences_at_depth(depth):
+                handle = self.by_address.get((b, sigma))
+                if handle is not None and handle not in seen:
+                    seen.add(handle)
+                    out.append(handle)
+        return out
+
+    def ordered_nodes(self) -> List[int]:
+        """Nodes ordered by the lexicographic order of (b,) + σ, without duplicates.
+
+        This is the w_1, ..., w_z ordering Part 4 of the construction uses for
+        the layer-k nodes.
+        """
+        out: List[int] = []
+        seen = set()
+        for address in sorted(self.by_address):
+            handle = self.by_address[address]
+            if handle not in seen:
+                seen.add(handle)
+                out.append(handle)
+        return out
+
+
+def _add_tree_half(
+    builder: GraphBuilder,
+    mu: int,
+    height: int,
+    b: int,
+    by_address: Dict[Address, int],
+    nodes: List[int],
+    *,
+    shared_leaves: Optional[Dict[Tuple[int, ...], int]] = None,
+) -> None:
+    """Add one copy of T^height for side ``b``.
+
+    If ``shared_leaves`` is given (even layers, b = 1), the deepest level is
+    not created: the existing nodes are reused and connected with port 1 on
+    their side, realising the leaf identification of L_{2j}.
+    """
+    root = builder.add_node()
+    by_address[(b, ())] = root
+    nodes.append(root)
+    frontier: List[Tuple[int, Tuple[int, ...]]] = [(root, ())]
+    for depth in range(height):
+        is_last_level = depth == height - 1
+        next_frontier: List[Tuple[int, Tuple[int, ...]]] = []
+        for parent, sigma in frontier:
+            for port in range(mu):
+                address = sigma + (port,)
+                if is_last_level and shared_leaves is not None:
+                    child = shared_leaves[address]
+                    # Identified middle: port 1 towards the T_1 parent.
+                    builder.add_edge(parent, port, child, 1)
+                else:
+                    child = builder.add_node()
+                    nodes.append(child)
+                    child_port = 0 if is_last_level else mu
+                    builder.add_edge(parent, port, child, child_port)
+                by_address[(b, address)] = child
+                next_frontier.append((child, address))
+        frontier = next_frontier
+
+
+def add_layer(builder: GraphBuilder, mu: int, m: int) -> LayerHandles:
+    """Add the layer graph L_m to ``builder`` and return its handles."""
+    if mu < 2 or m < 0:
+        raise ValueError("layer graphs require µ >= 2 and m >= 0")
+    by_address: Dict[Address, int] = {}
+    nodes: List[int] = []
+
+    if m == 0:
+        node = builder.add_node()
+        by_address[(0, ())] = node
+        nodes.append(node)
+        return LayerHandles(mu=mu, index=0, height=0, by_address=by_address, nodes=nodes)
+
+    if m == 1:
+        clique = builder.add_nodes(mu)
+        nodes.extend(clique)
+        # canonical clique labeling: node i gives port t to its t-th other node
+        # in increasing handle order
+        for a_index, a in enumerate(clique):
+            for b_index in range(a_index + 1, mu):
+                b = clique[b_index]
+                port_at_a = b_index - 1
+                port_at_b = a_index
+                builder.add_edge(a, port_at_a, b, port_at_b)
+        for i, node in enumerate(clique):
+            by_address[(0, (i,))] = node
+        return LayerHandles(mu=mu, index=1, height=0, by_address=by_address, nodes=nodes)
+
+    height = m // 2
+    if m % 2 == 0:
+        # two trees with identified leaves
+        _add_tree_half(builder, mu, height, 0, by_address, nodes)
+        shared = {
+            sigma: by_address[(0, sigma)]
+            for sigma in itertools.product(range(mu), repeat=height)
+        }
+        _add_tree_half(builder, mu, height, 1, by_address, nodes, shared_leaves=shared)
+    else:
+        _add_tree_half(builder, mu, height, 0, by_address, nodes)
+        _add_tree_half(builder, mu, height, 1, by_address, nodes)
+        # join corresponding leaves with an edge labeled 1 at both ends
+        for sigma in itertools.product(range(mu), repeat=height):
+            builder.add_edge(by_address[(0, sigma)], 1, by_address[(1, sigma)], 1)
+    return LayerHandles(mu=mu, index=m, height=height, by_address=by_address, nodes=nodes)
+
+
+def build_layer_graph(mu: int, m: int, *, name: str = "") -> Tuple[PortLabeledGraph, LayerHandles]:
+    """Build L_m as a standalone graph (used to verify Figure 4 / Fact 4.1)."""
+    builder = GraphBuilder(name=name or f"L_{m}(µ={mu})")
+    handles = add_layer(builder, mu, m)
+    graph = builder.build()
+    return graph, handles

@@ -1,0 +1,206 @@
+"""Building Blocks 1-3 of Section 2.2.1: the trees T, T_X, T_{X,1}, T_{X,2}.
+
+* **Building Block 1** -- the rooted tree ``T`` of height ``k``: the root has
+  degree Δ-2 (ports 1..Δ-2 towards its children); every other internal node
+  has degree Δ (port 0 towards its parent, ports 1..Δ-1 towards its
+  children); leaves sit at depth ``k`` and use port 0 towards their parent.
+  ``T`` has z = (Δ-2)·(Δ-1)^{k-1} leaves.
+
+* **Building Block 2** -- the augmented tree ``T_X`` for a sequence
+  X = (x_1, ..., x_z) with 1 <= x_i <= Δ-1: attach ``x_i`` degree-one nodes
+  to the i-th leaf (leaves ordered by the lexicographic order of the port
+  sequence from the root), with ports 1..x_i at the leaf and port 0 at each
+  attached node.  There are (Δ-1)^z such trees; this set is T_{Δ,k}.
+
+* **Building Block 3** -- ``T_{X,1}`` and ``T_{X,2}``: ``T_X`` plus an
+  appended path r, p_1, ..., p_{k+1}.  The ports at r and p_{k+1} on the path
+  are 0; each interior p_i uses port 1 towards p_{i-1} and port 0 towards
+  p_{i+1}.  ``T_{X,2}`` differs only at p_k, where the two port labels are
+  swapped -- the one-bit difference that Lemma 2.6 exploits.
+
+All constructions write into a caller-supplied :class:`GraphBuilder` (so the
+classes G_{Δ,k} and U_{Δ,k} can embed many copies) and return a
+:class:`TreeHandles` record of the node handles that later construction steps
+need to reference.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..portgraph.builder import GraphBuilder
+from ..portgraph.graph import PortLabeledGraph
+
+__all__ = [
+    "TreeHandles",
+    "leaf_count",
+    "num_augmented_trees",
+    "iter_leaf_sequences",
+    "sequence_from_index",
+    "index_of_sequence",
+    "add_base_tree",
+    "add_augmented_tree",
+    "add_tree_with_path",
+    "build_tree_with_path",
+    "figure_1_example",
+]
+
+
+@dataclass
+class TreeHandles:
+    """Node handles of one embedded tree copy."""
+
+    #: the root r of the tree (also the endpoint of the appended path, if any)
+    root: int
+    #: leaves ℓ_1..ℓ_z of the base tree T, in lexicographic order of root port sequence
+    leaves: List[int]
+    #: degree-one nodes attached to each leaf (Building Block 2), indexed per leaf
+    attached: List[List[int]] = field(default_factory=list)
+    #: appended path nodes p_1..p_{k+1} (Building Block 3), empty if no path appended
+    path_nodes: List[int] = field(default_factory=list)
+    #: which Building Block 3 variant was built (1, 2, or None)
+    variant: Optional[int] = None
+    #: the sequence X used to augment the tree (None for the base tree)
+    sequence: Optional[Tuple[int, ...]] = None
+
+
+# --------------------------------------------------------------------------- #
+# sequence bookkeeping
+# --------------------------------------------------------------------------- #
+def leaf_count(delta: int, k: int) -> int:
+    """z = (Δ-2)·(Δ-1)^{k-1}, the number of leaves of the base tree T."""
+    if delta < 3 or k < 1:
+        raise ValueError("Building Block 1 requires Δ >= 3 and k >= 1")
+    return (delta - 2) * (delta - 1) ** (k - 1)
+
+
+def num_augmented_trees(delta: int, k: int) -> int:
+    """|T_{Δ,k}| = (Δ-1)^z (the count that becomes Fact 2.3)."""
+    return (delta - 1) ** leaf_count(delta, k)
+
+
+def iter_leaf_sequences(delta: int, k: int) -> Iterator[Tuple[int, ...]]:
+    """All sequences X in {1..Δ-1}^z in increasing lexicographic order."""
+    z = leaf_count(delta, k)
+    yield from itertools.product(range(1, delta), repeat=z)
+
+
+def sequence_from_index(delta: int, k: int, j: int) -> Tuple[int, ...]:
+    """The j-th sequence X (1-based, matching the paper's T_1, ..., T_{|T_{Δ,k}|})."""
+    total = num_augmented_trees(delta, k)
+    if not (1 <= j <= total):
+        raise ValueError(f"index {j} out of range 1..{total}")
+    z = leaf_count(delta, k)
+    base = delta - 1
+    remainder = j - 1
+    digits: List[int] = []
+    for position in range(z - 1, -1, -1):
+        power = base**position
+        digit = remainder // power
+        remainder -= digit * power
+        digits.append(digit + 1)
+    return tuple(digits)
+
+
+def index_of_sequence(delta: int, k: int, sequence: Sequence[int]) -> int:
+    """Inverse of :func:`sequence_from_index` (returns a 1-based index)."""
+    z = leaf_count(delta, k)
+    if len(sequence) != z:
+        raise ValueError(f"sequence must have length z={z}")
+    base = delta - 1
+    index = 0
+    for value in sequence:
+        if not (1 <= value <= delta - 1):
+            raise ValueError(f"sequence entries must lie in 1..{delta - 1}")
+        index = index * base + (value - 1)
+    return index + 1
+
+
+# --------------------------------------------------------------------------- #
+# Building Block 1: the rooted tree T
+# --------------------------------------------------------------------------- #
+def add_base_tree(builder: GraphBuilder, delta: int, k: int) -> TreeHandles:
+    """Add a copy of the Building Block 1 tree T; return its handles."""
+    z = leaf_count(delta, k)  # validates delta, k
+    root = builder.add_node()
+    # (node handle, port sequence from the root) for the current frontier,
+    # kept in lexicographic order of the port sequence.
+    frontier: List[Tuple[int, Tuple[int, ...]]] = [(root, ())]
+    for depth in range(k):
+        next_frontier: List[Tuple[int, Tuple[int, ...]]] = []
+        for parent, sequence in frontier:
+            child_ports = range(1, delta - 1) if parent == root else range(1, delta)
+            for port in child_ports:
+                child = builder.add_node()
+                builder.add_edge(parent, port, child, 0)
+                next_frontier.append((child, sequence + (port,)))
+        frontier = next_frontier
+    leaves = [node for node, _sequence in frontier]
+    assert len(leaves) == z
+    return TreeHandles(root=root, leaves=leaves, attached=[[] for _ in leaves])
+
+
+# --------------------------------------------------------------------------- #
+# Building Block 2: augmented trees T_X
+# --------------------------------------------------------------------------- #
+def add_augmented_tree(
+    builder: GraphBuilder, delta: int, k: int, sequence: Sequence[int]
+) -> TreeHandles:
+    """Add a copy of T_X for the given sequence X; return its handles."""
+    handles = add_base_tree(builder, delta, k)
+    z = len(handles.leaves)
+    if len(sequence) != z:
+        raise ValueError(f"sequence must have length z={z}, got {len(sequence)}")
+    for i, (leaf, count) in enumerate(zip(handles.leaves, sequence)):
+        if not (1 <= count <= delta - 1):
+            raise ValueError(f"x_{i + 1}={count} outside 1..{delta - 1}")
+        for port in range(1, count + 1):
+            pendant = builder.add_node()
+            builder.add_edge(leaf, port, pendant, 0)
+            handles.attached[i].append(pendant)
+    handles.sequence = tuple(sequence)
+    return handles
+
+
+# --------------------------------------------------------------------------- #
+# Building Block 3: T_{X,1} and T_{X,2}
+# --------------------------------------------------------------------------- #
+def add_tree_with_path(
+    builder: GraphBuilder, delta: int, k: int, sequence: Sequence[int], variant: int
+) -> TreeHandles:
+    """Add a copy of T_{X,variant} (variant 1 or 2); return its handles."""
+    if variant not in (1, 2):
+        raise ValueError("variant must be 1 or 2")
+    handles = add_augmented_tree(builder, delta, k, sequence)
+    root = handles.root
+    path_nodes = builder.add_nodes(k + 1)
+    # Edge r -- p_1: port 0 at r, port 1 at p_1 (p_1's port towards p_0 = r).
+    builder.add_edge(root, 0, path_nodes[0], 1)
+    # Edges p_i -- p_{i+1} for i = 1..k: port 0 at p_i (towards p_{i+1}),
+    # port 1 at p_{i+1} (towards p_i) ... except p_{k+1}, whose port is 0.
+    for i in range(k):
+        forward_port_at_next = 0 if i == k - 1 else 1
+        builder.add_edge(path_nodes[i], 0, path_nodes[i + 1], forward_port_at_next)
+    if variant == 2:
+        # Swap the two port labels at p_k so that the port towards p_{k-1}
+        # (or r if k = 1) becomes 0 and the port towards p_{k+1} becomes 1.
+        builder.swap_ports(path_nodes[k - 1], 0, 1)
+    handles.path_nodes = path_nodes
+    handles.variant = variant
+    return handles
+
+
+def build_tree_with_path(
+    delta: int, k: int, sequence: Sequence[int], variant: int, *, name: str = ""
+) -> Tuple[PortLabeledGraph, TreeHandles]:
+    """Standalone graph of T_{X,variant} (used for Figure 1 style inspection and tests)."""
+    builder = GraphBuilder(name=name or f"T_{{X,{variant}}} (Δ={delta}, k={k})")
+    handles = add_tree_with_path(builder, delta, k, sequence, variant)
+    return builder.build(), handles
+
+
+def figure_1_example(variant: int = 1) -> Tuple[PortLabeledGraph, TreeHandles]:
+    """The exact trees of Figure 1: Δ = 4, k = 2, X = (1, 2, 3, 3, 2, 2)."""
+    return build_tree_with_path(4, 2, (1, 2, 3, 3, 2, 2), variant, name=f"figure-1-T_{{X,{variant}}}")

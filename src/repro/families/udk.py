@@ -1,0 +1,199 @@
+"""The template U and the class U_{Δ,k} of Section 3.1 (Port Election lower bound).
+
+For Δ >= 4 and k >= 1, let y = |T_{Δ,k}|.  The template U consists of:
+
+1. all trees T_{j,b} (j = 1..y, b = 1, 2), their roots joined in a cycle
+   r_{1,1}, r_{1,2}, r_{2,1}, ..., r_{y,2} with port Δ+1 towards the next root
+   and Δ-1 towards the previous one;
+2. two extra copies T_{j,1,1} and T_{j,1,2} of T_{j,1} per j;
+3. a path of length k+1 from r_{j,1} to r_{j,1,1} (port Δ at r_{j,1}, port
+   Δ-1 at r_{j,1,1}, interior ports 1 towards r_{j,1} and 0 towards
+   r_{j,1,1}), and likewise from r_{j,2} to r_{j,1,2};
+4. Δ-1 pendant paths of length k+1 at each of r_{j,1,1} and r_{j,1,2}, using
+   ports Δ..2Δ-2 at the root and 0 (towards the root) / 1 (away) at the path
+   nodes.
+
+A class member G_σ, for σ = (s_1, ..., s_y) with s_j in 1..Δ-1, is obtained
+from U by exchanging ports Δ-1 and Δ-1+s_j at *both* r_{j,1,1} and r_{j,1,2}
+(Fact 3.1: |U_{Δ,k}| = (Δ-1)^y).
+
+The construction makes ψ_S(G_σ) = ψ_PE(G_σ) = k (Lemma 3.9) while forcing any
+minimum-time Port Election algorithm to output, at r_{j,1,1}, the port
+σ-dependent first step towards the cycle -- which cannot be deduced from the
+view and therefore must be paid for in advice (Theorem 3.11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..portgraph.builder import GraphBuilder
+from ..portgraph.graph import PortLabeledGraph
+from .trees import TreeHandles, add_tree_with_path, num_augmented_trees, sequence_from_index
+
+__all__ = [
+    "UdkMember",
+    "udk_class_size",
+    "udk_tree_count",
+    "build_udk_template",
+    "build_udk_member",
+    "iter_udk_members",
+]
+
+
+@dataclass
+class UdkMember:
+    """The template U (sigma=None) or a class member G_σ of U_{Δ,k}."""
+
+    delta: int
+    k: int
+    sigma: Optional[Tuple[int, ...]]
+    graph: PortLabeledGraph
+    #: cycle roots r_{j,b}, keyed by (j, b)
+    cycle_roots: Dict[Tuple[int, int], int]
+    #: hub roots r_{j,1,1} and r_{j,1,2}, keyed by (j, 1) and (j, 2)
+    hub_roots: Dict[Tuple[int, int], int]
+    #: tree handles: cycle trees keyed ("cycle", j, b); hub trees keyed ("hub", j, c)
+    trees: Dict[Tuple[str, int, int], TreeHandles] = field(default_factory=dict)
+    #: interior nodes of the connecting path r_{j,b} -- r_{j,1,b}, keyed by (j, b)
+    connector_paths: Dict[Tuple[int, int], List[int]] = field(default_factory=dict)
+    #: pendant path nodes at each hub root, keyed by (j, c), one list per pendant path
+    pendant_paths: Dict[Tuple[int, int], List[List[int]]] = field(default_factory=dict)
+
+    @property
+    def num_tree_indices(self) -> int:
+        return max(j for j, _b in self.cycle_roots) if self.cycle_roots else 0
+
+    def cycle_root_nodes(self) -> List[int]:
+        """All cycle roots r_{j,b} (the degree Δ+2 nodes of Lemma 3.8)."""
+        return [self.cycle_roots[key] for key in sorted(self.cycle_roots)]
+
+    def hub_root_nodes(self) -> List[int]:
+        """All hub roots r_{j,1,1}, r_{j,1,2} (the degree 2Δ-1 nodes)."""
+        return [self.hub_roots[key] for key in sorted(self.hub_roots)]
+
+
+def udk_tree_count(delta: int, k: int) -> int:
+    """y = |T_{Δ,k}|, the number of tree indices used by the template."""
+    if delta < 4 or k < 1:
+        raise ValueError("U_{Δ,k} requires Δ >= 4 and k >= 1")
+    return num_augmented_trees(delta, k)
+
+
+def udk_class_size(delta: int, k: int) -> int:
+    """|U_{Δ,k}| = (Δ-1)^{|T_{Δ,k}|} (Fact 3.1)."""
+    return (delta - 1) ** udk_tree_count(delta, k)
+
+
+def _build(delta: int, k: int, sigma: Optional[Sequence[int]]) -> UdkMember:
+    y = udk_tree_count(delta, k)
+    if sigma is not None:
+        sigma = tuple(sigma)
+        if len(sigma) != y:
+            raise ValueError(f"σ must have length y={y}, got {len(sigma)}")
+        if any(not (1 <= s <= delta - 1) for s in sigma):
+            raise ValueError(f"σ entries must lie in 1..{delta - 1}")
+
+    label = "U-template" if sigma is None else "G_σ"
+    builder = GraphBuilder(name=f"{label}(Δ={delta},k={k})")
+
+    trees: Dict[Tuple[str, int, int], TreeHandles] = {}
+    cycle_roots: Dict[Tuple[int, int], int] = {}
+    hub_roots: Dict[Tuple[int, int], int] = {}
+    connector_paths: Dict[Tuple[int, int], List[int]] = {}
+    pendant_paths: Dict[Tuple[int, int], List[List[int]]] = {}
+
+    # Step 1: the trees T_{j,b} and the cycle of their roots.
+    for j in range(1, y + 1):
+        sequence = sequence_from_index(delta, k, j)
+        for b in (1, 2):
+            handles = add_tree_with_path(builder, delta, k, sequence, b)
+            trees[("cycle", j, b)] = handles
+            cycle_roots[(j, b)] = handles.root
+    cycle_order = [cycle_roots[(j, b)] for j in range(1, y + 1) for b in (1, 2)]
+    for position, root in enumerate(cycle_order):
+        nxt = cycle_order[(position + 1) % len(cycle_order)]
+        # port Δ+1 at the current root towards the next, Δ-1 at the next towards the current
+        builder.add_edge(root, delta + 1, nxt, delta - 1)
+
+    # Step 2: the extra copies T_{j,1,1} and T_{j,1,2}.
+    for j in range(1, y + 1):
+        sequence = sequence_from_index(delta, k, j)
+        for c in (1, 2):
+            handles = add_tree_with_path(builder, delta, k, sequence, 1)
+            trees[("hub", j, c)] = handles
+            hub_roots[(j, c)] = handles.root
+
+    # Step 3: connecting paths of length k+1 between r_{j,b} and r_{j,1,b}.
+    for j in range(1, y + 1):
+        for b in (1, 2):
+            cycle_root = cycle_roots[(j, b)]
+            hub_root = hub_roots[(j, b)]
+            interior = builder.add_nodes(k)
+            chain = [cycle_root] + interior + [hub_root]
+            for position in range(len(chain) - 1):
+                left, right = chain[position], chain[position + 1]
+                if position == 0:
+                    left_port = delta  # new port Δ at r_{j,b}
+                else:
+                    left_port = 0  # interior: 0 towards r_{j,1,b}
+                if position == len(chain) - 2:
+                    right_port = delta - 1  # new port Δ-1 at r_{j,1,b}
+                else:
+                    right_port = 1  # interior: 1 towards r_{j,b}
+                builder.add_edge(left, left_port, right, right_port)
+            connector_paths[(j, b)] = interior
+
+    # Step 4: Δ-1 pendant paths of length k+1 at each hub root.
+    for j in range(1, y + 1):
+        for c in (1, 2):
+            hub_root = hub_roots[(j, c)]
+            paths: List[List[int]] = []
+            for offset in range(delta - 1):
+                nodes = builder.add_nodes(k + 1)
+                chain = [hub_root] + nodes
+                for position in range(len(chain) - 1):
+                    left, right = chain[position], chain[position + 1]
+                    left_port = delta + offset if position == 0 else 1
+                    builder.add_edge(left, left_port, right, 0)
+                paths.append(nodes)
+            pendant_paths[(j, c)] = paths
+
+    # Step 5 (class members only): exchange ports Δ-1 and Δ-1+s_j at both hub roots.
+    if sigma is not None:
+        for j in range(1, y + 1):
+            s = sigma[j - 1]
+            for c in (1, 2):
+                builder.swap_ports(hub_roots[(j, c)], delta - 1, delta - 1 + s)
+
+    graph = builder.build()
+    return UdkMember(
+        delta=delta,
+        k=k,
+        sigma=None if sigma is None else tuple(sigma),
+        graph=graph,
+        cycle_roots=cycle_roots,
+        hub_roots=hub_roots,
+        trees=trees,
+        connector_paths=connector_paths,
+        pendant_paths=pendant_paths,
+    )
+
+
+def build_udk_template(delta: int, k: int) -> UdkMember:
+    """The template graph U (Figure 3)."""
+    return _build(delta, k, None)
+
+
+def build_udk_member(delta: int, k: int, sigma: Sequence[int]) -> UdkMember:
+    """The class member G_σ of U_{Δ,k}."""
+    return _build(delta, k, sigma)
+
+
+def iter_udk_members(
+    delta: int, k: int, sigmas: Iterator[Sequence[int]]
+) -> Iterator[UdkMember]:
+    """Build the members G_σ for the given sequences σ."""
+    for sigma in sigmas:
+        yield build_udk_member(delta, k, sigma)

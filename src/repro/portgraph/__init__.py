@@ -1,0 +1,28 @@
+"""Port-labeled anonymous network substrate.
+
+This package provides the graph model the paper works with: simple connected
+undirected graphs whose nodes are anonymous but label their incident edges
+with local port numbers ``0..d-1``.  Everything else in the reproduction
+(views, the LOCAL simulator, the election tasks, the advice framework and the
+lower-bound graph families) is built on top of it.
+"""
+
+from .builder import GraphBuilder
+from .graph import PortLabeledGraph
+from .isomorphism import are_isomorphic, extend_isomorphism, find_isomorphism
+from .validation import PortLabelingError, check_connected, validate_adjacency
+from . import generators, io, paths
+
+__all__ = [
+    "PortLabeledGraph",
+    "GraphBuilder",
+    "PortLabelingError",
+    "validate_adjacency",
+    "check_connected",
+    "are_isomorphic",
+    "find_isomorphism",
+    "extend_isomorphism",
+    "generators",
+    "io",
+    "paths",
+]

@@ -1,0 +1,299 @@
+"""Mutable builder for port-labeled graphs.
+
+The family constructions of the paper (Sections 2.2.1, 3.1, 4.1) assemble
+graphs incrementally: trees are built, copies of whole subgraphs are glued
+onto cycles or chains, specific ports are added with specific labels, and
+finally some ports are *swapped* to derive a class of graphs from a template.
+:class:`GraphBuilder` supports exactly these operations:
+
+* ``add_node`` / ``add_nodes``
+* ``add_edge(u, pu, v, pv)`` with explicit, possibly non-contiguous ports
+  (the model's ``0..d-1`` contiguity is enforced only at :meth:`build` time)
+* ``add_graph`` -- disjoint union of an existing graph or builder, returning
+  the handle offset so callers can address the copied nodes
+* ``swap_ports`` / ``relabel_port`` -- the "port swapping" steps used to turn
+  a template into the members of a class
+* ``merge_nodes`` -- identification of nodes (used when gluing the four
+  component copies of a gadget at the common node ρ).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .graph import PortLabeledGraph
+from .validation import PortLabelingError, validate_adjacency
+
+__all__ = ["GraphBuilder"]
+
+Endpoint = Tuple[int, int]
+
+
+class GraphBuilder:
+    """Incrementally construct a :class:`PortLabeledGraph`."""
+
+    def __init__(self, num_nodes: int = 0, *, name: str = "") -> None:
+        self._adj: List[Dict[int, Endpoint]] = [dict() for _ in range(num_nodes)]
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # nodes
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(row) for row in self._adj) // 2
+
+    def add_node(self) -> int:
+        """Add a node and return its handle."""
+        self._adj.append({})
+        return len(self._adj) - 1
+
+    def add_nodes(self, count: int) -> List[int]:
+        """Add ``count`` nodes and return their handles."""
+        start = len(self._adj)
+        self._adj.extend({} for _ in range(count))
+        return list(range(start, start + count))
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def ports(self, v: int) -> List[int]:
+        return sorted(self._adj[v])
+
+    def has_port(self, v: int, port: int) -> bool:
+        return port in self._adj[v]
+
+    def endpoint(self, v: int, port: int) -> Endpoint:
+        return self._adj[v][port]
+
+    def neighbors(self, v: int) -> List[int]:
+        return [self._adj[v][p][0] for p in sorted(self._adj[v])]
+
+    def has_edge(self, v: int, u: int) -> bool:
+        return any(pair[0] == u for pair in self._adj[v].values())
+
+    # ------------------------------------------------------------------ #
+    # edges
+    # ------------------------------------------------------------------ #
+    def add_edge(self, u: int, port_u: int, v: int, port_v: int) -> None:
+        """Add the edge ``{u, v}`` with port ``port_u`` at ``u`` and ``port_v`` at ``v``."""
+        if u == v:
+            raise PortLabelingError(f"self-loop at node {u}")
+        if port_u in self._adj[u]:
+            raise PortLabelingError(f"node {u} already uses port {port_u}")
+        if port_v in self._adj[v]:
+            raise PortLabelingError(f"node {v} already uses port {port_v}")
+        if self.has_edge(u, v):
+            raise PortLabelingError(f"edge {{{u}, {v}}} already exists (graph must be simple)")
+        self._adj[u][port_u] = (v, port_v)
+        self._adj[v][port_v] = (u, port_u)
+
+    def add_path(
+        self,
+        endpoints: Tuple[int, int],
+        length: int,
+        *,
+        port_at_first: int,
+        port_at_last: int,
+        forward_port: int = 0,
+        backward_port: int = 1,
+    ) -> List[int]:
+        """Add a path of ``length`` edges between two existing nodes.
+
+        ``length - 1`` fresh internal nodes are created.  The first endpoint
+        uses ``port_at_first`` on its new edge and the last endpoint uses
+        ``port_at_last``.  Every internal node uses ``backward_port`` towards
+        the first endpoint and ``forward_port`` towards the last endpoint.
+
+        Returns the list of internal node handles (in order from the first
+        endpoint towards the last).
+        """
+        first, last = endpoints
+        if length < 1:
+            raise ValueError("path length must be at least 1")
+        if length == 1:
+            self.add_edge(first, port_at_first, last, port_at_last)
+            return []
+        internal = self.add_nodes(length - 1)
+        self.add_edge(first, port_at_first, internal[0], backward_port)
+        for a, b in zip(internal, internal[1:]):
+            self.add_edge(a, forward_port, b, backward_port)
+        self.add_edge(internal[-1], forward_port, last, port_at_last)
+        return internal
+
+    def add_pendant_path(
+        self,
+        anchor: int,
+        length: int,
+        *,
+        port_at_anchor: int,
+        toward_anchor_port: int = 1,
+        away_port: int = 0,
+    ) -> List[int]:
+        """Attach a fresh path of ``length`` edges hanging off ``anchor``.
+
+        The new nodes each use ``toward_anchor_port`` on the edge towards the
+        anchor and ``away_port`` on the edge away from it; the final node of
+        the path only has the ``toward_anchor_port``... unless that would make
+        its single port non-zero, in which case callers typically pass
+        ``toward_anchor_port=0``.  Returns the new node handles in order of
+        increasing distance from ``anchor``.
+        """
+        if length < 1:
+            raise ValueError("path length must be at least 1")
+        nodes = self.add_nodes(length)
+        self.add_edge(anchor, port_at_anchor, nodes[0], toward_anchor_port)
+        for a, b in zip(nodes, nodes[1:]):
+            self.add_edge(a, away_port, b, toward_anchor_port)
+        return nodes
+
+    # ------------------------------------------------------------------ #
+    # port manipulation (template -> class members)
+    # ------------------------------------------------------------------ #
+    def swap_ports(self, v: int, port_a: int, port_b: int) -> None:
+        """Exchange two port labels at node ``v`` (both must exist)."""
+        if port_a == port_b:
+            return
+        row = self._adj[v]
+        if port_a not in row or port_b not in row:
+            raise PortLabelingError(f"node {v} lacks port {port_a} or {port_b}")
+        ua, qa = row[port_a]
+        ub, qb = row[port_b]
+        row[port_a], row[port_b] = (ub, qb), (ua, qa)
+        self._adj[ua][qa] = (v, port_b)
+        self._adj[ub][qb] = (v, port_a)
+
+    def relabel_port(self, v: int, old_port: int, new_port: int) -> None:
+        """Move the edge on ``old_port`` at ``v`` to the unused ``new_port``."""
+        if old_port == new_port:
+            return
+        row = self._adj[v]
+        if old_port not in row:
+            raise PortLabelingError(f"node {v} has no port {old_port}")
+        if new_port in row:
+            raise PortLabelingError(f"node {v} already uses port {new_port}")
+        u, q = row.pop(old_port)
+        row[new_port] = (u, q)
+        self._adj[u][q] = (v, new_port)
+
+    def shift_ports(self, v: int, delta: int) -> None:
+        """Add ``delta`` to every port label at node ``v``."""
+        row = self._adj[v]
+        items = list(row.items())
+        row.clear()
+        for port, (u, q) in items:
+            row[port + delta] = (u, q)
+            self._adj[u][q] = (v, port + delta)
+
+    # ------------------------------------------------------------------ #
+    # composition
+    # ------------------------------------------------------------------ #
+    def add_graph(self, other: Union[PortLabeledGraph, "GraphBuilder"]) -> int:
+        """Disjoint union: copy ``other`` into this builder.
+
+        Returns the offset ``off`` such that node ``v`` of ``other`` becomes
+        node ``off + v`` here.
+        """
+        off = len(self._adj)
+        if isinstance(other, GraphBuilder):
+            rows: Iterable[Dict[int, Endpoint]] = other._adj
+        else:
+            rows = (
+                {p: other.endpoint(v, p) for p in other.ports(v)} for v in other.nodes()
+            )
+        for row in rows:
+            self._adj.append({p: (u + off, q) for p, (u, q) in row.items()})
+        return off
+
+    def merge_nodes(self, keep: int, absorb: int) -> None:
+        """Identify node ``absorb`` with node ``keep``.
+
+        All edges of ``absorb`` are re-attached to ``keep`` (ports must not
+        clash), ``absorb`` becomes an isolated placeholder which is removed.
+        Node handles above ``absorb`` shift down by one.
+        """
+        if keep == absorb:
+            raise ValueError("cannot merge a node with itself")
+        for port, (u, q) in list(self._adj[absorb].items()):
+            if port in self._adj[keep]:
+                raise PortLabelingError(
+                    f"cannot merge {absorb} into {keep}: both use port {port}"
+                )
+            if u == keep:
+                raise PortLabelingError("merging adjacent nodes would create a self-loop")
+            if self.has_edge(keep, u):
+                raise PortLabelingError(
+                    f"cannot merge {absorb} into {keep}: both adjacent to {u}"
+                )
+            self._adj[keep][port] = (u, q)
+            self._adj[u][q] = (keep, port)
+            del self._adj[absorb][port]
+        self._remove_isolated(absorb)
+
+    def _remove_isolated(self, v: int) -> None:
+        if self._adj[v]:
+            raise PortLabelingError(f"node {v} is not isolated")
+        del self._adj[v]
+        # Shift handles above v down by one.
+        for row in self._adj:
+            for port, (u, q) in list(row.items()):
+                if u > v:
+                    row[port] = (u - 1, q)
+
+    # ------------------------------------------------------------------ #
+    # finalisation
+    # ------------------------------------------------------------------ #
+    def compact_ports(self) -> None:
+        """Renumber the ports of every node to ``0..d-1`` preserving their order.
+
+        Only used for graphs whose construction naturally leaves gaps; the
+        paper's families do not need it.
+        """
+        for v, row in enumerate(self._adj):
+            old_ports = sorted(row)
+            for new, old in enumerate(old_ports):
+                if new != old:
+                    self.relabel_port(v, old, new)
+
+    def validate(self, *, require_contiguous_ports: bool = True, require_connected: bool = True) -> None:
+        """Validate without building."""
+        validate_adjacency(
+            self._adj,
+            require_contiguous_ports=require_contiguous_ports,
+            require_connected=require_connected,
+        )
+
+    def build(
+        self,
+        *,
+        name: Optional[str] = None,
+        require_connected: bool = True,
+    ) -> PortLabeledGraph:
+        """Validate and freeze the builder into a :class:`PortLabeledGraph`.
+
+        Ports must be contiguous ``0..d-1`` at every node (the frozen graph
+        stores port tables indexed by port); call :meth:`compact_ports` first
+        if the construction left gaps.
+        """
+        self.validate(
+            require_contiguous_ports=True,
+            require_connected=require_connected,
+        )
+        return PortLabeledGraph(
+            self._adj, name=self.name if name is None else name, validate=False
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_graph(cls, graph: PortLabeledGraph, *, name: str = "") -> "GraphBuilder":
+        """Start a builder pre-populated with an existing graph."""
+        builder = cls(name=name or graph.name)
+        builder.add_graph(graph)
+        return builder
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<GraphBuilder n={self.num_nodes} m={self.num_edges}>"

@@ -1,0 +1,339 @@
+"""Standard port-labeled graph generators.
+
+These are the small, well-understood networks used throughout tests, the
+examples and the benchmarks: paths, cycles (with symmetric or oriented port
+labelings, which changes feasibility of leader election!), cliques, stars,
+full µ-ary trees labeled the way Section 4.1 of the paper labels them, and a
+seeded random connected graph generator for property-based testing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .builder import GraphBuilder
+from .graph import PortLabeledGraph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "rotational_complete_graph",
+    "star_graph",
+    "full_ary_tree",
+    "two_node_graph",
+    "three_node_line",
+    "asymmetric_cycle",
+    "hypercube_graph",
+    "grid_graph",
+    "complete_bipartite_graph",
+    "caterpillar_graph",
+    "random_connected_graph",
+    "random_tree",
+]
+
+
+def path_graph(n: int, *, name: str = "") -> PortLabeledGraph:
+    """A path on ``n`` nodes.
+
+    Interior nodes use port 0 towards the higher-numbered neighbour and port 1
+    towards the lower-numbered one; endpoints use their only port 0.
+    """
+    if n < 1:
+        raise ValueError("need at least one node")
+    if n == 1:
+        raise ValueError("a single isolated node is not a valid connected port-labeled graph "
+                         "with edges; use two_node_graph() for the smallest example")
+    builder = GraphBuilder(n, name=name or f"path-{n}")
+    for v in range(n - 1):
+        u = v + 1
+        pv = 0
+        pu = 0 if u == n - 1 else 1
+        builder.add_edge(v, pv, u, pu)
+    return builder.build()
+
+
+def two_node_graph() -> PortLabeledGraph:
+    """The two-node graph: the paper's canonical infeasible example."""
+    builder = GraphBuilder(2, name="K2")
+    builder.add_edge(0, 0, 1, 0)
+    return builder.build()
+
+
+def three_node_line(ports: Sequence[int] = (0, 0, 1, 0), *, name: str = "") -> PortLabeledGraph:
+    """The 3-node line with given ports ``(p_left, p_mid_left, p_mid_right, p_right)``.
+
+    With the default ports ``0, 0, 1, 0`` (left to right) this is the paper's
+    example with ψ_CPPE = 1 (Section 1).
+    """
+    a, b, c, d = ports
+    builder = GraphBuilder(3, name=name or "line-3")
+    builder.add_edge(0, a, 1, b)
+    builder.add_edge(1, c, 2, d)
+    return builder.build()
+
+
+def cycle_graph(n: int, *, oriented: bool = False, name: str = "") -> PortLabeledGraph:
+    """A cycle on ``n >= 3`` nodes.
+
+    With ``oriented=False`` ports alternate 0/1 in a rotation-symmetric way
+    (every node uses port 0 clockwise and port 1 counter-clockwise), which
+    makes every node's view identical -- leader election is infeasible.  The
+    ``oriented=True`` labeling is the same thing (also symmetric); use
+    :func:`asymmetric_cycle` for a feasible ring.
+    """
+    if n < 3:
+        raise ValueError("cycle needs at least 3 nodes")
+    builder = GraphBuilder(n, name=name or f"cycle-{n}")
+    for v in range(n):
+        u = (v + 1) % n
+        builder.add_edge(v, 0, u, 1)
+    return builder.build()
+
+
+def asymmetric_cycle(n: int, *, name: str = "") -> PortLabeledGraph:
+    """A cycle whose port labeling breaks all symmetry (feasible for election).
+
+    Every node uses port 0 clockwise and port 1 counter-clockwise, except one
+    distinguished node which uses port 1 clockwise and port 0
+    counter-clockwise.  For ``n >= 4`` all views become distinct.
+    """
+    if n < 3:
+        raise ValueError("cycle needs at least 3 nodes")
+    builder = GraphBuilder(n, name=name or f"asym-cycle-{n}")
+    for v in range(n):
+        u = (v + 1) % n
+        pv = 0 if v != 0 else 1
+        pu = 1 if u != 0 else 0
+        builder.add_edge(v, pv, u, pu)
+    return builder.build()
+
+
+def complete_graph(n: int, *, name: str = "") -> PortLabeledGraph:
+    """The complete graph on ``n`` nodes with the canonical labeling.
+
+    Node ``v`` assigns ports ``0..n-2`` to its neighbours in increasing order
+    of handle (skipping itself).
+    """
+    if n < 2:
+        raise ValueError("complete graph needs at least 2 nodes")
+    adj: List[Dict[int, Tuple[int, int]]] = [dict() for _ in range(n)]
+
+    def port_at(v: int, u: int) -> int:
+        return u if u < v else u - 1
+
+    for v in range(n):
+        for u in range(v + 1, n):
+            adj[v][port_at(v, u)] = (u, port_at(u, v))
+            adj[u][port_at(u, v)] = (v, port_at(v, u))
+    return PortLabeledGraph(adj, name=name or f"K{n}")
+
+
+def rotational_complete_graph(n: int, *, name: str = "") -> PortLabeledGraph:
+    """The complete graph on ``n`` nodes with a rotation-symmetric port labeling.
+
+    Node ``i`` labels the edge towards node ``(i + j + 1) mod n`` with port
+    ``j``.  The rotation ``i -> i + 1`` is then a port-preserving
+    automorphism, so all views coincide and leader election is infeasible --
+    the natural "large clique" counterpart of the two-node example.
+    """
+    if n < 2:
+        raise ValueError("complete graph needs at least 2 nodes")
+    adj: List[Dict[int, Tuple[int, int]]] = [dict() for _ in range(n)]
+    for i in range(n):
+        for j in range(n - 1):
+            k = (i + j + 1) % n
+            adj[i][j] = (k, (i - k - 1) % n)
+    return PortLabeledGraph(adj, name=name or f"rotational-K{n}")
+
+
+def star_graph(leaves: int, *, name: str = "") -> PortLabeledGraph:
+    """A star with ``leaves`` degree-1 nodes around a centre (node 0)."""
+    if leaves < 1:
+        raise ValueError("need at least one leaf")
+    builder = GraphBuilder(1 + leaves, name=name or f"star-{leaves}")
+    for i in range(leaves):
+        builder.add_edge(0, i, 1 + i, 0)
+    return builder.build()
+
+
+def full_ary_tree(arity: int, height: int, *, name: str = "") -> PortLabeledGraph:
+    """The port-labeled full ``arity``-ary tree of the paper's Section 4.1.
+
+    The root has degree ``arity`` with ports ``0..arity-1`` towards its
+    children; every internal node has port ``arity`` towards its parent and
+    ports ``0..arity-1`` towards its children; every leaf has port 0 towards
+    its parent.  Node 0 is the root.
+    """
+    if arity < 1:
+        raise ValueError("arity must be positive")
+    if height < 0:
+        raise ValueError("height must be non-negative")
+    builder = GraphBuilder(1, name=name or f"T^{height}(mu={arity})")
+    if height == 0:
+        raise ValueError("a height-0 tree is a single node; not a valid connected graph here")
+    frontier = [0]
+    for level in range(height):
+        next_frontier: List[int] = []
+        for parent in frontier:
+            for child_index in range(arity):
+                child = builder.add_node()
+                child_is_leaf = level == height - 1
+                child_port = 0 if child_is_leaf else arity
+                builder.add_edge(parent, child_index, child, child_port)
+                next_frontier.append(child)
+        frontier = next_frontier
+    return builder.build()
+
+
+def hypercube_graph(dimension: int, *, name: str = "") -> PortLabeledGraph:
+    """The ``dimension``-dimensional hypercube with the natural port labeling.
+
+    Every node labels the edge flipping bit ``i`` with port ``i``.  This
+    labeling is preserved by every translation ``x -> x XOR c``, so the graph
+    is vertex-transitive as a port-labeled graph: all views coincide and
+    leader election is infeasible -- the classic "symmetric network" example
+    beyond rings.
+    """
+    if dimension < 1:
+        raise ValueError("dimension must be at least 1")
+    n = 1 << dimension
+    adj: List[Dict[int, Tuple[int, int]]] = [dict() for _ in range(n)]
+    for v in range(n):
+        for bit in range(dimension):
+            adj[v][bit] = (v ^ (1 << bit), bit)
+    return PortLabeledGraph(adj, name=name or f"hypercube-{dimension}")
+
+
+def grid_graph(rows: int, cols: int, *, name: str = "") -> PortLabeledGraph:
+    """A ``rows x cols`` grid; each node labels its ports in (up, down, left, right) order.
+
+    Ports are compacted per node (border nodes have fewer neighbours), which
+    breaks most symmetry: grids other than tiny squares are feasible.
+    """
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError("grid needs at least two nodes")
+    builder = GraphBuilder(rows * cols, name=name or f"grid-{rows}x{cols}")
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    def neighbours(r: int, c: int):
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            rr, cc = r + dr, c + dc
+            if 0 <= rr < rows and 0 <= cc < cols:
+                yield rr, cc
+
+    port_of = {}
+    for r in range(rows):
+        for c in range(cols):
+            for i, (rr, cc) in enumerate(neighbours(r, c)):
+                port_of[(r, c, rr, cc)] = i
+    for r in range(rows):
+        for c in range(cols):
+            for rr, cc in neighbours(r, c):
+                if (rr, cc) > (r, c):
+                    builder.add_edge(
+                        node(r, c), port_of[(r, c, rr, cc)],
+                        node(rr, cc), port_of[(rr, cc, r, c)],
+                    )
+    return builder.build()
+
+
+def complete_bipartite_graph(left: int, right: int, *, name: str = "") -> PortLabeledGraph:
+    """K_{left,right} with ports assigned in increasing order of the other side's handle."""
+    if left < 1 or right < 1:
+        raise ValueError("both sides need at least one node")
+    builder = GraphBuilder(left + right, name=name or f"K{left},{right}")
+    for a in range(left):
+        for b in range(right):
+            builder.add_edge(a, b, left + b, a)
+    return builder.build()
+
+
+def caterpillar_graph(spine: int, legs: int, *, name: str = "") -> PortLabeledGraph:
+    """A caterpillar: a path of ``spine`` nodes, each carrying ``legs`` pendant leaves.
+
+    A convenient family of trees with many equal-view leaves at small depth,
+    used in tests of view-class growth.
+    """
+    if spine < 2 or legs < 0:
+        raise ValueError("need a spine of at least 2 nodes and a non-negative leg count")
+    builder = GraphBuilder(spine, name=name or f"caterpillar-{spine}x{legs}")
+    for v in range(spine - 1):
+        u = v + 1
+        pv = 0
+        pu = 0 if u == spine - 1 else 1
+        builder.add_edge(v, pv, u, pu)
+    for v in range(spine):
+        base = builder.degree(v)
+        for leg in range(legs):
+            leaf = builder.add_node()
+            builder.add_edge(v, base + leg, leaf, 0)
+    return builder.build()
+
+
+def random_tree(n: int, *, seed: int = 0, name: str = "") -> PortLabeledGraph:
+    """A random labeled tree on ``n`` nodes with ports assigned in attachment order."""
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    rng = random.Random(seed)
+    builder = GraphBuilder(n, name=name or f"random-tree-{n}-{seed}")
+    degree = [0] * n
+    for v in range(1, n):
+        u = rng.randrange(v)
+        builder.add_edge(v, degree[v], u, degree[u])
+        degree[v] += 1
+        degree[u] += 1
+    return builder.build()
+
+
+def random_connected_graph(
+    n: int,
+    extra_edges: int = 0,
+    *,
+    seed: int = 0,
+    name: str = "",
+) -> PortLabeledGraph:
+    """A seeded random connected simple graph with a random port labeling.
+
+    A random spanning tree guarantees connectivity; ``extra_edges`` additional
+    distinct non-tree edges are then added (as many as fit).  Ports at each
+    node are a random permutation of ``0..d-1``.
+    """
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    rng = random.Random(seed)
+    edges = set()
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(1, n):
+        u = order[i]
+        v = order[rng.randrange(i)]
+        edges.add((min(u, v), max(u, v)))
+    attempts = 0
+    max_possible = n * (n - 1) // 2
+    while len(edges) < min(max_possible, n - 1 + extra_edges) and attempts < 50 * (extra_edges + 1):
+        attempts += 1
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v:
+            continue
+        edges.add((min(u, v), max(u, v)))
+
+    incident: List[List[int]] = [[] for _ in range(n)]
+    for u, v in sorted(edges):
+        incident[u].append(v)
+        incident[v].append(u)
+    port_of: List[Dict[int, int]] = []
+    for v in range(n):
+        ports = list(range(len(incident[v])))
+        rng.shuffle(ports)
+        port_of.append({u: ports[i] for i, u in enumerate(incident[v])})
+
+    adj: List[Dict[int, Tuple[int, int]]] = [dict() for _ in range(n)]
+    for u, v in edges:
+        pu, pv = port_of[u][v], port_of[v][u]
+        adj[u][pu] = (v, pv)
+        adj[v][pv] = (u, pu)
+    return PortLabeledGraph(adj, name=name or f"random-{n}-{seed}")

@@ -1,0 +1,219 @@
+"""The immutable port-labeled graph used throughout the reproduction.
+
+A :class:`PortLabeledGraph` models the paper's network: a simple, undirected,
+connected graph on nodes ``0..n-1`` (the integers are *our* handles for
+bookkeeping -- the nodes themselves are anonymous and distributed algorithms
+in :mod:`repro.sim` never see them) where each node of degree ``d`` labels
+its incident edges with distinct ports ``0..d-1``.
+
+The canonical internal representation is a tuple (per node) of tuples (per
+port) of ``(neighbour, neighbour_port)`` pairs, so ``graph.endpoint(v, p)``
+is an O(1) lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from .validation import PortLabelingError, validate_adjacency
+
+__all__ = ["PortLabeledGraph"]
+
+Endpoint = Tuple[int, int]
+
+
+class PortLabeledGraph:
+    """An immutable, simple, port-labeled graph.
+
+    Parameters
+    ----------
+    adjacency:
+        Sequence over nodes; entry ``v`` maps ports to
+        ``(neighbour, neighbour_port)`` pairs (either as a mapping or as a
+        sequence indexed by port).
+    name:
+        Optional human-readable name (used in reprs and experiment tables).
+    validate:
+        Validate the model invariants (contiguous ports, reciprocity,
+        simplicity, connectivity).  Families that were just validated by
+        their builder pass ``validate=False`` to avoid re-validating huge
+        graphs twice.
+    """
+
+    __slots__ = ("_adj", "_num_edges", "_name", "_max_degree")
+
+    def __init__(self, adjacency: Sequence, *, name: str = "", validate: bool = True) -> None:
+        if validate:
+            validate_adjacency(adjacency, require_contiguous_ports=True, require_connected=True)
+        adj: List[Tuple[Endpoint, ...]] = []
+        for entry in adjacency:
+            if isinstance(entry, Mapping):
+                degree = len(entry)
+                row = tuple(tuple(entry[p]) for p in range(degree))
+            else:
+                row = tuple(tuple(pair) for pair in entry)
+            adj.append(row)
+        self._adj: Tuple[Tuple[Endpoint, ...], ...] = tuple(adj)
+        self._num_edges = sum(len(row) for row in self._adj) // 2
+        self._name = name
+        self._max_degree = max((len(row) for row in self._adj), default=0)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Human-readable name of the graph."""
+        return self._name
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) edges ``m``."""
+        return self._num_edges
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree Δ of the graph."""
+        return self._max_degree
+
+    @property
+    def min_degree(self) -> int:
+        """Minimum degree of the graph."""
+        return min((len(row) for row in self._adj), default=0)
+
+    def nodes(self) -> range:
+        """Iterate over node handles ``0..n-1``."""
+        return range(len(self._adj))
+
+    def degree(self, v: int) -> int:
+        """Degree of node ``v``."""
+        return len(self._adj[v])
+
+    def degree_sequence(self) -> Tuple[int, ...]:
+        """Degrees of all nodes, indexed by node handle."""
+        return tuple(len(row) for row in self._adj)
+
+    def endpoint(self, v: int, port: int) -> Endpoint:
+        """Return ``(u, q)``: the neighbour reached from ``v`` via ``port`` and the port back."""
+        return self._adj[v][port]
+
+    def neighbor(self, v: int, port: int) -> int:
+        """The neighbour reached from ``v`` by taking ``port``."""
+        return self._adj[v][port][0]
+
+    def ports(self, v: int) -> range:
+        """The ports available at node ``v`` (always ``0..deg(v)-1``)."""
+        return range(len(self._adj[v]))
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Neighbours of ``v`` in port order."""
+        return tuple(pair[0] for pair in self._adj[v])
+
+    def port_to(self, v: int, u: int) -> int:
+        """The port at ``v`` whose edge leads to ``u``.
+
+        Raises ``KeyError`` if ``u`` is not a neighbour of ``v``.
+        """
+        for port, (w, _q) in enumerate(self._adj[v]):
+            if w == u:
+                return port
+        raise KeyError(f"{u} is not a neighbour of {v}")
+
+    def has_edge(self, v: int, u: int) -> bool:
+        """Whether ``{v, u}`` is an edge."""
+        return any(w == u for w, _q in self._adj[v])
+
+    def edge_ports(self, v: int, u: int) -> Tuple[int, int]:
+        """The pair ``(port at v, port at u)`` of the edge ``{v, u}``."""
+        p = self.port_to(v, u)
+        return p, self._adj[v][p][1]
+
+    def adjacency(self, v: int) -> Tuple[Endpoint, ...]:
+        """The full port table of ``v`` (tuple indexed by port)."""
+        return self._adj[v]
+
+    def edges(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Iterate over edges as ``(v, port_at_v, u, port_at_u)`` with ``v < u``."""
+        for v, row in enumerate(self._adj):
+            for p, (u, q) in enumerate(row):
+                if v < u:
+                    yield v, p, u, q
+
+    # ------------------------------------------------------------------ #
+    # structural helpers
+    # ------------------------------------------------------------------ #
+    def relabeled(self, mapping: Mapping[int, int] | Sequence[int], *, name: str | None = None) -> "PortLabeledGraph":
+        """Return a copy with node handles renamed by ``mapping`` (a bijection)."""
+        n = self.num_nodes
+        if isinstance(mapping, Mapping):
+            perm = [mapping[v] for v in range(n)]
+        else:
+            perm = list(mapping)
+        if sorted(perm) != list(range(n)):
+            raise ValueError("relabeling must be a bijection on node handles")
+        new_adj: List[Dict[int, Endpoint]] = [dict() for _ in range(n)]
+        for v, row in enumerate(self._adj):
+            for p, (u, q) in enumerate(row):
+                new_adj[perm[v]][p] = (perm[u], q)
+        return PortLabeledGraph(new_adj, name=self._name if name is None else name, validate=False)
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Mapping ``degree -> number of nodes of that degree``."""
+        hist: Dict[int, int] = {}
+        for row in self._adj:
+            hist[len(row)] = hist.get(len(row), 0) + 1
+        return hist
+
+    def nodes_of_degree(self, d: int) -> List[int]:
+        """Node handles with degree exactly ``d``."""
+        return [v for v in self.nodes() if len(self._adj[v]) == d]
+
+    # ------------------------------------------------------------------ #
+    # dunder protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __eq__(self, other: object) -> bool:
+        """Exact labeled equality: same node handles, same ports, same edges."""
+        if not isinstance(other, PortLabeledGraph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __hash__(self) -> int:
+        return hash(self._adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self._name!r}" if self._name else ""
+        return (
+            f"<PortLabeledGraph{label} n={self.num_nodes} m={self.num_edges} "
+            f"Δ={self.max_degree}>"
+        )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edge_list(
+        cls,
+        num_nodes: int,
+        edges: Iterable[Tuple[int, int, int, int]],
+        *,
+        name: str = "",
+        validate: bool = True,
+    ) -> "PortLabeledGraph":
+        """Build a graph from ``(v, port_at_v, u, port_at_u)`` tuples."""
+        adj: List[Dict[int, Endpoint]] = [dict() for _ in range(num_nodes)]
+        for v, pv, u, pu in edges:
+            if pv in adj[v]:
+                raise PortLabelingError(f"duplicate port {pv} at node {v}")
+            if pu in adj[u]:
+                raise PortLabelingError(f"duplicate port {pu} at node {u}")
+            adj[v][pv] = (u, pu)
+            adj[u][pu] = (v, pv)
+        return cls(adj, name=name, validate=validate)

@@ -1,0 +1,97 @@
+"""Serialization of port-labeled graphs.
+
+Graphs round-trip through a plain ``dict`` (and JSON), convert to and from
+``networkx`` multigraph-free graphs carrying port attributes, and export to
+Graphviz DOT for eyeballing small instances.  The dict format is also the
+payload of the "full map" advice used by the universal minimum-time
+algorithms (:mod:`repro.advice.map_advice`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .graph import PortLabeledGraph
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "graph_to_json",
+    "graph_from_json",
+    "graph_to_networkx",
+    "graph_from_networkx",
+    "graph_to_dot",
+]
+
+
+def graph_to_dict(graph: PortLabeledGraph) -> Dict[str, Any]:
+    """A JSON-friendly dictionary representation of a graph."""
+    return {
+        "name": graph.name,
+        "num_nodes": graph.num_nodes,
+        "edges": [[v, pv, u, pu] for v, pv, u, pu in graph.edges()],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any], *, validate: bool = True) -> PortLabeledGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    return PortLabeledGraph.from_edge_list(
+        data["num_nodes"],
+        [tuple(edge) for edge in data["edges"]],
+        name=data.get("name", ""),
+        validate=validate,
+    )
+
+
+def graph_to_json(graph: PortLabeledGraph, *, indent: int | None = None) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent)
+
+
+def graph_from_json(payload: str, *, validate: bool = True) -> PortLabeledGraph:
+    """Parse a JSON string produced by :func:`graph_to_json`."""
+    return graph_from_dict(json.loads(payload), validate=validate)
+
+
+def graph_to_networkx(graph: PortLabeledGraph):
+    """Convert to a ``networkx.Graph`` whose edges carry ``ports={node: port}`` attributes."""
+    import networkx as nx
+
+    g = nx.Graph(name=graph.name)
+    g.add_nodes_from(graph.nodes())
+    for v, pv, u, pu in graph.edges():
+        g.add_edge(v, u, ports={v: pv, u: pu})
+    return g
+
+
+def graph_from_networkx(g, *, name: str = "", validate: bool = True) -> PortLabeledGraph:
+    """Convert a networkx graph with ``ports`` edge attributes back to a port-labeled graph.
+
+    Nodes may be arbitrary hashables; they are relabeled to ``0..n-1`` in
+    sorted-by-insertion order.
+    """
+    nodes = list(g.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    edges: List[tuple] = []
+    for u, v, data in g.edges(data=True):
+        ports = data.get("ports")
+        if ports is None:
+            raise ValueError(f"edge ({u}, {v}) is missing a 'ports' attribute")
+        edges.append((index[u], ports[u], index[v], ports[v]))
+    return PortLabeledGraph.from_edge_list(
+        len(nodes), edges, name=name or g.name if hasattr(g, "name") else name, validate=validate
+    )
+
+
+def graph_to_dot(graph: PortLabeledGraph, *, highlight: Dict[int, str] | None = None) -> str:
+    """Graphviz DOT output with ports rendered as ``taillabel``/``headlabel``."""
+    highlight = highlight or {}
+    lines = ["graph G {", "  node [shape=circle];"]
+    for v in graph.nodes():
+        attrs = f' [style=filled, fillcolor="{highlight[v]}"]' if v in highlight else ""
+        lines.append(f"  n{v}{attrs};")
+    for v, pv, u, pu in graph.edges():
+        lines.append(f'  n{v} -- n{u} [taillabel="{pv}", headlabel="{pu}"];')
+    lines.append("}")
+    return "\n".join(lines)

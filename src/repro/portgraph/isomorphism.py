@@ -1,0 +1,85 @@
+"""Port-preserving isomorphism of port-labeled graphs.
+
+Two port-labeled graphs are isomorphic (as *maps*, in the paper's sense) if
+there is a bijection of nodes that preserves both adjacency and the port
+numbers on every edge.  Because the graphs are connected and ports at a node
+are distinct, such an isomorphism is completely determined by the image of a
+single node: following the same port from matched nodes must lead to matched
+nodes.  This gives an O(n·m) decision procedure which we use in tests to
+check that family constructions produce the intended graphs (e.g. that the
+two copies of a tree glued into ``G_i`` really are copies).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+from .graph import PortLabeledGraph
+
+__all__ = ["extend_isomorphism", "find_isomorphism", "are_isomorphic"]
+
+
+def extend_isomorphism(
+    first: PortLabeledGraph,
+    second: PortLabeledGraph,
+    anchor_first: int,
+    anchor_second: int,
+) -> Optional[Dict[int, int]]:
+    """Try to extend ``anchor_first -> anchor_second`` to a full port-preserving isomorphism.
+
+    Returns the node mapping or ``None`` if the extension fails.
+    """
+    if first.num_nodes != second.num_nodes or first.num_edges != second.num_edges:
+        return None
+    if first.degree(anchor_first) != second.degree(anchor_second):
+        return None
+    mapping: Dict[int, int] = {anchor_first: anchor_second}
+    reverse: Dict[int, int] = {anchor_second: anchor_first}
+    queue = deque([anchor_first])
+    while queue:
+        v = queue.popleft()
+        w = mapping[v]
+        if first.degree(v) != second.degree(w):
+            return None
+        for port in first.ports(v):
+            u, back_u = first.endpoint(v, port)
+            x, back_x = second.endpoint(w, port)
+            if back_u != back_x:
+                return None
+            if u in mapping:
+                if mapping[u] != x:
+                    return None
+            elif x in reverse:
+                return None
+            else:
+                mapping[u] = x
+                reverse[x] = u
+                queue.append(u)
+    if len(mapping) != first.num_nodes:
+        return None
+    return mapping
+
+
+def find_isomorphism(
+    first: PortLabeledGraph, second: PortLabeledGraph
+) -> Optional[Dict[int, int]]:
+    """Find a port-preserving isomorphism, anchoring node 0 of ``first`` at every candidate."""
+    if first.num_nodes != second.num_nodes or first.num_edges != second.num_edges:
+        return None
+    if sorted(first.degree_sequence()) != sorted(second.degree_sequence()):
+        return None
+    anchor = 0
+    target_degree = first.degree(anchor)
+    for candidate in second.nodes():
+        if second.degree(candidate) != target_degree:
+            continue
+        mapping = extend_isomorphism(first, second, anchor, candidate)
+        if mapping is not None:
+            return mapping
+    return None
+
+
+def are_isomorphic(first: PortLabeledGraph, second: PortLabeledGraph) -> bool:
+    """Whether two port-labeled graphs are isomorphic as port-labeled maps."""
+    return find_isomorphism(first, second) is not None

@@ -1,0 +1,296 @@
+"""Path and port-sequence utilities on port-labeled graphs.
+
+The strong formulations of leader election (PE / PPE / CPPE, Section 1 of the
+paper) are defined in terms of *simple paths described by port numbers*:
+
+* **PE** -- every non-leader outputs the first port of a simple path to the
+  leader;
+* **PPE** -- every non-leader outputs the sequence of *outgoing* ports
+  ``(p1, ..., pk)`` of a simple path to the leader;
+* **CPPE** -- every non-leader outputs the alternating sequence
+  ``(p1, q1, ..., pk, qk)`` of outgoing and incoming ports of a simple path
+  to the leader.
+
+This module provides the machinery to follow such sequences, to check their
+simplicity, to produce them from shortest paths, and to answer the question
+"is port ``p`` at ``v`` the first port of *some* simple path from ``v`` to
+``u``?" which is the correctness condition for PE outputs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .graph import PortLabeledGraph
+
+__all__ = [
+    "follow_ports",
+    "follow_port_pairs",
+    "is_simple_node_sequence",
+    "bfs_distances",
+    "bfs_tree",
+    "shortest_path",
+    "shortest_path_via_port",
+    "distance",
+    "eccentricity",
+    "diameter",
+    "outgoing_ports_of_path",
+    "complete_ports_of_path",
+    "path_from_outgoing_ports",
+    "path_from_complete_ports",
+    "first_ports_of_simple_paths",
+    "is_first_port_of_simple_path",
+    "reachable_without",
+]
+
+
+# --------------------------------------------------------------------------- #
+# following port sequences
+# --------------------------------------------------------------------------- #
+def follow_ports(
+    graph: PortLabeledGraph, start: int, ports: Sequence[int]
+) -> Optional[List[int]]:
+    """Follow a sequence of outgoing ports from ``start``.
+
+    Returns the visited node sequence ``[start, v1, ..., vk]`` or ``None`` if
+    some port does not exist at the current node.
+    """
+    path = [start]
+    current = start
+    for p in ports:
+        if p < 0 or p >= graph.degree(current):
+            return None
+        current = graph.neighbor(current, p)
+        path.append(current)
+    return path
+
+
+def follow_port_pairs(
+    graph: PortLabeledGraph, start: int, pairs: Sequence[Tuple[int, int]]
+) -> Optional[List[int]]:
+    """Follow a CPPE-style sequence of ``(outgoing, incoming)`` port pairs.
+
+    Returns the visited node sequence, or ``None`` if an outgoing port does
+    not exist or an incoming port does not match the traversed edge.
+    """
+    path = [start]
+    current = start
+    for p, q in pairs:
+        if p < 0 or p >= graph.degree(current):
+            return None
+        nxt, back = graph.endpoint(current, p)
+        if back != q:
+            return None
+        current = nxt
+        path.append(current)
+    return path
+
+
+def is_simple_node_sequence(nodes: Sequence[int]) -> bool:
+    """Whether a node sequence visits pairwise-distinct nodes."""
+    return len(set(nodes)) == len(nodes)
+
+
+# --------------------------------------------------------------------------- #
+# shortest paths
+# --------------------------------------------------------------------------- #
+def bfs_distances(graph: PortLabeledGraph, source: int) -> List[int]:
+    """Distances from ``source`` to every node (-1 if unreachable)."""
+    dist = [-1] * graph.num_nodes
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if dist[u] < 0:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return dist
+
+
+def bfs_tree(graph: PortLabeledGraph, source: int) -> List[int]:
+    """BFS parent array rooted at ``source`` (-1 for the source / unreachable).
+
+    Among equidistant parents, the one reached through the smallest port at
+    the parent wins, which makes the tree deterministic.
+    """
+    parent = [-1] * graph.num_nodes
+    seen = [False] * graph.num_nodes
+    seen[source] = True
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for p in graph.ports(v):
+            u = graph.neighbor(v, p)
+            if not seen[u]:
+                seen[u] = True
+                parent[u] = v
+                queue.append(u)
+    return parent
+
+
+def shortest_path(graph: PortLabeledGraph, source: int, target: int) -> Optional[List[int]]:
+    """A shortest path from ``source`` to ``target`` as a node list (or ``None``)."""
+    if source == target:
+        return [source]
+    parent = [-2] * graph.num_nodes
+    parent[source] = -1
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for p in graph.ports(v):
+            u = graph.neighbor(v, p)
+            if parent[u] == -2:
+                parent[u] = v
+                if u == target:
+                    path = [u]
+                    while path[-1] != source:
+                        path.append(parent[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(u)
+    return None
+
+
+def shortest_path_via_port(
+    graph: PortLabeledGraph, source: int, first_port: int, target: int
+) -> Optional[List[int]]:
+    """A shortest *simple* path from ``source`` to ``target`` whose first edge uses ``first_port``.
+
+    Returns ``None`` if no simple path starts with that edge.  (A path through
+    a fixed first neighbour ``w`` exists iff ``w == target`` or ``target`` is
+    reachable from ``w`` in the graph minus ``source``.)
+    """
+    w = graph.neighbor(source, first_port)
+    if w == target:
+        return [source, target]
+    sub = shortest_path_avoiding(graph, w, target, forbidden=source)
+    if sub is None:
+        return None
+    return [source] + sub
+
+
+def shortest_path_avoiding(
+    graph: PortLabeledGraph, source: int, target: int, *, forbidden: int
+) -> Optional[List[int]]:
+    """Shortest path from ``source`` to ``target`` avoiding node ``forbidden``."""
+    if source == forbidden or target == forbidden:
+        return None
+    if source == target:
+        return [source]
+    parent = [-2] * graph.num_nodes
+    parent[source] = -1
+    parent[forbidden] = -3
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if parent[u] == -2:
+                parent[u] = v
+                if u == target:
+                    path = [u]
+                    while path[-1] != source:
+                        path.append(parent[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(u)
+    return None
+
+
+def distance(graph: PortLabeledGraph, source: int, target: int) -> int:
+    """Hop distance between two nodes (-1 if disconnected)."""
+    path = shortest_path(graph, source, target)
+    return -1 if path is None else len(path) - 1
+
+
+def eccentricity(graph: PortLabeledGraph, source: int) -> int:
+    """Largest distance from ``source`` to any node."""
+    return max(bfs_distances(graph, source))
+
+
+def diameter(graph: PortLabeledGraph) -> int:
+    """Graph diameter (exact; O(n·m))."""
+    return max(eccentricity(graph, v) for v in graph.nodes())
+
+
+# --------------------------------------------------------------------------- #
+# converting node paths <-> port sequences
+# --------------------------------------------------------------------------- #
+def outgoing_ports_of_path(graph: PortLabeledGraph, nodes: Sequence[int]) -> Tuple[int, ...]:
+    """The PPE-style outgoing port sequence of a node path."""
+    ports = []
+    for v, u in zip(nodes, nodes[1:]):
+        ports.append(graph.port_to(v, u))
+    return tuple(ports)
+
+
+def complete_ports_of_path(graph: PortLabeledGraph, nodes: Sequence[int]) -> Tuple[int, ...]:
+    """The CPPE-style alternating ``(p1, q1, ..., pk, qk)`` sequence of a node path."""
+    seq: List[int] = []
+    for v, u in zip(nodes, nodes[1:]):
+        p, q = graph.edge_ports(v, u)
+        seq.extend((p, q))
+    return tuple(seq)
+
+
+def path_from_outgoing_ports(
+    graph: PortLabeledGraph, start: int, ports: Sequence[int]
+) -> Optional[List[int]]:
+    """Alias of :func:`follow_ports` (kept for symmetry with the CPPE variant)."""
+    return follow_ports(graph, start, ports)
+
+
+def path_from_complete_ports(
+    graph: PortLabeledGraph, start: int, sequence: Sequence[int]
+) -> Optional[List[int]]:
+    """Follow a flat CPPE sequence ``(p1, q1, ..., pk, qk)`` from ``start``."""
+    if len(sequence) % 2 != 0:
+        return None
+    pairs = [(sequence[i], sequence[i + 1]) for i in range(0, len(sequence), 2)]
+    return follow_port_pairs(graph, start, pairs)
+
+
+# --------------------------------------------------------------------------- #
+# PE correctness machinery
+# --------------------------------------------------------------------------- #
+def reachable_without(graph: PortLabeledGraph, start: int, forbidden: int) -> List[bool]:
+    """Reachability from ``start`` in the graph with node ``forbidden`` removed."""
+    reach = [False] * graph.num_nodes
+    if start == forbidden:
+        return reach
+    reach[start] = True
+    queue = deque([start])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u != forbidden and not reach[u]:
+                reach[u] = True
+                queue.append(u)
+    return reach
+
+
+def is_first_port_of_simple_path(
+    graph: PortLabeledGraph, v: int, port: int, target: int
+) -> bool:
+    """Whether ``port`` at ``v`` is the first port of some simple path from ``v`` to ``target``.
+
+    This is the PE output-correctness condition.  It holds iff the neighbour
+    ``w`` reached via ``port`` equals ``target``, or ``target`` is reachable
+    from ``w`` without going back through ``v``.
+    """
+    if v == target:
+        return False
+    if port < 0 or port >= graph.degree(v):
+        return False
+    w = graph.neighbor(v, port)
+    if w == target:
+        return True
+    return reachable_without(graph, w, v)[target]
+
+
+def first_ports_of_simple_paths(
+    graph: PortLabeledGraph, v: int, target: int
+) -> List[int]:
+    """All ports at ``v`` that start a simple path from ``v`` to ``target``."""
+    return [p for p in graph.ports(v) if is_first_port_of_simple_path(graph, v, p, target)]

@@ -1,0 +1,20 @@
+"""Synchronous LOCAL-model simulator for anonymous port-labeled networks."""
+
+from .algorithm import FunctionalViewAlgorithm, ViewBasedAlgorithm, ViewGatheringAlgorithm
+from .engine import SimulationResult, run_synchronous
+from .knowledge import gather_views
+from .model import Advice, NodeAlgorithm
+from .trace import ExecutionTrace, RoundStats
+
+__all__ = [
+    "NodeAlgorithm",
+    "Advice",
+    "ViewGatheringAlgorithm",
+    "ViewBasedAlgorithm",
+    "FunctionalViewAlgorithm",
+    "run_synchronous",
+    "SimulationResult",
+    "gather_views",
+    "ExecutionTrace",
+    "RoundStats",
+]

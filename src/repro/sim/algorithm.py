@@ -1,0 +1,96 @@
+"""Standard node algorithms: view gathering and view-based decisions.
+
+The information a node can possibly acquire in ``r`` rounds of the LOCAL
+model is its augmented truncated view ``B^r(v)``.  The
+:class:`ViewGatheringAlgorithm` realises that bound constructively: in every
+round each node sends its current view (together with the outgoing port, so
+the receiver learns the incoming port number of the shared edge) to all
+neighbours and assembles the received depth-``(r-1)`` views into its own
+depth-``r`` view.  Every algorithm of the paper is a view-gathering algorithm
+plus a *decision function* from ``(B^r, advice)`` to an output, which is what
+:class:`ViewBasedAlgorithm` captures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..views.view_tree import ViewNode
+from .model import Advice, NodeAlgorithm
+
+__all__ = ["ViewGatheringAlgorithm", "ViewBasedAlgorithm", "FunctionalViewAlgorithm"]
+
+
+class ViewGatheringAlgorithm(NodeAlgorithm):
+    """Builds ``B^r(v)`` from ``r`` rounds of neighbour exchange.
+
+    Subclasses override :meth:`decide` (and usually :meth:`rounds_needed`).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._view: Optional[ViewNode] = None
+        self._incoming_ports: Dict[int, int] = {}
+
+    def setup(self, degree: int, advice: Advice) -> None:
+        super().setup(degree, advice)
+        self._view = ViewNode(degree)
+
+    @property
+    def view(self) -> ViewNode:
+        """The node's current view ``B^t`` after ``t`` completed rounds."""
+        assert self._view is not None, "setup() has not been called"
+        return self._view
+
+    # -- communication ---------------------------------------------------- #
+    def messages_to_send(self, round_number: int) -> Dict[int, Any]:
+        # Send (my port on this edge, my current view) on every port.  The
+        # receiver needs the sender's port number to label the view edge.
+        return {port: (port, self._view) for port in range(self.degree)}
+
+    def receive(self, round_number: int, messages: Dict[int, Any]) -> None:
+        if set(messages) != set(range(self.degree)):
+            raise RuntimeError(
+                f"expected one message per port, got ports {sorted(messages)}"
+            )
+        children = []
+        for port in range(self.degree):
+            sender_port, sender_view = messages[port]
+            self._incoming_ports[port] = sender_port
+            children.append((port, sender_port, sender_view))
+        assert self._view is not None
+        self._view = ViewNode(self.degree, tuple(children))
+
+    # -- decision ---------------------------------------------------------- #
+    def decide(self, view: ViewNode) -> Any:
+        """Map the gathered view (and ``self.advice``) to the node's output."""
+        raise NotImplementedError
+
+    def output(self) -> Any:
+        return self.decide(self.view)
+
+
+class ViewBasedAlgorithm(ViewGatheringAlgorithm):
+    """A view-gathering algorithm with a fixed round budget known up front."""
+
+    def __init__(self, rounds: int) -> None:
+        super().__init__()
+        self._rounds = rounds
+
+    def rounds_needed(self) -> Optional[int]:
+        return self._rounds
+
+
+class FunctionalViewAlgorithm(ViewBasedAlgorithm):
+    """A view-based algorithm whose decision is an injected function.
+
+    Handy in tests and in the universal map-advice algorithms, where the
+    decision table is computed from the decoded map.
+    """
+
+    def __init__(self, rounds: int, decide: Callable[[ViewNode, Advice], Any]) -> None:
+        super().__init__(rounds)
+        self._decide = decide
+
+    def decide(self, view: ViewNode) -> Any:
+        return self._decide(view, self.advice)

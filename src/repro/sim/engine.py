@@ -1,0 +1,111 @@
+"""Synchronous execution engine for the LOCAL model.
+
+The engine owns the only piece of global knowledge -- the graph -- and uses
+it exclusively to route messages between ports.  Node algorithms are
+instantiated per node and only ever learn their degree, the advice string and
+the messages arriving on their ports, which keeps the simulation faithful to
+the anonymous model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..portgraph.graph import PortLabeledGraph
+from .model import Advice, NodeAlgorithm
+from .trace import ExecutionTrace
+
+__all__ = ["run_synchronous", "SimulationResult"]
+
+AlgorithmFactory = Callable[[], NodeAlgorithm]
+
+
+class SimulationResult:
+    """Outputs and trace of one synchronous run."""
+
+    def __init__(self, outputs: Dict[int, Any], trace: ExecutionTrace) -> None:
+        self.outputs = outputs
+        self.trace = trace
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SimulationResult rounds={self.trace.rounds} nodes={len(self.outputs)}>"
+
+
+def _resolve_rounds(
+    rounds: Optional[int], algorithms: Dict[int, NodeAlgorithm]
+) -> int:
+    if rounds is not None:
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        return rounds
+    requested = {alg.rounds_needed() for alg in algorithms.values()}
+    requested.discard(None)
+    if not requested:
+        raise ValueError(
+            "no round budget: pass rounds=... or have the algorithms report rounds_needed()"
+        )
+    if len(requested) > 1:
+        raise ValueError(
+            f"nodes disagree on the number of rounds needed: {sorted(requested)}; "
+            "a correct anonymous algorithm must derive it from degree/advice alone"
+        )
+    return requested.pop()
+
+
+def run_synchronous(
+    graph: PortLabeledGraph,
+    algorithm_factory: AlgorithmFactory,
+    *,
+    rounds: Optional[int] = None,
+    advice: Advice = None,
+) -> SimulationResult:
+    """Run one synchronous LOCAL-model execution.
+
+    Parameters
+    ----------
+    graph:
+        The network.  Used by the engine only for message routing.
+    algorithm_factory:
+        Zero-argument callable producing a fresh :class:`NodeAlgorithm` per
+        node (the same factory for every node -- nodes are anonymous).
+    rounds:
+        Number of communication rounds.  ``None`` lets the algorithms declare
+        their budget via ``rounds_needed()`` (they must all agree).
+    advice:
+        The advice bit string given identically to every node (or ``None``).
+
+    Returns
+    -------
+    SimulationResult
+        Node outputs (keyed by node handle, for the benefit of validators)
+        and an execution trace.
+    """
+    algorithms: Dict[int, NodeAlgorithm] = {}
+    for v in graph.nodes():
+        algorithm = algorithm_factory()
+        algorithm.setup(graph.degree(v), advice)
+        algorithms[v] = algorithm
+
+    total_rounds = _resolve_rounds(rounds, algorithms)
+    trace = ExecutionTrace(advice_bits=0 if advice is None else len(advice))
+
+    for round_number in range(1, total_rounds + 1):
+        outboxes: Dict[int, Dict[int, Any]] = {
+            v: algorithms[v].messages_to_send(round_number) for v in graph.nodes()
+        }
+        inboxes: Dict[int, Dict[int, Any]] = {v: {} for v in graph.nodes()}
+        message_count = 0
+        for v, outbox in outboxes.items():
+            for port, payload in outbox.items():
+                if port < 0 or port >= graph.degree(v):
+                    raise RuntimeError(f"node {v} tried to send on missing port {port}")
+                u, incoming_port = graph.endpoint(v, port)
+                inboxes[u][incoming_port] = payload
+                message_count += 1
+        for v in graph.nodes():
+            algorithms[v].receive(round_number, inboxes[v])
+        trace.record_round(round_number, message_count)
+
+    outputs = {v: algorithms[v].output() for v in graph.nodes()}
+    trace.rounds = total_rounds
+    return SimulationResult(outputs, trace)

@@ -1,0 +1,34 @@
+"""Distributed view acquisition.
+
+``gather_views`` runs the plain view-gathering algorithm for ``r`` rounds and
+returns every node's gathered view.  Its role in the test suite is to certify
+the simulator's honesty: the distributed result must coincide, node by node,
+with the direct graph-side computation ``B^r(v)`` of
+:func:`repro.views.view_tree.augmented_view` -- i.e. the simulator gives the
+nodes exactly the information the LOCAL model says they can have, no more and
+no less.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..portgraph.graph import PortLabeledGraph
+from ..views.view_tree import ViewNode
+from .algorithm import ViewBasedAlgorithm
+from .engine import run_synchronous
+
+__all__ = ["gather_views"]
+
+
+class _ReturnViewAlgorithm(ViewBasedAlgorithm):
+    """A view-gathering node whose output is the gathered view itself."""
+
+    def decide(self, view: ViewNode) -> ViewNode:
+        return view
+
+
+def gather_views(graph: PortLabeledGraph, rounds: int) -> Dict[int, ViewNode]:
+    """Run ``rounds`` rounds of the LOCAL model and return each node's gathered view."""
+    result = run_synchronous(graph, lambda: _ReturnViewAlgorithm(rounds), rounds=rounds)
+    return result.outputs

@@ -1,0 +1,65 @@
+"""Node-algorithm interface of the LOCAL-model simulator.
+
+The LOCAL model (Peleg; Section 1 of the paper): computation proceeds in
+synchronous rounds, all nodes start simultaneously, and in every round each
+node may exchange arbitrary messages with all of its neighbours and perform
+arbitrary local computation.  Nodes are anonymous -- the only things a node
+algorithm ever receives are
+
+* its own degree,
+* the advice string (identical at every node),
+* the messages delivered on its ports.
+
+In particular a node algorithm never sees the node handles used by the rest
+of the library, which is what makes the simulator an honest implementation of
+the anonymous model: any decision it produces is necessarily a function of
+``(B^r(v), advice)``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Optional
+
+__all__ = ["NodeAlgorithm", "Advice"]
+
+#: Advice strings are bit strings; ``None`` means "no advice given".
+Advice = Optional[str]
+
+
+class NodeAlgorithm(abc.ABC):
+    """Behaviour of a single anonymous node.
+
+    A fresh instance is created per node by the engine; the constructor of a
+    concrete subclass receives ``(degree, advice)`` through :meth:`setup`.
+    """
+
+    def __init__(self) -> None:
+        self.degree: int = 0
+        self.advice: Advice = None
+
+    def setup(self, degree: int, advice: Advice) -> None:
+        """Called once by the engine before round 1."""
+        self.degree = degree
+        self.advice = advice
+
+    def rounds_needed(self) -> Optional[int]:
+        """How many rounds this node wants to communicate.
+
+        ``None`` means "engine decides" (the engine then requires an explicit
+        round budget).  All nodes of a correct algorithm must agree on this
+        number, since it may only depend on the degree and the advice.
+        """
+        return None
+
+    @abc.abstractmethod
+    def messages_to_send(self, round_number: int) -> Dict[int, Any]:
+        """Messages to send in this round, keyed by outgoing port."""
+
+    @abc.abstractmethod
+    def receive(self, round_number: int, messages: Dict[int, Any]) -> None:
+        """Deliver the messages that arrived in this round, keyed by incoming port."""
+
+    @abc.abstractmethod
+    def output(self) -> Any:
+        """The node's final output once communication has finished."""

@@ -1,0 +1,39 @@
+"""Execution traces of LOCAL-model runs.
+
+The paper measures algorithms by two resources: the number of communication
+rounds and the size of the advice.  The trace records both (plus message
+counts, which are unbounded in the LOCAL model but useful when profiling the
+simulator itself, following the "measure before optimising" workflow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["RoundStats", "ExecutionTrace"]
+
+
+@dataclass
+class RoundStats:
+    """Per-round message statistics."""
+
+    round_number: int
+    messages: int = 0
+
+
+@dataclass
+class ExecutionTrace:
+    """Summary of one synchronous execution."""
+
+    rounds: int = 0
+    advice_bits: int = 0
+    round_stats: List[RoundStats] = field(default_factory=list)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(stats.messages for stats in self.round_stats)
+
+    def record_round(self, round_number: int, messages: int) -> None:
+        self.round_stats.append(RoundStats(round_number, messages))
+        self.rounds = max(self.rounds, round_number)

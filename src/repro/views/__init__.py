@@ -1,0 +1,47 @@
+"""Views of anonymous port-labeled networks.
+
+Implements the central notion of the paper: the (augmented, truncated) view
+``B^h(v)`` a node acquires after ``h`` rounds of the LOCAL model, both as an
+explicit tree (:mod:`repro.views.view_tree`) and through fast partition
+refinement of view-equivalence classes (:mod:`repro.views.refinement`).
+"""
+
+from .comparison import (
+    all_nodes_have_twins,
+    distinguishing_depth,
+    find_twin,
+    unique_view_nodes,
+    views_equal,
+    views_equal_across_graphs,
+)
+from .encoding import (
+    augmented_view_key,
+    compare_views,
+    lexicographically_smallest_view,
+    view_from_symbols,
+    view_key,
+    view_to_symbols,
+)
+from .refinement import ViewRefinement, refine_views
+from .view_tree import ViewNode, augmented_view, truncated_view, view_of_leaf_degrees
+
+__all__ = [
+    "ViewNode",
+    "augmented_view",
+    "truncated_view",
+    "view_of_leaf_degrees",
+    "ViewRefinement",
+    "refine_views",
+    "view_to_symbols",
+    "view_from_symbols",
+    "view_key",
+    "augmented_view_key",
+    "compare_views",
+    "lexicographically_smallest_view",
+    "views_equal",
+    "views_equal_across_graphs",
+    "find_twin",
+    "unique_view_nodes",
+    "all_nodes_have_twins",
+    "distinguishing_depth",
+]

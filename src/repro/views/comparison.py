@@ -1,0 +1,83 @@
+"""Convenience view-comparison queries.
+
+Thin wrappers over :mod:`repro.views.refinement` (for queries inside a single
+graph) and :mod:`repro.views.view_tree` (for queries *across* graphs, where
+partition refinement does not apply because colours are only canonical within
+one graph).  The cross-graph comparisons are exactly what the paper's
+indistinguishability lemmas assert (e.g. Lemma 2.8: the view of ``r_{j,b}``
+is the same in ``G_α`` and ``G_β``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..portgraph.graph import PortLabeledGraph
+from .refinement import ViewRefinement
+from .view_tree import augmented_view
+
+__all__ = [
+    "views_equal",
+    "views_equal_across_graphs",
+    "find_twin",
+    "unique_view_nodes",
+    "all_nodes_have_twins",
+    "distinguishing_depth",
+]
+
+
+def views_equal(graph: PortLabeledGraph, u: int, v: int, depth: int) -> bool:
+    """Whether ``B^depth(u) = B^depth(v)`` within one graph."""
+    return ViewRefinement(graph).views_equal(u, v, depth)
+
+
+def views_equal_across_graphs(
+    first: PortLabeledGraph,
+    node_in_first: int,
+    second: PortLabeledGraph,
+    node_in_second: int,
+    depth: int,
+) -> bool:
+    """Whether ``B^depth`` of a node of one graph equals that of a node of another graph."""
+    view_a = augmented_view(first, node_in_first, depth)
+    view_b = augmented_view(second, node_in_second, depth)
+    return view_a.canonical_key() == view_b.canonical_key()
+
+
+def find_twin(
+    graph: PortLabeledGraph,
+    node: int,
+    depth: int,
+    *,
+    refinement: Optional[ViewRefinement] = None,
+) -> Optional[int]:
+    """Another node with the same ``B^depth`` as ``node`` (or ``None`` if the view is unique)."""
+    refinement = refinement or ViewRefinement(graph)
+    return refinement.twin_of(node, depth)
+
+
+def unique_view_nodes(
+    graph: PortLabeledGraph,
+    depth: int,
+    *,
+    refinement: Optional[ViewRefinement] = None,
+) -> List[int]:
+    """All nodes whose ``B^depth`` is unique in the graph."""
+    refinement = refinement or ViewRefinement(graph)
+    return refinement.unique_nodes(depth)
+
+
+def all_nodes_have_twins(
+    graph: PortLabeledGraph,
+    depth: int,
+    *,
+    refinement: Optional[ViewRefinement] = None,
+) -> bool:
+    """Whether *no* node has a unique ``B^depth`` (the lower-bound lemmas' conclusion)."""
+    refinement = refinement or ViewRefinement(graph)
+    return not refinement.unique_nodes(depth)
+
+
+def distinguishing_depth(graph: PortLabeledGraph, u: int, v: int) -> Optional[int]:
+    """Smallest depth at which the views of ``u`` and ``v`` differ (``None`` if identical forever)."""
+    return ViewRefinement(graph).distinguishing_depth(u, v)

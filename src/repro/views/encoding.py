@@ -1,0 +1,124 @@
+"""Canonical encodings of views.
+
+Views need to be turned into data in two places of the paper:
+
+* Theorem 2.2's oracle encodes the augmented truncated view of the chosen
+  node as a *binary string* given to every node as advice, and the nodes
+  decode it again;
+* the constructions repeatedly pick the node whose view is
+  *lexicographically smallest*, which requires a total order on views.
+
+A view is first flattened into a sequence of non-negative integer *symbols*
+(height, then a preorder traversal emitting ``degree`` and, per child,
+``out_port, in_port``).  The flattening is uniquely decodable because every
+internal node of an augmented truncated view of height ``h`` has exactly
+``degree`` children and every frontier node sits at depth exactly ``h``.
+Symbol sequences compare lexicographically (giving the total order), and
+:mod:`repro.advice.bitstrings` turns them into actual bit strings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..portgraph.graph import PortLabeledGraph
+from .view_tree import ViewNode, augmented_view
+
+__all__ = [
+    "view_to_symbols",
+    "view_from_symbols",
+    "view_key",
+    "compare_views",
+    "lexicographically_smallest_view",
+    "augmented_view_key",
+]
+
+
+def view_to_symbols(view: ViewNode) -> Tuple[int, ...]:
+    """Flatten an augmented truncated view into a decodable symbol sequence.
+
+    The first symbol is the height ``h``; the rest is a preorder traversal.
+    Raises ``ValueError`` for plain (non-augmented) views, whose frontier
+    nodes carry no degree and therefore cannot be re-expanded on decode.
+    """
+    height = view.height
+    symbols: List[int] = [height]
+
+    def emit(node: ViewNode, level: int) -> None:
+        if node.degree is None:
+            raise ValueError("only augmented views (with frontier degrees) can be encoded")
+        symbols.append(node.degree)
+        if level == height:
+            if node.children:
+                raise ValueError("malformed view: frontier node has children")
+            return
+        if len(node.children) != node.degree:
+            raise ValueError(
+                "malformed view: internal node has "
+                f"{len(node.children)} children but degree {node.degree}"
+            )
+        for p, q, child in node.children:
+            symbols.append(p)
+            symbols.append(q)
+            emit(child, level + 1)
+
+    emit(view, 0)
+    return tuple(symbols)
+
+
+def view_from_symbols(symbols: Sequence[int]) -> ViewNode:
+    """Rebuild an augmented truncated view from :func:`view_to_symbols` output."""
+    if not symbols:
+        raise ValueError("empty symbol sequence")
+    height = symbols[0]
+    position = 1
+
+    def parse(level: int) -> ViewNode:
+        nonlocal position
+        degree = symbols[position]
+        position += 1
+        if level == height:
+            return ViewNode(degree)
+        children = []
+        for _ in range(degree):
+            out_port = symbols[position]
+            in_port = symbols[position + 1]
+            position += 2
+            children.append((out_port, in_port, parse(level + 1)))
+        return ViewNode(degree, tuple(children))
+
+    view = parse(0)
+    if position != len(symbols):
+        raise ValueError("trailing symbols after decoding a view")
+    return view
+
+
+def view_key(view: ViewNode) -> Tuple[int, ...]:
+    """Canonical comparable key of a view (its flat canonical form)."""
+    return view.canonical_key()
+
+
+def augmented_view_key(graph: PortLabeledGraph, node: int, depth: int) -> Tuple[int, ...]:
+    """Canonical key of ``B^depth(node)`` without keeping the tree around."""
+    return augmented_view(graph, node, depth).canonical_key()
+
+
+def compare_views(first: ViewNode, second: ViewNode) -> int:
+    """Three-way lexicographic comparison of two views (-1, 0, +1)."""
+    a, b = first.canonical_key(), second.canonical_key()
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+def lexicographically_smallest_view(views: Iterable[ViewNode]) -> Optional[ViewNode]:
+    """The lexicographically smallest of the given views (``None`` if empty)."""
+    best: Optional[ViewNode] = None
+    best_key: Optional[Tuple[int, ...]] = None
+    for view in views:
+        key = view.canonical_key()
+        if best_key is None or key < best_key:
+            best, best_key = view, key
+    return best

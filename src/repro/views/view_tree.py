@@ -1,0 +1,195 @@
+"""Explicit (truncated) views of nodes in port-labeled graphs.
+
+The *view* from a node ``v`` (Yamashita--Kameda) is the infinite rooted tree
+of all finite paths of ``G`` starting at ``v``, where each tree edge carries
+the pair of port numbers of the traversed graph edge.  The *truncated view*
+``V^h(v)`` is its truncation to depth ``h``; the *augmented truncated view*
+``B^h(v)`` additionally labels every tree node with the degree of the
+underlying graph node.  The paper's key modelling fact is that the
+information a node acquires after ``r`` rounds of the LOCAL model is exactly
+``B^r(v)``, so every deterministic decision is a function of ``B^r(v)`` (plus
+any advice).
+
+This module materialises views as :class:`ViewNode` trees.  Materialised
+views are used where the paper manipulates views as objects: encoding a view
+into an advice string (Theorem 2.2), comparing views across *different*
+graphs (Lemmas 2.8, 4.10), and choosing the lexicographically smallest view.
+For bulk "are the views of u and v equal inside one graph?" queries, use the
+much faster partition refinement in :mod:`repro.views.refinement`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..portgraph.graph import PortLabeledGraph
+
+__all__ = ["ViewNode", "truncated_view", "augmented_view", "view_of_leaf_degrees"]
+
+
+class ViewNode:
+    """A node of a (truncated) view tree.
+
+    Attributes
+    ----------
+    degree:
+        Degree of the underlying graph node, or ``None`` for an unlabeled
+        frontier node of a plain (non-augmented) truncated view.
+    children:
+        Tuple, in increasing order of outgoing port, of
+        ``(out_port, in_port, child)`` triples.  A frontier node has no
+        children.
+    """
+
+    __slots__ = ("degree", "children")
+
+    def __init__(
+        self,
+        degree: Optional[int],
+        children: Tuple[Tuple[int, int, "ViewNode"], ...] = (),
+    ) -> None:
+        self.degree = degree
+        self.children = children
+
+    # -- structure ------------------------------------------------------- #
+    @property
+    def height(self) -> int:
+        """Depth of the tree below this node."""
+        if not self.children:
+            return 0
+        return 1 + max(child.height for _p, _q, child in self.children)
+
+    @property
+    def num_tree_nodes(self) -> int:
+        """Total number of nodes in this view tree."""
+        return 1 + sum(child.num_tree_nodes for _p, _q, child in self.children)
+
+    @property
+    def num_tree_edges(self) -> int:
+        """Total number of edges in this view tree."""
+        return self.num_tree_nodes - 1
+
+    def child_by_port(self, port: int) -> Tuple[int, "ViewNode"]:
+        """Return ``(in_port, child)`` for the child reached via outgoing ``port``."""
+        for p, q, child in self.children:
+            if p == port:
+                return q, child
+        raise KeyError(f"no child on port {port}")
+
+    def paths(self) -> Iterator[Tuple[Tuple[int, int], ...]]:
+        """Iterate over all root-to-leaf port-pair sequences of the view tree."""
+        if not self.children:
+            yield ()
+            return
+        for p, q, child in self.children:
+            for suffix in child.paths():
+                yield ((p, q),) + suffix
+
+    # -- canonical form --------------------------------------------------- #
+    def canonical_key(self) -> Tuple[int, ...]:
+        """A flat integer tuple uniquely encoding this view (see :mod:`repro.views.encoding`).
+
+        Equal views produce equal keys; the lexicographic order of keys is the
+        total order used when the paper asks for the "lexicographically
+        smallest" view.
+        """
+        out: List[int] = []
+        self._emit(out)
+        return tuple(out)
+
+    def _emit(self, out: List[int]) -> None:
+        out.append(-1 if self.degree is None else self.degree)
+        for p, q, child in self.children:
+            out.append(p)
+            out.append(q)
+            child._emit(out)
+
+    # -- dunder ------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ViewNode):
+            return NotImplemented
+        if self.degree != other.degree or len(self.children) != len(other.children):
+            return False
+        for (p1, q1, c1), (p2, q2, c2) in zip(self.children, other.children):
+            if p1 != p2 or q1 != q2 or c1 != c2:
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ViewNode degree={self.degree} height={self.height} nodes={self.num_tree_nodes}>"
+
+
+def augmented_view(graph: PortLabeledGraph, node: int, depth: int) -> ViewNode:
+    """The augmented truncated view ``B^depth(node)``.
+
+    Every tree node is labeled with the degree of its underlying graph node
+    (in particular the frontier nodes, which is what "augmented" adds).
+    Shared subproblems ``(graph node, remaining depth)`` are memoised, so the
+    cost is O(#distinct subproblems x Δ) rather than the size of the tree.
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    memo: Dict[Tuple[int, int], ViewNode] = {}
+
+    def build(v: int, h: int) -> ViewNode:
+        key = (v, h)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        if h == 0:
+            result = ViewNode(graph.degree(v))
+        else:
+            children = tuple(
+                (p, graph.endpoint(v, p)[1], build(graph.endpoint(v, p)[0], h - 1))
+                for p in graph.ports(v)
+            )
+            result = ViewNode(graph.degree(v), children)
+        memo[key] = result
+        return result
+
+    return build(node, depth)
+
+
+def truncated_view(graph: PortLabeledGraph, node: int, depth: int) -> ViewNode:
+    """The plain truncated view ``V^depth(node)`` (frontier nodes unlabeled)."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    memo: Dict[Tuple[int, int], ViewNode] = {}
+
+    def build(v: int, h: int) -> ViewNode:
+        key = (v, h)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        if h == 0:
+            result = ViewNode(None)
+        else:
+            children = tuple(
+                (p, graph.endpoint(v, p)[1], build(graph.endpoint(v, p)[0], h - 1))
+                for p in graph.ports(v)
+            )
+            result = ViewNode(graph.degree(v), children)
+        memo[key] = result
+        return result
+
+    return build(node, depth)
+
+
+def view_of_leaf_degrees(view: ViewNode) -> List[int]:
+    """Degrees carried by the frontier (deepest) nodes of an augmented view, in path order."""
+    height = view.height
+    out: List[int] = []
+
+    def walk(node: ViewNode, level: int) -> None:
+        if level == height:
+            if node.degree is not None:
+                out.append(node.degree)
+            return
+        for _p, _q, child in node.children:
+            walk(child, level + 1)
+
+    walk(view, 0)
+    return out

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.portgraph import generators
+
+
+@pytest.fixture
+def three_line():
+    """The paper's 3-node line with ports 0,0,1,0 (ψ_CPPE = 1)."""
+    return generators.three_node_line()
+
+
+@pytest.fixture
+def small_feasible_graphs():
+    """A handful of small feasible graphs covering different shapes."""
+    return [
+        generators.three_node_line(),
+        generators.path_graph(4),
+        generators.path_graph(5),
+        generators.star_graph(3),
+        generators.asymmetric_cycle(5),
+        generators.asymmetric_cycle(6),
+        generators.random_connected_graph(8, extra_edges=3, seed=1),
+        generators.random_connected_graph(9, extra_edges=4, seed=2),
+    ]
+
+
+@pytest.fixture
+def infeasible_graphs():
+    """Graphs in which leader election is impossible (symmetric views)."""
+    return [
+        generators.two_node_graph(),
+        generators.cycle_graph(4),
+        generators.cycle_graph(6),
+        generators.rotational_complete_graph(3),
+        generators.rotational_complete_graph(5),
+    ]

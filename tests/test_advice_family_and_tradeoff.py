@@ -1,0 +1,88 @@
+"""Tests for the extension modules: family-specific sufficient advice and time/advice trade-offs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advice import (
+    decode_jmuk_y,
+    decode_udk_sigma,
+    encode_jmuk_y,
+    encode_udk_sigma,
+    jmuk_cppe_sufficient_advice_bits,
+    min_advice_bits_to_distinguish,
+    sufficient_vs_necessary_bits,
+    udk_pe_sufficient_advice_bits,
+)
+from repro.analysis import map_advice_vs_time, selection_advice_vs_time
+from repro.families import build_udk_member, build_udk_template, udk_class_size, udk_tree_count
+from repro.portgraph import generators
+
+
+class TestUdkSigmaAdvice:
+    def test_roundtrip(self):
+        y = udk_tree_count(4, 1)
+        sigma = tuple((j % 3) + 1 for j in range(y))
+        member = build_udk_member(4, 1, sigma)
+        advice = encode_udk_sigma(member)
+        assert decode_udk_sigma(advice, 4) == sigma
+        assert udk_pe_sufficient_advice_bits(member) == len(advice)
+
+    def test_template_encodes_empty_sigma(self):
+        template = build_udk_template(4, 1)
+        advice = encode_udk_sigma(template)
+        assert decode_udk_sigma(advice, 4) == ()
+
+    def test_sufficient_advice_has_the_right_order_of_magnitude(self):
+        y = udk_tree_count(4, 1)
+        member = build_udk_member(4, 1, tuple(1 for _ in range(y)))
+        entry = sufficient_vs_necessary_bits(member)
+        assert entry["task"] == "PE"
+        assert entry["necessary_bits"] == min_advice_bits_to_distinguish(udk_class_size(4, 1))
+        # y symbols of ceil(log2(Δ-1)) = 2 bits each, plus a small header
+        assert y * 2 <= entry["sufficient_bits"] <= y * 2 + 16
+        # and within a log factor of the necessary amount
+        assert entry["sufficient_bits"] <= 4 * entry["necessary_bits"]
+
+
+class TestJmukYAdvice:
+    def test_roundtrip_without_building_a_member(self):
+        # encode/decode is independent of the heavy construction
+        class _Stub:
+            y = (1, 0, 0, 1, 1)
+
+        assert encode_jmuk_y(_Stub()) == "10011"
+        assert decode_jmuk_y("10011") == (1, 0, 0, 1, 1)
+
+    def test_sufficient_bits_equals_sequence_length(self):
+        class _Stub:
+            y = tuple(i % 2 for i in range(512))
+
+        assert jmuk_cppe_sufficient_advice_bits(_Stub()) == 512
+
+    def test_unsupported_member_type_rejected(self):
+        with pytest.raises(TypeError):
+            sufficient_vs_necessary_bits(object())
+
+
+class TestSelectionTimeAdviceTradeoff:
+    def test_advice_grows_with_allotted_time_for_the_view_scheme(self):
+        graph = generators.asymmetric_cycle(8)
+        rows = selection_advice_vs_time(graph, extra_rounds=(0, 1, 2))
+        assert [r.allotted_time for r in rows] == [1, 2, 3]
+        bits = [r.advice_bits for r in rows]
+        assert bits == sorted(bits)
+        assert bits[0] < bits[-1]
+        assert all(r.minimum_time == 1 for r in rows)
+
+    def test_map_baseline_is_time_independent(self):
+        graph = generators.asymmetric_cycle(8)
+        row = map_advice_vs_time(graph)
+        assert row.scheme == "full-map"
+        assert row.advice_bits > 0
+
+    def test_infeasible_graph_rejected(self):
+        with pytest.raises(ValueError):
+            selection_advice_vs_time(generators.cycle_graph(6))
+        with pytest.raises(ValueError):
+            map_advice_vs_time(generators.cycle_graph(6))

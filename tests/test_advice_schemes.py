@@ -1,0 +1,132 @@
+"""Tests for the advice framework: Theorem 2.2 scheme and universal map-advice schemes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.advice import (
+    MapAdviceOracle,
+    NoAdviceOracle,
+    SelectionAdviceOracle,
+    decode_map_advice,
+    decode_view_advice,
+    encode_map_advice,
+    encode_view_advice,
+    map_advice_bits,
+    measured_selection_advice_bits,
+    min_advice_bits_to_distinguish,
+    num_advice_strings_up_to,
+    pigeonhole_forces_collision,
+    selection_advice_upper_bound_bits,
+    selection_with_advice_scheme,
+    universal_scheme,
+)
+from repro.core import Task, all_election_indices, is_feasible, selection_index, validate_outcome
+from repro.portgraph import generators
+from repro.views import augmented_view
+
+
+class TestSelectionAdviceScheme:
+    def test_runs_in_minimum_time_and_validates(self, small_feasible_graphs):
+        scheme = selection_with_advice_scheme()
+        for graph in small_feasible_graphs:
+            outcome = scheme.run(graph)
+            assert validate_outcome(graph, outcome).ok, graph.name
+            assert outcome.rounds == selection_index(graph), graph.name
+            assert outcome.advice_bits > 0
+
+    def test_infeasible_graph_raises(self):
+        with pytest.raises(ValueError):
+            SelectionAdviceOracle().advise(generators.cycle_graph(4))
+
+    def test_depth_override(self):
+        graph = generators.asymmetric_cycle(6)
+        outcome = selection_with_advice_scheme(depth=3).run(graph)
+        assert outcome.rounds == 3
+        assert validate_outcome(graph, outcome).ok
+
+    def test_depth_override_below_index_rejected(self):
+        graph = generators.asymmetric_cycle(6)  # ψ_S = 1
+        with pytest.raises(ValueError):
+            SelectionAdviceOracle(depth=0).advise(graph)
+
+    def test_view_advice_roundtrip(self):
+        graph = generators.random_connected_graph(9, extra_edges=3, seed=5)
+        view = augmented_view(graph, 0, 2)
+        assert decode_view_advice(encode_view_advice(view)) == view
+
+    def test_measured_advice_within_theorem_2_2_bound(self, small_feasible_graphs):
+        for graph in small_feasible_graphs:
+            k = selection_index(graph)
+            measured = measured_selection_advice_bits(graph)
+            bound = selection_advice_upper_bound_bits(graph.max_degree, k)
+            assert measured <= bound, (graph.name, measured, bound)
+
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_property_scheme_correct_on_random_feasible_graphs(self, seed):
+        graph = generators.random_connected_graph(8, extra_edges=3, seed=seed)
+        if not is_feasible(graph):
+            return
+        outcome = selection_with_advice_scheme().run(graph)
+        assert validate_outcome(graph, outcome).ok
+        assert outcome.rounds == selection_index(graph)
+
+
+class TestMapAdviceSchemes:
+    def test_map_roundtrip(self):
+        graph = generators.random_connected_graph(12, extra_edges=6, seed=9)
+        assert decode_map_advice(encode_map_advice(graph)) == graph
+        assert map_advice_bits(graph) == len(encode_map_advice(graph))
+
+    @pytest.mark.parametrize("task", list(Task))
+    def test_universal_scheme_runs_in_minimum_time(self, task, three_line):
+        indices = all_election_indices(three_line)
+        outcome = universal_scheme(task).run(three_line)
+        assert validate_outcome(three_line, outcome).ok
+        assert outcome.rounds == indices[task]
+
+    @pytest.mark.parametrize("task", list(Task))
+    def test_universal_scheme_on_assorted_graphs(self, task, small_feasible_graphs):
+        scheme = universal_scheme(task)
+        for graph in small_feasible_graphs[:4]:
+            indices = all_election_indices(graph)
+            outcome = scheme.run(graph)
+            assert validate_outcome(graph, outcome).ok, (graph.name, task)
+            assert outcome.rounds == indices[task]
+
+    def test_no_advice_oracle(self):
+        graph = generators.path_graph(3)
+        oracle = NoAdviceOracle()
+        assert oracle.advise(graph) is None
+        assert oracle.advice_size(graph) == 0
+
+    def test_map_oracle_size_positive(self):
+        graph = generators.path_graph(3)
+        assert MapAdviceOracle().advice_size(graph) > 0
+
+
+class TestCounting:
+    def test_num_advice_strings(self):
+        assert num_advice_strings_up_to(0) == 1  # only the empty string
+        assert num_advice_strings_up_to(1) == 3
+        assert num_advice_strings_up_to(3) == 15
+
+    def test_pigeonhole(self):
+        assert pigeonhole_forces_collision(16, 3)
+        assert not pigeonhole_forces_collision(15, 3)
+
+    def test_min_bits_to_distinguish(self):
+        assert min_advice_bits_to_distinguish(1) == 0
+        assert min_advice_bits_to_distinguish(3) == 1
+        assert min_advice_bits_to_distinguish(4) == 2
+        assert min_advice_bits_to_distinguish(10**6) == 19
+
+    def test_counting_input_validation(self):
+        with pytest.raises(ValueError):
+            num_advice_strings_up_to(-1)
+        with pytest.raises(ValueError):
+            min_advice_bits_to_distinguish(0)
+        with pytest.raises(ValueError):
+            pigeonhole_forces_collision(-1, 3)

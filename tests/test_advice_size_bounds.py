@@ -1,0 +1,87 @@
+"""Tests for the closed-form advice bounds of the theorems."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.advice import (
+    augmented_tree_family_size,
+    pe_advice_lower_bound_bits,
+    ppe_cppe_advice_lower_bound_bits,
+    selection_advice_lower_bound_bits,
+    selection_advice_upper_bound_bits,
+    tree_leaf_count,
+)
+
+
+class TestTreeCounts:
+    def test_leaf_count_matches_families_module(self):
+        from repro.families import leaf_count
+
+        for delta in (3, 4, 5, 6):
+            for k in (1, 2, 3):
+                assert tree_leaf_count(delta, k) == leaf_count(delta, k)
+
+    def test_family_size(self):
+        assert augmented_tree_family_size(4, 1) == 9
+        assert augmented_tree_family_size(5, 1) == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tree_leaf_count(2, 1)
+
+
+class TestSelectionUpperBound:
+    def test_monotone_in_delta_and_k(self):
+        values_delta = [selection_advice_upper_bound_bits(delta, 2) for delta in range(2, 10)]
+        assert values_delta == sorted(values_delta)
+        values_k = [selection_advice_upper_bound_bits(5, k) for k in range(0, 5)]
+        assert values_k == sorted(values_k)
+
+    def test_polynomial_in_delta_for_fixed_k(self):
+        k = 2
+        small = selection_advice_upper_bound_bits(4, k)
+        large = selection_advice_upper_bound_bits(8, k)
+        # doubling Δ at k=2 grows the bound by roughly 2^k = 4 modulo the log factor
+        assert large < 16 * small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            selection_advice_upper_bound_bits(0, 1)
+        with pytest.raises(ValueError):
+            selection_advice_upper_bound_bits(4, -1)
+
+
+class TestLowerBoundFormulas:
+    def test_theorem_2_9_formula(self):
+        value = selection_advice_lower_bound_bits(5, 2)
+        assert isinstance(value, Fraction)
+        assert math.isclose(float(value), (4**2) / 8 * math.log2(5), rel_tol=1e-6)
+        with pytest.raises(ValueError):
+            selection_advice_lower_bound_bits(4, 1)
+
+    def test_theorem_3_11_formula(self):
+        value = pe_advice_lower_bound_bits(4, 1)
+        assert math.isclose(float(value), 9 / 4 * math.log2(4), rel_tol=1e-6)
+        with pytest.raises(ValueError):
+            pe_advice_lower_bound_bits(3, 1)
+
+    def test_theorem_4_11_formula(self):
+        assert ppe_cppe_advice_lower_bound_bits(16, 6) == 2**16
+        assert ppe_cppe_advice_lower_bound_bits(16, 12) == 2**256
+        approx = ppe_cppe_advice_lower_bound_bits(16, 7)
+        assert isinstance(approx, float) and approx > 2**16
+        with pytest.raises(ValueError):
+            ppe_cppe_advice_lower_bound_bits(8, 6)
+        with pytest.raises(ValueError):
+            ppe_cppe_advice_lower_bound_bits(16, 5)
+
+    def test_lower_bounds_grow_much_faster_than_upper_bound(self):
+        # the separation in its crudest quantitative form
+        for delta in (6, 8, 10):
+            selection = selection_advice_upper_bound_bits(delta, 1)
+            pe = float(pe_advice_lower_bound_bits(delta, 1))
+            assert pe / selection > (delta - 1) ** (delta - 3) / (20 * delta)

@@ -1,0 +1,80 @@
+"""Tests for the Fact 1.1 derivations between tasks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    cppe_to_ppe,
+    pe_to_selection,
+    ppe_to_pe,
+    weaken_outcome,
+    weaken_outputs,
+)
+from repro.core import ElectionOutcome, Task, all_election_indices, path_election_assignment, validate
+from repro.core.tasks import LEADER, NON_LEADER
+from repro.portgraph import generators
+
+
+class TestDerivations:
+    def test_cppe_to_ppe_keeps_outgoing_ports(self):
+        outputs = {0: LEADER, 1: (0, 1, 2, 0), 2: (1, 0)}
+        assert cppe_to_ppe(outputs) == {0: LEADER, 1: (0, 2), 2: (1,)}
+
+    def test_ppe_to_pe_keeps_first_port(self):
+        outputs = {0: LEADER, 1: (0, 2), 2: (1,)}
+        assert ppe_to_pe(outputs) == {0: LEADER, 1: 0, 2: 1}
+
+    def test_pe_to_selection(self):
+        outputs = {0: LEADER, 1: 0, 2: 1}
+        assert pe_to_selection(outputs) == {0: LEADER, 1: NON_LEADER, 2: NON_LEADER}
+
+    def test_empty_tuple_leader_is_preserved(self):
+        outputs = {0: (), 1: (0, 1)}
+        assert cppe_to_ppe(outputs) == {0: LEADER, 1: (0,)}
+
+    def test_weaken_outputs_chains(self):
+        outputs = {0: LEADER, 1: (0, 1, 1, 0), 2: (1, 0)}
+        derived = weaken_outputs(
+            Task.COMPLETE_PORT_PATH_ELECTION, outputs, Task.SELECTION
+        )
+        assert derived == {0: LEADER, 1: NON_LEADER, 2: NON_LEADER}
+
+    def test_weaken_outputs_same_task_is_identity(self):
+        outputs = {0: LEADER, 1: 0}
+        assert weaken_outputs(Task.PORT_ELECTION, outputs, Task.PORT_ELECTION) == outputs
+
+    def test_cannot_strengthen(self):
+        with pytest.raises(ValueError):
+            weaken_outputs(Task.SELECTION, {0: LEADER}, Task.PORT_ELECTION)
+
+
+class TestDerivedSolutionsRemainValid:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_cppe_solution_weakens_to_valid_solutions_of_all_tasks(self, seed):
+        graph = generators.random_connected_graph(9, extra_edges=4, seed=seed)
+        indices = all_election_indices(graph)
+        if indices[Task.COMPLETE_PORT_PATH_ELECTION] is None:
+            pytest.skip("infeasible instance")
+        depth = indices[Task.COMPLETE_PORT_PATH_ELECTION]
+        leader, sequences = path_election_assignment(graph, depth, complete=True)
+        outputs = dict(sequences)
+        outputs[leader] = LEADER
+        assert validate(Task.COMPLETE_PORT_PATH_ELECTION, graph, outputs).ok
+        for target in (Task.PORT_PATH_ELECTION, Task.PORT_ELECTION, Task.SELECTION):
+            derived = weaken_outputs(Task.COMPLETE_PORT_PATH_ELECTION, outputs, target)
+            assert validate(target, graph, derived).ok, target
+
+    def test_weaken_outcome_preserves_metadata(self):
+        outcome = ElectionOutcome(
+            Task.PORT_ELECTION,
+            {0: LEADER, 1: 0, 2: 0},
+            rounds=2,
+            advice_bits=7,
+            metadata={"scheme": "test"},
+        )
+        weaker = weaken_outcome(outcome, Task.SELECTION)
+        assert weaker.task is Task.SELECTION
+        assert weaker.rounds == 2
+        assert weaker.advice_bits == 7
+        assert weaker.metadata == {"scheme": "test"}

@@ -1,0 +1,72 @@
+"""Tests for the map-based Selection algorithms and the simulator's trace accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import selection_outputs
+from repro.core import Task, selection_index, validate
+from repro.portgraph import generators
+from repro.sim import ExecutionTrace, RoundStats, ViewBasedAlgorithm, run_synchronous
+from repro.views import ViewRefinement
+
+
+class TestSelectionOutputs:
+    def test_minimum_time_outputs_validate(self, small_feasible_graphs):
+        for graph in small_feasible_graphs:
+            outputs = selection_outputs(graph)
+            assert validate(Task.SELECTION, graph, outputs).ok, graph.name
+
+    def test_larger_depth_also_works(self):
+        graph = generators.asymmetric_cycle(7)
+        outputs = selection_outputs(graph, depth=3)
+        assert validate(Task.SELECTION, graph, outputs).ok
+
+    def test_depth_below_index_rejected(self):
+        graph = generators.asymmetric_cycle(7)  # ψ_S = 1
+        with pytest.raises(ValueError):
+            selection_outputs(graph, depth=0)
+
+    def test_infeasible_graph_rejected(self):
+        with pytest.raises(ValueError):
+            selection_outputs(generators.cycle_graph(6))
+
+    def test_shared_refinement_is_honoured(self):
+        graph = generators.path_graph(6)
+        refinement = ViewRefinement(graph)
+        outputs = selection_outputs(graph, refinement=refinement)
+        leader = [v for v, value in outputs.items() if value == "leader"]
+        assert len(leader) == 1
+        assert refinement.has_unique_view(leader[0], selection_index(graph))
+
+
+class _Chatty(ViewBasedAlgorithm):
+    def decide(self, view):
+        return view.degree
+
+
+class TestTraceAccounting:
+    def test_round_and_message_counts(self):
+        graph = generators.asymmetric_cycle(5)
+        result = run_synchronous(graph, lambda: _Chatty(2), advice="110")
+        trace = result.trace
+        assert trace.rounds == 2
+        assert trace.advice_bits == 3
+        assert len(trace.round_stats) == 2
+        assert all(stats.messages == 2 * graph.num_edges for stats in trace.round_stats)
+        assert trace.total_messages == 4 * graph.num_edges
+
+    def test_trace_dataclasses(self):
+        trace = ExecutionTrace()
+        trace.record_round(1, 10)
+        trace.record_round(2, 12)
+        assert trace.rounds == 2
+        assert trace.total_messages == 22
+        assert trace.round_stats[0] == RoundStats(1, 10)
+
+    def test_zero_round_trace(self):
+        graph = generators.path_graph(3)
+        result = run_synchronous(graph, lambda: _Chatty(0))
+        assert result.trace.rounds == 0
+        assert result.trace.total_messages == 0
+        assert result.outputs == {0: 1, 1: 2, 2: 1}

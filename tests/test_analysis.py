@@ -1,0 +1,108 @@
+"""Tests for the analysis helpers: lemma checkers, separation tables, statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    corresponding_views_equal,
+    every_node_has_twin_at_depth,
+    format_table,
+    only_unique_view_nodes,
+    pe_lower_bound_rows,
+    ppe_cppe_lower_bound_rows,
+    selection_advice_table,
+    selection_lower_bound_rows,
+    summarize_graph,
+    view_class_profile,
+)
+from repro.advice import pigeonhole_forces_collision
+from repro.portgraph import generators
+
+
+class TestIndistinguishabilityHelpers:
+    def test_only_unique_view_nodes(self):
+        graph = generators.asymmetric_cycle(6)
+        assert set(only_unique_view_nodes(graph, 1)) == {0, 1, 5}
+
+    def test_every_node_has_twin(self):
+        assert every_node_has_twin_at_depth(generators.cycle_graph(6), 3)
+        assert not every_node_has_twin_at_depth(generators.star_graph(3), 0)
+
+    def test_corresponding_views_equal(self):
+        first = generators.path_graph(6)
+        second = generators.path_graph(8)
+        assert corresponding_views_equal(first, second, [(0, 0), (1, 1)], 2)
+        assert not corresponding_views_equal(first, second, [(0, 4)], 2)
+
+
+class TestSeparationTables:
+    def test_selection_advice_table_rows(self):
+        graphs = [
+            generators.asymmetric_cycle(6),
+            generators.star_graph(4),
+            generators.path_graph(5),
+            generators.cycle_graph(5),  # infeasible: skipped
+        ]
+        rows = selection_advice_table(graphs)
+        assert len(rows) == 3
+        assert all(row.within_bound for row in rows)
+
+    def test_selection_lower_bound_rows(self):
+        rows = selection_lower_bound_rows([(5, 1), (6, 2), (8, 3)])
+        assert len(rows) == 3
+        for row in rows:
+            assert row.class_size > 1
+            assert row.pigeonhole_bits >= 1
+            # the paper's insufficient budget must indeed force a collision
+            assert row.collision_at_paper_budget is True
+
+    def test_pe_lower_bound_rows_show_exponential_separation(self):
+        rows = pe_lower_bound_rows([(4, 1), (6, 1), (8, 1)])
+        for row in rows:
+            assert row.collision_at_paper_budget is True
+        # The separation is asymptotic ("for sufficiently large Δ"): from Δ = 6
+        # on, the advice forced by the class size dwarfs the Selection budget,
+        # and the gap widens with Δ and k.
+        for row in rows[1:]:
+            assert row.pigeonhole_bits > row.selection_budget_bits
+        gaps = [row.pigeonhole_bits - row.selection_budget_bits for row in rows]
+        assert gaps == sorted(gaps)
+
+    def test_ppe_cppe_lower_bound_rows(self):
+        rows = ppe_cppe_lower_bound_rows([(2, 4), (4, 6)])
+        assert rows[0].paper_budget_bits is None  # k < 6: theorem not stated
+        assert rows[1].collision_at_paper_budget is True
+        assert rows[1].pigeonhole_bits > rows[1].selection_budget_bits
+
+    def test_pigeonhole_consistency(self):
+        rows = selection_lower_bound_rows([(5, 1)])
+        row = rows[0]
+        assert pigeonhole_forces_collision(row.class_size, row.pigeonhole_bits - 1)
+        assert not pigeonhole_forces_collision(row.class_size, row.pigeonhole_bits)
+
+
+class TestStatistics:
+    def test_summarize_graph(self):
+        summary = summarize_graph(generators.asymmetric_cycle(6))
+        assert summary.num_nodes == 6
+        assert summary.feasible
+        assert summary.selection_index == 1
+        assert summary.view_classes_by_depth[0] == 1
+        assert summary.view_classes_by_depth[-1] == 6
+
+    def test_summary_of_infeasible_graph(self):
+        summary = summarize_graph(generators.cycle_graph(5))
+        assert not summary.feasible
+        assert summary.selection_index is None
+
+    def test_view_class_profile_monotone(self):
+        profile = view_class_profile(generators.random_connected_graph(10, 4, seed=2), 4)
+        assert profile == sorted(profile)
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "33" in lines[2] or "33" in lines[3]

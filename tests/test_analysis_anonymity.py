@@ -1,0 +1,51 @@
+"""Tests for the per-node anonymity profiles (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import anonymity_depths, anonymity_profile
+from repro.core import selection_index
+from repro.families import build_gdk_member
+from repro.portgraph import generators
+
+
+class TestAnonymityDepths:
+    def test_star_centre_is_unique_immediately(self):
+        graph = generators.star_graph(4)
+        depths = anonymity_depths(graph)
+        assert depths[0] == 0
+        # leaves become unique once they see their incoming port at the centre
+        assert all(depths[v] == 1 for v in range(1, 5))
+
+    def test_symmetric_cycle_is_forever_anonymous(self):
+        graph = generators.cycle_graph(6)
+        profile = anonymity_profile(graph)
+        assert profile.selection_index is None
+        assert len(profile.forever_anonymous) == 6
+        assert profile.classes_by_depth == [1]
+
+    def test_asymmetric_cycle_profile(self):
+        graph = generators.asymmetric_cycle(6)
+        profile = anonymity_profile(graph)
+        assert profile.selection_index == selection_index(graph) == 1
+        assert profile.forever_anonymous == []
+        assert profile.max_finite_depth >= 1
+        assert profile.classes_by_depth[-1] == 6
+
+    def test_min_depth_is_selection_index(self):
+        graph = generators.random_connected_graph(10, extra_edges=4, seed=6)
+        profile = anonymity_profile(graph)
+        finite = [d for d in profile.depths.values() if d is not None]
+        if profile.selection_index is not None:
+            assert min(finite) == profile.selection_index
+
+    def test_gdk_member_profile_matches_lemma_2_6(self):
+        member = build_gdk_member(4, 1, 2)
+        profile = anonymity_profile(member.graph)
+        # the distinguished root is the only node unique at depth k = 1
+        assert profile.depths[member.distinguished_root] == 1
+        others_at_k = [
+            v for v, d in profile.depths.items() if d is not None and d <= 1 and v != member.distinguished_root
+        ]
+        assert others_at_k == []

@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_indices_command(self, capsys):
+        assert main(["indices", "--generator", "asymmetric-cycle", "--size", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "ψ_Z(G)" in out
+        assert "Selection" in out
+        assert "Complete Port Path Election" in out
+
+    def test_indices_on_infeasible_graph(self, capsys):
+        assert main(["indices", "--generator", "cycle", "--size", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "None" in out
+
+    def test_family_gdk(self, capsys):
+        assert main(["family", "gdk", "--delta", "4", "--k", "1", "--index", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "selection index" in out
+
+    def test_family_udk_template(self, capsys):
+        assert main(["family", "udk", "--delta", "4", "--k", "1", "--template"]) == 0
+        out = capsys.readouterr().out
+        assert "feasible" in out
+
+    def test_family_jmuk_requires_k_at_least_4(self, capsys):
+        assert main(["family", "jmuk", "--mu", "2", "--k", "2"]) == 2
+
+    def test_counts_command(self, capsys):
+        assert main(["counts", "--delta", "5", "--k", "2", "--mu", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["gdk_class_size"] == str(4**12)
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,58 @@
+"""Unit tests for the feasibility characterisation (Yamashita-Kameda)."""
+
+from __future__ import annotations
+
+from repro.core import infeasibility_witness, is_feasible, symmetry_classes
+from repro.portgraph import generators
+from repro.views import ViewRefinement
+
+
+class TestFeasibility:
+    def test_two_node_graph_infeasible(self):
+        assert not is_feasible(generators.two_node_graph())
+
+    def test_symmetric_cycles_infeasible(self):
+        for n in (3, 4, 5, 6, 8):
+            assert not is_feasible(generators.cycle_graph(n))
+
+    def test_rotational_complete_graph_infeasible(self):
+        assert not is_feasible(generators.rotational_complete_graph(4))
+
+    def test_canonically_labeled_complete_graph_is_feasible(self):
+        # With the canonical (handle-order) labeling the clique is asymmetric
+        # enough for all views to differ -- port numbers matter, not topology.
+        assert is_feasible(generators.complete_graph(4))
+
+    def test_small_feasible_examples(self, small_feasible_graphs):
+        for graph in small_feasible_graphs:
+            assert is_feasible(graph), graph.name
+
+    def test_refinement_can_be_shared(self):
+        graph = generators.path_graph(5)
+        refinement = ViewRefinement(graph)
+        assert is_feasible(graph, refinement=refinement)
+        assert infeasibility_witness(graph, refinement=refinement) is None
+
+    def test_infeasibility_witness_is_a_real_symmetry_class(self):
+        graph = generators.cycle_graph(6)
+        witness = infeasibility_witness(graph)
+        assert witness is not None
+        assert len(witness) == 6  # all nodes of the symmetric cycle share one view
+
+    def test_witness_none_for_feasible(self, small_feasible_graphs):
+        for graph in small_feasible_graphs:
+            assert infeasibility_witness(graph) is None
+
+    def test_symmetry_classes_partition_nodes(self):
+        graph = generators.cycle_graph(4)
+        classes = symmetry_classes(graph)
+        members = sorted(v for nodes in classes.values() for v in nodes)
+        assert members == list(graph.nodes())
+
+    def test_symmetry_classes_have_equal_size(self, small_feasible_graphs, infeasible_graphs):
+        # Classic fact used implicitly by the paper: all classes of equal
+        # infinite views have the same cardinality.
+        for graph in list(small_feasible_graphs) + list(infeasible_graphs):
+            classes = symmetry_classes(graph)
+            sizes = {len(nodes) for nodes in classes.values()}
+            assert len(sizes) == 1, f"{graph.name}: class sizes {sizes}"

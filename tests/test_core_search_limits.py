@@ -1,0 +1,50 @@
+"""Tests for the bounded-search guardrails of the PPE/CPPE index computation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    SearchLimitExceeded,
+    complete_port_path_election_index,
+    port_path_election_index,
+)
+from repro.core.election_index import _common_path_sequence
+from repro.portgraph import generators
+
+
+class TestCommonPathSearch:
+    def test_finds_obvious_common_sequence(self):
+        graph = generators.star_graph(4)
+        # all leaves reach the centre with the single-port sequence (0,)
+        sequence = _common_path_sequence(graph, [1, 2, 3, 4], 0, complete=False)
+        assert sequence == (0,)
+
+    def test_no_common_complete_sequence_for_star_leaves(self):
+        graph = generators.star_graph(3)
+        # the incoming ports at the centre differ, so no common CPPE sequence exists
+        assert _common_path_sequence(graph, [1, 2, 3], 0, complete=True) is None
+
+    def test_leader_inside_the_class_means_no_sequence(self):
+        graph = generators.path_graph(4)
+        assert _common_path_sequence(graph, [0, 1], 1, complete=False) is None
+
+    def test_max_length_cuts_off_long_paths(self):
+        graph = generators.path_graph(6)
+        assert _common_path_sequence(graph, [5], 0, complete=False, max_length=2) is None
+        assert _common_path_sequence(graph, [5], 0, complete=False) is not None
+
+    def test_state_budget_raises_instead_of_guessing(self):
+        graph = generators.asymmetric_cycle(8)
+        # nodes 3 and 4 need several joint steps to reach node 0 together
+        with pytest.raises(SearchLimitExceeded):
+            _common_path_sequence(graph, [3, 4], 0, complete=False, max_states=2)
+
+    def test_index_functions_propagate_the_limit(self):
+        # at depth ψ_S = 1 the asymmetric cycle still has a large twin class far
+        # from the irregular node, whose joint search needs more than 2 states
+        graph = generators.asymmetric_cycle(9)
+        with pytest.raises(SearchLimitExceeded):
+            port_path_election_index(graph, max_states=2)
+        with pytest.raises(SearchLimitExceeded):
+            complete_port_path_election_index(graph, max_states=2)

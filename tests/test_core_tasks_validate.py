@@ -1,0 +1,183 @@
+"""Unit tests for task definitions, outcomes and solution validators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    LEADER,
+    NON_LEADER,
+    ElectionOutcome,
+    Task,
+    output_is_leader,
+    validate,
+    validate_complete_port_path_election,
+    validate_outcome,
+    validate_port_election,
+    validate_port_path_election,
+    validate_selection,
+)
+from repro.portgraph import generators
+
+
+class TestTaskEnum:
+    def test_ordering_matches_fact_1_1(self):
+        ordered = Task.ordered()
+        assert ordered[0] is Task.SELECTION
+        assert ordered[-1] is Task.COMPLETE_PORT_PATH_ELECTION
+        assert [t.strength for t in ordered] == [0, 1, 2, 3]
+
+    def test_full_names(self):
+        assert Task.SELECTION.full_name == "Selection"
+        assert Task.PORT_ELECTION.full_name == "Port Election"
+        assert Task.PORT_PATH_ELECTION.full_name == "Port Path Election"
+        assert Task.COMPLETE_PORT_PATH_ELECTION.full_name == "Complete Port Path Election"
+
+    def test_string_values(self):
+        assert Task("S") is Task.SELECTION
+        assert Task("CPPE") is Task.COMPLETE_PORT_PATH_ELECTION
+
+    def test_output_is_leader(self):
+        assert output_is_leader(LEADER)
+        assert output_is_leader(())
+        assert not output_is_leader(NON_LEADER)
+        assert not output_is_leader(0)
+        assert not output_is_leader((0, 1))
+
+
+class TestElectionOutcome:
+    def test_leader_extraction(self):
+        outcome = ElectionOutcome(Task.SELECTION, {0: NON_LEADER, 1: LEADER, 2: NON_LEADER})
+        assert outcome.leaders() == [1]
+        assert outcome.leader() == 1
+        assert outcome.non_leader_outputs() == {0: NON_LEADER, 2: NON_LEADER}
+        assert len(outcome) == 3
+
+    def test_leader_raises_when_ambiguous(self):
+        outcome = ElectionOutcome(Task.SELECTION, {0: LEADER, 1: LEADER})
+        with pytest.raises(ValueError):
+            outcome.leader()
+
+    def test_from_pairs(self):
+        outcome = ElectionOutcome.from_pairs(Task.PORT_ELECTION, [(0, LEADER), (1, 0)], rounds=2)
+        assert outcome.rounds == 2
+        assert outcome.output(1) == 0
+
+
+class TestValidateSelection:
+    def test_valid_selection(self, three_line):
+        result = validate_selection(three_line, {0: NON_LEADER, 1: LEADER, 2: NON_LEADER})
+        assert result.ok and result.leader == 1
+        result.raise_if_invalid()
+
+    def test_no_leader_invalid(self, three_line):
+        result = validate_selection(three_line, {v: NON_LEADER for v in three_line.nodes()})
+        assert not result.ok
+        with pytest.raises(AssertionError):
+            result.raise_if_invalid()
+
+    def test_two_leaders_invalid(self, three_line):
+        result = validate_selection(three_line, {0: LEADER, 1: LEADER, 2: NON_LEADER})
+        assert not result.ok
+
+    def test_missing_node_invalid(self, three_line):
+        result = validate_selection(three_line, {0: LEADER, 1: NON_LEADER})
+        assert not result.ok
+        assert "no output" in result.errors[0]
+
+    def test_garbage_non_leader_output_invalid(self, three_line):
+        result = validate_selection(three_line, {0: LEADER, 1: "maybe", 2: NON_LEADER})
+        assert not result.ok
+
+
+class TestValidatePortElection:
+    def test_valid_port_election(self, three_line):
+        result = validate_port_election(three_line, {0: 0, 1: LEADER, 2: 0})
+        assert result.ok and result.leader == 1
+
+    def test_port_not_towards_leader_invalid(self):
+        graph = generators.path_graph(4)
+        # node 2's port towards node 3 cannot start a simple path to node 0
+        bad_port = graph.port_to(2, 3)
+        good_port = graph.port_to(2, 1)
+        outputs = {0: LEADER, 1: graph.port_to(1, 0), 2: bad_port, 3: graph.port_to(3, 2)}
+        assert not validate_port_election(graph, outputs).ok
+        outputs[2] = good_port
+        assert validate_port_election(graph, outputs).ok
+
+    def test_nonexistent_port_invalid(self, three_line):
+        result = validate_port_election(three_line, {0: 5, 1: LEADER, 2: 0})
+        assert not result.ok
+
+    def test_non_integer_output_invalid(self, three_line):
+        result = validate_port_election(three_line, {0: "0", 1: LEADER, 2: 0})
+        assert not result.ok
+
+    def test_cycle_port_election_both_directions_ok(self):
+        graph = generators.asymmetric_cycle(5)
+        # around a cycle every port starts a simple path to any other node
+        outputs = {v: 0 for v in graph.nodes()}
+        outputs[2] = LEADER
+        assert validate_port_election(graph, outputs).ok
+
+
+class TestValidatePathElections:
+    def test_valid_ppe(self):
+        graph = generators.path_graph(4)
+        outputs = {
+            0: LEADER,
+            1: (graph.port_to(1, 0),),
+            2: (graph.port_to(2, 1), graph.port_to(1, 0)),
+            3: (graph.port_to(3, 2), graph.port_to(2, 1), graph.port_to(1, 0)),
+        }
+        result = validate_port_path_election(graph, outputs)
+        assert result.ok and result.leader == 0
+
+    def test_ppe_non_simple_path_invalid(self):
+        graph = generators.path_graph(3)
+        # 1 -> 0 -> 1 -> ... is not simple
+        outputs = {0: LEADER, 1: (1, 0, 1, 0), 2: (1, 1)}
+        assert not validate_port_path_election(graph, outputs).ok
+
+    def test_ppe_wrong_endpoint_invalid(self):
+        graph = generators.path_graph(4)
+        outputs = {0: LEADER, 1: (graph.port_to(1, 2),), 2: (1,), 3: (0,)}
+        assert not validate_port_path_election(graph, outputs).ok
+
+    def test_ppe_empty_sequence_for_non_leader_invalid(self):
+        graph = generators.path_graph(3)
+        outputs = {0: LEADER, 1: (), 2: (1, 1)}
+        # an empty tuple marks a node as leader, so this has two leaders
+        assert not validate_port_path_election(graph, outputs).ok
+
+    def test_valid_cppe(self, three_line):
+        outputs = {0: (0, 0), 1: LEADER, 2: (0, 1)}
+        result = validate_complete_port_path_election(three_line, outputs)
+        assert result.ok and result.leader == 1
+
+    def test_cppe_wrong_incoming_port_invalid(self, three_line):
+        outputs = {0: (0, 1), 1: LEADER, 2: (0, 1)}
+        assert not validate_complete_port_path_election(three_line, outputs).ok
+
+    def test_cppe_odd_length_invalid(self, three_line):
+        outputs = {0: (0, 0, 1), 1: LEADER, 2: (0, 1)}
+        assert not validate_complete_port_path_election(three_line, outputs).ok
+
+    def test_cppe_leader_may_output_empty_sequence(self, three_line):
+        outputs = {0: (0, 0), 1: (), 2: (0, 1)}
+        result = validate_complete_port_path_election(three_line, outputs)
+        assert result.ok and result.leader == 1
+
+    def test_non_sequence_output_invalid(self, three_line):
+        outputs = {0: 3, 1: LEADER, 2: (0, 1)}
+        assert not validate_complete_port_path_election(three_line, outputs).ok
+
+
+class TestValidateDispatch:
+    def test_validate_routes_by_task(self, three_line):
+        assert validate(Task.SELECTION, three_line, {0: NON_LEADER, 1: LEADER, 2: NON_LEADER}).ok
+        assert validate(Task.PORT_ELECTION, three_line, {0: 0, 1: LEADER, 2: 0}).ok
+
+    def test_validate_outcome(self, three_line):
+        outcome = ElectionOutcome(Task.SELECTION, {0: NON_LEADER, 1: LEADER, 2: NON_LEADER})
+        assert validate_outcome(three_line, outcome).ok

@@ -1,0 +1,189 @@
+"""Failure injection: corrupted solutions, tampered advice, misbehaving nodes.
+
+Correctness claims are only as good as the validators that check them, so
+this module perturbs known-good solutions in many ways and asserts that every
+perturbation is caught, and that the simulator rejects protocol violations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.advice import selection_with_advice_scheme
+from repro.advice.selection_advice import SelectionFromViewAdvice
+from repro.core import LEADER, NON_LEADER, Task, all_election_indices, path_election_assignment, port_election_assignment, validate
+from repro.portgraph import generators
+from repro.sim import NodeAlgorithm, run_synchronous
+
+
+def _valid_pe_solution(graph):
+    index = all_election_indices(graph)[Task.PORT_ELECTION]
+    leader, ports = port_election_assignment(graph, index)
+    outputs = dict(ports)
+    outputs[leader] = LEADER
+    return leader, outputs
+
+
+def _valid_cppe_solution(graph):
+    index = all_election_indices(graph)[Task.COMPLETE_PORT_PATH_ELECTION]
+    leader, sequences = path_election_assignment(graph, index, complete=True)
+    outputs = dict(sequences)
+    outputs[leader] = LEADER
+    return leader, outputs
+
+
+class TestCorruptedSelection:
+    def test_removing_the_leader_is_caught(self):
+        graph = generators.star_graph(4)
+        outputs = {v: NON_LEADER for v in graph.nodes()}
+        assert not validate(Task.SELECTION, graph, outputs).ok
+
+    def test_adding_a_second_leader_is_caught(self):
+        graph = generators.star_graph(4)
+        outputs = {v: NON_LEADER for v in graph.nodes()}
+        outputs[0] = LEADER
+        outputs[1] = LEADER
+        assert not validate(Task.SELECTION, graph, outputs).ok
+
+    def test_dropping_a_node_is_caught(self):
+        graph = generators.star_graph(4)
+        outputs = {v: NON_LEADER for v in graph.nodes() if v != 3}
+        outputs[0] = LEADER
+        assert not validate(Task.SELECTION, graph, outputs).ok
+
+
+class TestCorruptedPortElection:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_flipping_one_port_output_is_caught_or_still_valid_for_a_reason(self, seed):
+        graph = generators.path_graph(6)
+        leader, outputs = _valid_pe_solution(graph)
+        rng = random.Random(seed)
+        victim = rng.choice([v for v in graph.nodes() if v != leader])
+        original = outputs[victim]
+        for other_port in range(graph.degree(victim)):
+            if other_port == original:
+                continue
+            corrupted = dict(outputs)
+            corrupted[victim] = other_port
+            result = validate(Task.PORT_ELECTION, graph, corrupted)
+            # On a path graph the other port points away from the leader, so it must be caught.
+            assert not result.ok
+
+    def test_out_of_range_port_is_caught(self):
+        graph = generators.asymmetric_cycle(6)
+        leader, outputs = _valid_pe_solution(graph)
+        victim = next(v for v in graph.nodes() if v != leader)
+        outputs[victim] = 99
+        assert not validate(Task.PORT_ELECTION, graph, outputs).ok
+
+    def test_leader_also_outputting_a_port_masks_it_as_two_leaders(self):
+        graph = generators.asymmetric_cycle(6)
+        leader, outputs = _valid_pe_solution(graph)
+        other = next(v for v in graph.nodes() if v != leader)
+        outputs[other] = LEADER
+        assert not validate(Task.PORT_ELECTION, graph, outputs).ok
+
+
+class TestCorruptedPathElections:
+    def test_truncating_a_path_is_caught(self):
+        graph = generators.path_graph(5)
+        leader, outputs = _valid_cppe_solution(graph)
+        victim = max(v for v in graph.nodes() if v != leader and len(outputs[v]) >= 4)
+        outputs[victim] = outputs[victim][:-2]
+        result = validate(Task.COMPLETE_PORT_PATH_ELECTION, graph, outputs)
+        assert not result.ok
+
+    def test_swapping_incoming_port_is_caught(self):
+        graph = generators.star_graph(3)
+        leader, outputs = _valid_cppe_solution(graph)
+        victim = next(v for v in graph.nodes() if v != leader)
+        sequence = list(outputs[victim])
+        sequence[1] = (sequence[1] + 1) % 3
+        outputs[victim] = tuple(sequence)
+        assert not validate(Task.COMPLETE_PORT_PATH_ELECTION, graph, outputs).ok
+
+    @given(seed=st.integers(min_value=0, max_value=100), scramble=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_random_scrambles_of_ppe_outputs_never_validate_silently_wrong(self, seed, scramble):
+        graph = generators.random_connected_graph(7, extra_edges=2, seed=seed)
+        indices = all_election_indices(graph)
+        if indices[Task.PORT_PATH_ELECTION] is None:
+            return
+        leader, sequences = path_election_assignment(graph, indices[Task.PORT_PATH_ELECTION], complete=False)
+        outputs = dict(sequences)
+        outputs[leader] = LEADER
+        rng = random.Random(seed * 31 + scramble)
+        victim = rng.choice([v for v in graph.nodes() if v != leader])
+        outputs[victim] = tuple(rng.randrange(0, graph.max_degree + 1) for _ in range(scramble))
+        result = validate(Task.PORT_PATH_ELECTION, graph, outputs)
+        if result.ok:
+            # if it still validates, the scrambled sequence must genuinely be a
+            # simple path to the leader -- re-check by hand
+            from repro.portgraph.paths import follow_ports, is_simple_node_sequence
+
+            path = follow_ports(graph, victim, outputs[victim])
+            assert path is not None and is_simple_node_sequence(path) and path[-1] == leader
+
+
+class TestTamperedAdvice:
+    def test_selection_scheme_with_wrong_graph_advice_elects_nobody(self):
+        # advice computed for one graph, executed on a different one: the
+        # encoded view matches no node, so no leader is elected and the
+        # validator flags it.
+        scheme = selection_with_advice_scheme()
+        advice_graph = generators.star_graph(5)
+        run_graph = generators.asymmetric_cycle(7)
+        advice = scheme.oracle.advise(advice_graph)
+        result = run_synchronous(run_graph, scheme.algorithm_factory, advice=advice)
+        assert not validate(Task.SELECTION, run_graph, result.outputs).ok
+
+    def test_garbage_advice_is_rejected_at_decode_time(self):
+        algorithm = SelectionFromViewAdvice()
+        with pytest.raises(Exception):
+            algorithm.setup(2, "10")  # not a valid encoded view
+
+    def test_missing_advice_is_rejected(self):
+        algorithm = SelectionFromViewAdvice()
+        with pytest.raises(ValueError):
+            algorithm.setup(2, None)
+
+
+class TestMisbehavingNodes:
+    def test_sending_on_a_nonexistent_port_is_detected(self):
+        class Rogue(NodeAlgorithm):
+            def rounds_needed(self):
+                return 1
+
+            def messages_to_send(self, round_number):
+                return {self.degree + 3: "out of range"}
+
+            def receive(self, round_number, messages):
+                pass
+
+            def output(self):
+                return None
+
+        graph = generators.path_graph(3)
+        with pytest.raises(RuntimeError):
+            run_synchronous(graph, Rogue)
+
+    def test_disagreeing_round_budgets_are_detected(self):
+        class Moody(NodeAlgorithm):
+            def rounds_needed(self):
+                return self.degree  # depends on the degree: nodes disagree
+
+            def messages_to_send(self, round_number):
+                return {}
+
+            def receive(self, round_number, messages):
+                pass
+
+            def output(self):
+                return None
+
+        graph = generators.star_graph(3)
+        with pytest.raises(ValueError):
+            run_synchronous(graph, Moody)

@@ -1,0 +1,118 @@
+"""Tests for the class G_{Δ,k} (Section 2.2.1) and its Lemmas 2.5-2.8 / Fact 2.3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import corresponding_views_equal, only_unique_view_nodes
+from repro.core import Task, selection_index, validate
+from repro.families import build_gdk_member, gdk_class_size, fact_2_3_class_size
+from repro.algorithms import gdk_selection_outputs
+from repro.views import ViewRefinement, views_equal_across_graphs
+
+
+class TestFact23:
+    @pytest.mark.parametrize(
+        "delta,k,expected",
+        [
+            (3, 1, 2),
+            (4, 1, 9),
+            (5, 1, 64),
+            (4, 2, 3**6),
+            (5, 2, 4**12),
+            (8, 3, 7 ** (6 * 49)),
+        ],
+    )
+    def test_class_size_formula(self, delta, k, expected):
+        assert gdk_class_size(delta, k) == expected
+        assert fact_2_3_class_size(delta, k) == expected
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("delta,k,index", [(3, 1, 1), (4, 1, 1), (4, 1, 5), (5, 1, 3), (4, 2, 2)])
+    def test_member_builds_and_is_valid(self, delta, k, index):
+        member = build_gdk_member(delta, k, index)
+        graph = member.graph
+        assert graph.max_degree == delta
+        assert len(member.cycle_nodes) == 4 * index - 1
+        # every cycle node has degree 3, every tree root degree Δ
+        for c in member.cycle_nodes:
+            assert graph.degree(c) == 3
+        for handles in member.trees.values():
+            assert graph.degree(handles.root) == delta
+
+    def test_number_of_trees(self):
+        member = build_gdk_member(4, 1, 4)
+        # 2 copies of T_{j,1} for j <= 4, T_{4,2} once, 2 copies of T_{j,2} for j < 4
+        assert len(member.trees) == 2 * 4 + 1 + 2 * 3
+
+    def test_index_validation(self):
+        with pytest.raises(ValueError):
+            build_gdk_member(4, 1, 0)
+        with pytest.raises(ValueError):
+            build_gdk_member(4, 1, 10)
+        with pytest.raises(ValueError):
+            build_gdk_member(2, 1, 1)
+
+
+class TestLemmas:
+    @pytest.mark.parametrize("delta,k,index", [(4, 1, 2), (4, 1, 5), (5, 1, 3), (4, 2, 2)])
+    def test_lemma_2_6_unique_view_node_is_r_i2(self, delta, k, index):
+        member = build_gdk_member(delta, k, index)
+        unique = only_unique_view_nodes(member.graph, k)
+        assert unique == [member.distinguished_root]
+
+    @pytest.mark.parametrize("delta,k,index", [(4, 1, 1), (4, 1, 3), (5, 1, 2), (4, 2, 2)])
+    def test_lemma_2_7_selection_index_is_k(self, delta, k, index):
+        member = build_gdk_member(delta, k, index)
+        refinement = ViewRefinement(member.graph)
+        assert not refinement.unique_nodes(k - 1), "no node may be unique at depth k-1"
+        assert selection_index(member.graph, refinement=refinement) == k
+
+    def test_lemma_2_5_cycle_nodes_share_views_across_members(self):
+        # B^k(c_m) in G_α equals B^k(c_{m'}) in G_β for all cycle positions.
+        delta, k = 4, 1
+        g2 = build_gdk_member(delta, k, 2)
+        g4 = build_gdk_member(delta, k, 4)
+        pairs = [(g2.cycle_nodes[m], g4.cycle_nodes[m_prime]) for m in range(3) for m_prime in range(5)]
+        assert corresponding_views_equal(g2.graph, g4.graph, pairs, k)
+
+    def test_lemma_2_8_tree_roots_share_views_across_members(self):
+        # B^k(r_{j,b}) is the same in G_α and G_β for j <= α <= β.
+        delta, k = 4, 1
+        alpha, beta = 2, 5
+        g_alpha = build_gdk_member(delta, k, alpha)
+        g_beta = build_gdk_member(delta, k, beta)
+        pairs = []
+        for j in range(1, alpha + 1):
+            for b in (1, 2):
+                pairs.append((g_alpha.tree_root(j, b, 1), g_beta.tree_root(j, b, 1)))
+        assert corresponding_views_equal(g_alpha.graph, g_beta.graph, pairs, k)
+
+    def test_theorem_2_9_fooling_pair(self):
+        # The two graphs G_α and G_β receiving the same advice cannot be told
+        # apart by r_{α,2}: its depth-k views agree, yet in G_β there are two
+        # copies of T_{α,2}, so any algorithm electing r_{α,2} in G_α elects
+        # two nodes in G_β.
+        delta, k = 4, 1
+        alpha, beta = 2, 4
+        g_alpha = build_gdk_member(delta, k, alpha)
+        g_beta = build_gdk_member(delta, k, beta)
+        r_alpha_in_alpha = g_alpha.tree_root(alpha, 2, 1)
+        r_alpha_in_beta_copy1 = g_beta.tree_root(alpha, 2, 1)
+        r_alpha_in_beta_copy2 = g_beta.tree_root(alpha, 2, 2)
+        assert views_equal_across_graphs(
+            g_alpha.graph, r_alpha_in_alpha, g_beta.graph, r_alpha_in_beta_copy1, k
+        )
+        refinement = ViewRefinement(g_beta.graph)
+        assert refinement.views_equal(r_alpha_in_beta_copy1, r_alpha_in_beta_copy2, k)
+
+
+class TestLemma27Algorithm:
+    @pytest.mark.parametrize("delta,k,index", [(4, 1, 3), (5, 1, 2), (4, 2, 2)])
+    def test_map_based_selection_validates(self, delta, k, index):
+        member = build_gdk_member(delta, k, index)
+        outputs = gdk_selection_outputs(member)
+        result = validate(Task.SELECTION, member.graph, outputs)
+        assert result.ok
+        assert result.leader == member.distinguished_root

@@ -1,0 +1,161 @@
+"""Tests for layer graphs, the component H and the gadget Ĥ (Section 4.1, Parts 1-3)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.analysis import lemma_4_3_holds
+from repro.families import (
+    add_layer,
+    build_component,
+    build_gadget,
+    build_layer_graph,
+    component_port_block,
+    component_size,
+    fact_4_1_layer_sizes,
+    gadget_size,
+    layer_size,
+)
+from repro.portgraph import GraphBuilder
+from repro.portgraph.paths import bfs_distances, eccentricity
+from repro.views import views_equal_across_graphs
+
+
+class TestLayerGraphs:
+    @pytest.mark.parametrize("mu", [2, 3, 4])
+    @pytest.mark.parametrize("m", list(range(0, 7)))
+    def test_fact_4_1_sizes(self, mu, m):
+        graph, handles = build_layer_graph(mu, m)
+        assert graph.num_nodes == layer_size(mu, m)
+        assert len(handles.nodes) == graph.num_nodes
+
+    def test_fact_4_1_closed_forms(self):
+        # L_0 has 1 node, L_1 has µ, L_{2j} has (µ^{j+1}+µ^j-2)/(µ-1), L_{2j+1} has (2µ^{j+1}-2)/(µ-1).
+        assert fact_4_1_layer_sizes(3, 5) == {0: 1, 1: 3, 2: 5, 3: 8, 4: 17, 5: 26}
+
+    def test_even_layer_structure(self):
+        graph, handles = build_layer_graph(3, 4)
+        # roots have degree µ, middles degree 2, internal nodes µ+1
+        assert graph.degree(handles.root(0)) == 3
+        assert graph.degree(handles.root(1)) == 3
+        middles = handles.middle_nodes()
+        assert len(middles) == 9
+        assert all(graph.degree(v) == 2 for v in middles)
+        # identified middles: both addresses resolve to the same handle
+        assert handles.node(0, (1, 2)) == handles.node(1, (1, 2))
+
+    def test_odd_layer_structure(self):
+        graph, handles = build_layer_graph(3, 5)
+        middles = handles.middle_nodes()
+        assert len(middles) == 18
+        assert all(graph.degree(v) == 2 for v in middles)
+        # odd layers do not identify the two sides
+        assert handles.node(0, (0, 0)) != handles.node(1, (0, 0))
+        # corresponding middles are joined by an edge with port 1 on both sides
+        a, b = handles.node(0, (0, 0)), handles.node(1, (0, 0))
+        assert graph.edge_ports(a, b) == (1, 1)
+
+    def test_layer_one_is_a_clique(self):
+        graph, handles = build_layer_graph(4, 1)
+        assert graph.num_edges == 6
+        assert all(graph.degree(v) == 3 for v in graph.nodes())
+
+    def test_ordered_nodes_are_lexicographic_and_deduplicated(self):
+        _graph, handles = build_layer_graph(2, 4)
+        ordered = handles.ordered_nodes()
+        assert len(ordered) == layer_size(2, 4) == 10
+        assert len(set(ordered)) == 10
+        # the first node is the b=0 root
+        assert ordered[0] == handles.root(0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            build_layer_graph(1, 2)
+        with pytest.raises(ValueError):
+            layer_size(2, -1)
+
+
+class TestComponent:
+    @pytest.mark.parametrize("mu,k", [(2, 4), (3, 4), (2, 5), (3, 5)])
+    def test_component_size_and_validity(self, mu, k):
+        graph, handles = build_component(mu, k)
+        assert graph.num_nodes == component_size(mu, k)
+        assert handles.z == layer_size(mu, k)
+        assert len(handles.border) == handles.z
+
+    @pytest.mark.parametrize("mu,k", [(2, 4), (3, 4), (2, 5)])
+    def test_every_node_sees_rho_within_k(self, mu, k):
+        # The root's eccentricity is exactly k: this is what lets every node of
+        # a gadget locate ρ after k rounds (used by Lemma 4.8).
+        graph, handles = build_component(mu, k)
+        assert eccentricity(graph, handles.root) == k
+
+    @pytest.mark.parametrize("mu,k", [(2, 4), (3, 4), (2, 5)])
+    def test_lemma_4_3(self, mu, k):
+        # Every node fails to see some border pair within distance k-1.
+        graph, handles = build_component(mu, k)
+        assert lemma_4_3_holds(graph, handles)
+
+    def test_border_nodes_are_layer_k_nodes(self):
+        graph, handles = build_component(2, 4)
+        top1, top2 = handles.top_layers
+        assert {w for w, _ in handles.border} == set(top1.nodes)
+        assert {w for _, w in handles.border} == set(top2.nodes)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            build_component(2, 3)
+        with pytest.raises(ValueError):
+            build_component(1, 4)
+
+    def test_root_reuse_with_port_offset(self):
+        builder = GraphBuilder()
+        shared_root = builder.add_node()
+        from repro.families import add_component
+
+        first = add_component(builder, 2, 4, root=shared_root, root_port_offset=0)
+        second = add_component(builder, 2, 4, root=shared_root, root_port_offset=2)
+        graph = builder.build()
+        assert first.root == second.root == shared_root
+        assert graph.degree(shared_root) == 4
+
+
+class TestGadget:
+    @pytest.mark.parametrize("mu,k", [(2, 4), (3, 4)])
+    def test_gadget_size_and_rho_degree(self, mu, k):
+        graph, handles = build_gadget(mu, k)
+        assert graph.num_nodes == gadget_size(mu, k)
+        assert graph.degree(handles.rho) == 4 * mu
+
+    def test_component_port_blocks(self):
+        assert list(component_port_block(3, "L")) == [0, 1, 2]
+        assert list(component_port_block(3, "T")) == [3, 4, 5]
+        assert list(component_port_block(3, "R")) == [6, 7, 8]
+        assert list(component_port_block(3, "B")) == [9, 10, 11]
+
+    def test_rho_port_blocks_lead_into_the_right_components(self):
+        graph, handles = build_gadget(2, 4)
+        for key in ("L", "T", "R", "B"):
+            block = component_port_block(2, key)
+            component_nodes = set(handles.component(key).nodes_without_root)
+            for port in block:
+                assert graph.neighbor(handles.rho, port) in component_nodes
+
+    def test_proposition_4_4_rho_views_match_across_gadget_copies(self):
+        # Two independently built gadgets have identical views at ρ up to k-1
+        # (and in fact at k, since no chain edges are present yet).
+        g1, h1 = build_gadget(2, 4)
+        g2, h2 = build_gadget(2, 4)
+        assert views_equal_across_graphs(g1, h1.rho, g2, h2.rho, 3)
+        assert views_equal_across_graphs(g1, h1.rho, g2, h2.rho, 4)
+
+    def test_four_components_are_disjoint_and_cover_the_gadget(self):
+        graph, handles = build_gadget(2, 4)
+        seen = {handles.rho}
+        for key in ("L", "T", "R", "B"):
+            nodes = handles.component(key).nodes_without_root
+            assert not (set(nodes) & seen)
+            seen.update(nodes)
+        assert len(seen) == graph.num_nodes

@@ -1,0 +1,185 @@
+"""Tests for Building Blocks 1-3 (Section 2.2.1): T, T_X, T_{X,1}, T_{X,2}."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.families import (
+    build_tree_with_path,
+    figure_1_example,
+    index_of_sequence,
+    iter_leaf_sequences,
+    leaf_count,
+    num_augmented_trees,
+    sequence_from_index,
+)
+from repro.portgraph import GraphBuilder, are_isomorphic
+from repro.families.trees import add_augmented_tree, add_base_tree
+from repro.views import views_equal_across_graphs
+
+
+class TestLeafCountsAndSequences:
+    @pytest.mark.parametrize(
+        "delta,k,expected",
+        [(3, 1, 1), (4, 1, 2), (4, 2, 6), (5, 1, 3), (5, 2, 12), (6, 3, 100)],
+    )
+    def test_leaf_count_formula(self, delta, k, expected):
+        assert leaf_count(delta, k) == expected
+
+    def test_leaf_count_validation(self):
+        with pytest.raises(ValueError):
+            leaf_count(2, 1)
+        with pytest.raises(ValueError):
+            leaf_count(4, 0)
+
+    @pytest.mark.parametrize("delta,k", [(3, 1), (4, 1), (4, 2), (5, 1)])
+    def test_number_of_augmented_trees(self, delta, k):
+        assert num_augmented_trees(delta, k) == (delta - 1) ** leaf_count(delta, k)
+
+    def test_sequence_enumeration_is_lexicographic_and_complete(self):
+        sequences = list(iter_leaf_sequences(4, 1))
+        assert len(sequences) == num_augmented_trees(4, 1) == 9
+        assert sequences == sorted(sequences)
+        assert sequences[0] == (1, 1)
+        assert sequences[-1] == (3, 3)
+
+    def test_sequence_index_roundtrip(self):
+        for j in range(1, num_augmented_trees(4, 1) + 1):
+            sequence = sequence_from_index(4, 1, j)
+            assert index_of_sequence(4, 1, sequence) == j
+
+    @given(j=st.integers(min_value=1, max_value=3**6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_sequence_index_roundtrip(self, j):
+        sequence = sequence_from_index(4, 2, j)
+        assert index_of_sequence(4, 2, sequence) == j
+
+    def test_sequence_index_validation(self):
+        with pytest.raises(ValueError):
+            sequence_from_index(4, 1, 0)
+        with pytest.raises(ValueError):
+            sequence_from_index(4, 1, 10)
+        with pytest.raises(ValueError):
+            index_of_sequence(4, 1, (1, 1, 1))
+        with pytest.raises(ValueError):
+            index_of_sequence(4, 1, (0, 1))
+
+
+class TestBaseTree:
+    @pytest.mark.parametrize("delta,k", [(3, 1), (4, 1), (4, 2), (5, 2), (4, 3)])
+    def test_base_tree_shape(self, delta, k):
+        # The base tree T is an intermediate building block: its root keeps
+        # port 0 free for the Block 3 appended path, so it is inspected on the
+        # builder (relaxed port validation) rather than frozen into a graph.
+        builder = GraphBuilder()
+        handles = add_base_tree(builder, delta, k)
+        builder.validate(require_contiguous_ports=False)
+        assert len(handles.leaves) == leaf_count(delta, k)
+        assert builder.degree(handles.root) == delta - 2
+        for leaf in handles.leaves:
+            assert builder.degree(leaf) == 1
+        leaves = set(handles.leaves)
+        internal = [
+            v for v in range(builder.num_nodes) if v != handles.root and v not in leaves
+        ]
+        assert all(builder.degree(v) == delta for v in internal)
+
+    def test_base_tree_node_count(self):
+        builder = GraphBuilder()
+        add_base_tree(builder, 4, 2)
+        # root + 2 children + 6 grandchildren
+        assert builder.num_nodes == 1 + 2 + 6
+
+    def test_root_ports_are_1_to_delta_minus_2(self):
+        builder = GraphBuilder()
+        handles = add_base_tree(builder, 5, 1)
+        assert builder.ports(handles.root) == [1, 2, 3]
+
+
+class TestAugmentedTree:
+    def test_attachment_counts_follow_sequence(self):
+        builder = GraphBuilder()
+        handles = add_augmented_tree(builder, 4, 1, (1, 3))
+        builder.validate(require_contiguous_ports=False)
+        assert builder.degree(handles.leaves[0]) == 1 + 1
+        assert builder.degree(handles.leaves[1]) == 1 + 3
+        assert [len(a) for a in handles.attached] == [1, 3]
+
+    def test_sequence_length_validation(self):
+        builder = GraphBuilder()
+        with pytest.raises(ValueError):
+            add_augmented_tree(builder, 4, 1, (1,))
+
+    def test_sequence_value_validation(self):
+        builder = GraphBuilder()
+        with pytest.raises(ValueError):
+            add_augmented_tree(builder, 4, 1, (1, 4))
+
+
+class TestTreesWithPath:
+    def test_figure_1_example_sizes(self):
+        # Δ=4, k=2, X=(1,2,3,3,2,2): T has 9 nodes, the attachments add 13,
+        # the appended path adds k+1 = 3 nodes.
+        graph1, handles1 = figure_1_example(1)
+        graph2, handles2 = figure_1_example(2)
+        assert graph1.num_nodes == 9 + sum((1, 2, 3, 3, 2, 2)) + 3 == 25
+        assert graph2.num_nodes == 25
+        assert len(handles1.path_nodes) == 3
+        # the two variants differ exactly at p_k
+        assert not are_isomorphic(graph1, graph2)
+
+    def test_variant_difference_is_at_p_k(self):
+        graph1, handles1 = build_tree_with_path(4, 2, (1, 2, 3, 3, 2, 2), 1)
+        graph2, handles2 = build_tree_with_path(4, 2, (1, 2, 3, 3, 2, 2), 2)
+        k = 2
+        p_k_1 = handles1.path_nodes[k - 1]
+        p_k_2 = handles2.path_nodes[k - 1]
+        # ports towards the previous node on the path are swapped
+        prev_1 = handles1.path_nodes[k - 2]
+        prev_2 = handles2.path_nodes[k - 2]
+        assert graph1.port_to(p_k_1, prev_1) == 1
+        assert graph2.port_to(p_k_2, prev_2) == 0
+
+    def test_root_degree_is_delta_minus_1(self):
+        graph, handles = build_tree_with_path(5, 1, (2, 1, 3), 1)
+        assert graph.degree(handles.root) == 4
+        assert sorted(graph.ports(handles.root)) == [0, 1, 2, 3]
+
+    def test_appended_path_port_labels_variant_1(self):
+        graph, handles = build_tree_with_path(4, 2, (1, 1, 1, 1, 1, 1), 1)
+        root = handles.root
+        p = handles.path_nodes
+        assert graph.port_to(root, p[0]) == 0
+        assert graph.port_to(p[0], root) == 1
+        assert graph.port_to(p[0], p[1]) == 0
+        assert graph.port_to(p[1], p[0]) == 1
+        assert graph.port_to(p[1], p[2]) == 0
+        assert graph.port_to(p[2], p[1]) == 0  # p_{k+1} uses port 0
+        assert graph.degree(p[2]) == 1
+
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError):
+            build_tree_with_path(4, 1, (1, 1), 3)
+
+    def test_proposition_2_4_roots_look_alike_up_to_depth_k_minus_1(self):
+        # Proposition 2.4: B^{k-1} of the root is the same across all T_{j,b}.
+        delta, k = 4, 2
+        graphs = [
+            build_tree_with_path(delta, k, sequence, variant)
+            for sequence in ((1, 1, 1, 1, 1, 1), (3, 2, 1, 2, 3, 1), (3, 3, 3, 3, 3, 3))
+            for variant in (1, 2)
+        ]
+        base_graph, base_handles = graphs[0]
+        for graph, handles in graphs[1:]:
+            assert views_equal_across_graphs(
+                base_graph, base_handles.root, graph, handles.root, k - 1
+            )
+
+    def test_roots_differ_at_depth_k_for_different_sequences(self):
+        delta, k = 4, 2
+        graph_a, handles_a = build_tree_with_path(delta, k, (1, 1, 1, 1, 1, 1), 1)
+        graph_b, handles_b = build_tree_with_path(delta, k, (2, 1, 1, 1, 1, 1), 1)
+        assert not views_equal_across_graphs(
+            graph_a, handles_a.root, graph_b, handles_b.root, k
+        )

@@ -1,0 +1,166 @@
+"""Tests for the class U_{Δ,k} (Section 3.1): Fact 3.1, Lemmas 3.6/3.8/3.9, Theorem 3.11 set-up."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import pe_to_selection, udk_leader, udk_port_election_outputs
+from repro.analysis import only_unique_view_nodes
+from repro.core import Task, port_election_index, selection_index, validate
+from repro.families import (
+    build_udk_member,
+    build_udk_template,
+    fact_3_1_class_size,
+    udk_class_size,
+    udk_tree_count,
+)
+from repro.views import ViewRefinement, views_equal_across_graphs
+
+
+DELTA, K = 4, 1
+
+
+@pytest.fixture(scope="module")
+def template():
+    return build_udk_template(DELTA, K)
+
+
+@pytest.fixture(scope="module")
+def member():
+    y = udk_tree_count(DELTA, K)
+    sigma = tuple((j % (DELTA - 1)) + 1 for j in range(y))
+    return build_udk_member(DELTA, K, sigma)
+
+
+class TestFact31:
+    @pytest.mark.parametrize(
+        "delta,k,expected",
+        [(4, 1, 3**9), (5, 1, 4**64), (4, 2, 3 ** (3**6))],
+    )
+    def test_class_size_formula(self, delta, k, expected):
+        assert udk_class_size(delta, k) == expected
+        assert fact_3_1_class_size(delta, k) == expected
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            udk_tree_count(3, 1)
+        with pytest.raises(ValueError):
+            udk_class_size(4, 0)
+
+
+class TestTemplateStructure:
+    def test_degrees_identify_node_roles(self, template):
+        graph = template.graph
+        cycle_roots = set(template.cycle_root_nodes())
+        hub_roots = set(template.hub_root_nodes())
+        assert all(graph.degree(v) == DELTA + 2 for v in cycle_roots)
+        assert all(graph.degree(v) == 2 * DELTA - 1 for v in hub_roots)
+        # nobody else has those degrees (Lemma 3.8 / Claim 1 rely on this)
+        for v in graph.nodes():
+            if graph.degree(v) == DELTA + 2:
+                assert v in cycle_roots
+            if graph.degree(v) == 2 * DELTA - 1:
+                assert v in hub_roots
+
+    def test_counts(self, template):
+        y = udk_tree_count(DELTA, K)
+        assert len(template.cycle_roots) == 2 * y
+        assert len(template.hub_roots) == 2 * y
+        assert len(template.connector_paths) == 2 * y
+        assert all(len(p) == K for p in template.connector_paths.values())
+        assert all(len(paths) == DELTA - 1 for paths in template.pendant_paths.values())
+
+    def test_member_swaps_ports_at_hub_roots(self, member, template):
+        y = udk_tree_count(DELTA, K)
+        for j in range(1, y + 1):
+            s = member.sigma[j - 1]
+            hub = member.hub_roots[(j, 1)]
+            connector_first = member.connector_paths[(j, 1)][0]
+            # after the swap, the connector hangs off port Δ-1+s instead of Δ-1
+            assert member.graph.port_to(hub, connector_first) == DELTA - 1 + s
+
+    def test_sigma_validation(self):
+        with pytest.raises(ValueError):
+            build_udk_member(DELTA, K, (1, 2))
+        y = udk_tree_count(DELTA, K)
+        with pytest.raises(ValueError):
+            build_udk_member(DELTA, K, tuple(DELTA for _ in range(y)))
+
+
+class TestElectionIndices:
+    def test_lemma_3_6_no_unique_view_below_k(self, member):
+        refinement = ViewRefinement(member.graph)
+        assert not refinement.unique_nodes(K - 1)
+
+    def test_lemma_3_8_cycle_roots_unique_at_k(self, member):
+        unique = set(only_unique_view_nodes(member.graph, K))
+        assert unique == set(member.cycle_root_nodes())
+
+    def test_lemma_3_9_selection_and_pe_index_equal_k(self, member):
+        refinement = ViewRefinement(member.graph)
+        assert selection_index(member.graph, refinement=refinement) == K
+        assert port_election_index(member.graph, refinement=refinement) == K
+
+    def test_template_indices_equal_k(self, template):
+        refinement = ViewRefinement(template.graph)
+        assert selection_index(template.graph, refinement=refinement) == K
+        assert port_election_index(template.graph, refinement=refinement) == K
+
+
+class TestLemma39Algorithm:
+    def test_pe_outputs_validate_on_template(self, template):
+        outputs = udk_port_election_outputs(template)
+        result = validate(Task.PORT_ELECTION, template.graph, outputs)
+        assert result.ok, result.errors[:3]
+        assert result.leader == udk_leader(template)
+
+    def test_pe_outputs_validate_on_member(self, member):
+        outputs = udk_port_election_outputs(member)
+        result = validate(Task.PORT_ELECTION, member.graph, outputs)
+        assert result.ok, result.errors[:3]
+
+    def test_derived_selection_also_validates(self, member):
+        outputs = udk_port_election_outputs(member)
+        selection = pe_to_selection(outputs)
+        assert validate(Task.SELECTION, member.graph, selection).ok
+
+    def test_hub_root_output_depends_on_sigma(self, member, template):
+        # The hub-root outputs in a member are the swapped ports Δ-1+s_j,
+        # while in the template they are Δ-1: this is exactly the per-graph
+        # information Theorem 3.11 shows must be paid for in advice.
+        member_outputs = udk_port_election_outputs(member)
+        template_outputs = udk_port_election_outputs(template)
+        y = udk_tree_count(DELTA, K)
+        for j in range(1, y + 1):
+            s = member.sigma[j - 1]
+            assert member_outputs[member.hub_roots[(j, 1)]] == DELTA - 1 + s
+            assert template_outputs[template.hub_roots[(j, 1)]] == DELTA - 1
+
+
+class TestTheorem311Indistinguishability:
+    def test_hub_roots_have_same_view_across_members(self, member, template):
+        # The view of r_{j,1,1} at depth k is the same in every member (and in
+        # the template): the swap happens at the hub root itself but only
+        # reorders subtrees that look identical at this depth.
+        y = udk_tree_count(DELTA, K)
+        for j in (1, y // 2 + 1, y):
+            assert views_equal_across_graphs(
+                member.graph,
+                member.hub_roots[(j, 1)],
+                template.graph,
+                template.hub_roots[(j, 1)],
+                K,
+            )
+
+    def test_claim_1_hub_views_unique_per_index(self, member):
+        # B^k(r_{j,1,1}) = B^k(r_{j,1,2}) and the views differ across j.
+        from repro.views import augmented_view, view_key
+
+        y = udk_tree_count(DELTA, K)
+        keys = {}
+        for j in range(1, y + 1):
+            key1 = view_key(augmented_view(member.graph, member.hub_roots[(j, 1)], K))
+            key2 = view_key(augmented_view(member.graph, member.hub_roots[(j, 2)], K))
+            assert key1 == key2
+            keys[j] = key1
+        assert len(set(keys.values())) == y

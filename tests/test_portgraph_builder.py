@@ -1,0 +1,149 @@
+"""Unit tests for GraphBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.portgraph import GraphBuilder, PortLabelingError, generators
+
+
+class TestBasicConstruction:
+    def test_add_nodes_and_edges(self):
+        builder = GraphBuilder()
+        a, b, c = builder.add_nodes(3)
+        builder.add_edge(a, 0, b, 0)
+        builder.add_edge(b, 1, c, 0)
+        graph = builder.build()
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_duplicate_port_rejected(self):
+        builder = GraphBuilder(3)
+        builder.add_edge(0, 0, 1, 0)
+        with pytest.raises(PortLabelingError):
+            builder.add_edge(0, 0, 2, 0)
+
+    def test_multi_edge_rejected(self):
+        builder = GraphBuilder(2)
+        builder.add_edge(0, 0, 1, 0)
+        with pytest.raises(PortLabelingError):
+            builder.add_edge(0, 1, 1, 1)
+
+    def test_build_requires_contiguous_ports(self):
+        builder = GraphBuilder(2)
+        builder.add_edge(0, 3, 1, 0)
+        with pytest.raises(PortLabelingError):
+            builder.build()
+        # intermediate validation may relax contiguity, the frozen graph may not
+        builder.validate(require_contiguous_ports=False)
+        builder.compact_ports()
+        assert builder.build().degree(0) == 1
+
+    def test_compact_ports(self):
+        builder = GraphBuilder(3)
+        builder.add_edge(0, 5, 1, 0)
+        builder.add_edge(0, 7, 2, 0)
+        builder.compact_ports()
+        graph = builder.build()
+        assert sorted(graph.ports(0)) == [0, 1]
+
+
+class TestPaths:
+    def test_add_path_between_existing_nodes(self):
+        builder = GraphBuilder(2)
+        internal = builder.add_path((0, 1), 3, port_at_first=0, port_at_last=0)
+        assert len(internal) == 2
+        graph = builder.build()
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 3
+        assert graph.degree(internal[0]) == 2
+
+    def test_add_path_single_edge(self):
+        builder = GraphBuilder(2)
+        internal = builder.add_path((0, 1), 1, port_at_first=0, port_at_last=0)
+        assert internal == []
+        assert builder.has_edge(0, 1)
+
+    def test_add_pendant_path(self):
+        builder = GraphBuilder(1)
+        nodes = builder.add_pendant_path(0, 3, port_at_anchor=0, toward_anchor_port=1, away_port=0)
+        assert len(nodes) == 3
+        # last node has only the toward-anchor port, which must be relabeled to 0 to build;
+        # callers using toward_anchor_port=1 get a degree-1 node with port 1.
+        builder.relabel_port(nodes[-1], 1, 0)
+        graph = builder.build()
+        assert graph.degree(nodes[-1]) == 1
+
+
+class TestPortManipulation:
+    def test_swap_ports(self):
+        builder = GraphBuilder(3)
+        builder.add_edge(0, 0, 1, 0)
+        builder.add_edge(0, 1, 2, 0)
+        builder.swap_ports(0, 0, 1)
+        assert builder.endpoint(0, 0)[0] == 2
+        assert builder.endpoint(0, 1)[0] == 1
+        # reciprocity preserved
+        assert builder.endpoint(2, 0) == (0, 0)
+        assert builder.endpoint(1, 0) == (0, 1)
+
+    def test_swap_missing_port_rejected(self):
+        builder = GraphBuilder(2)
+        builder.add_edge(0, 0, 1, 0)
+        with pytest.raises(PortLabelingError):
+            builder.swap_ports(0, 0, 5)
+
+    def test_relabel_port(self):
+        builder = GraphBuilder(2)
+        builder.add_edge(0, 0, 1, 0)
+        builder.relabel_port(0, 0, 4)
+        assert builder.endpoint(0, 4) == (1, 0)
+        assert builder.endpoint(1, 0) == (0, 4)
+
+    def test_shift_ports(self):
+        builder = GraphBuilder(3)
+        builder.add_edge(0, 0, 1, 0)
+        builder.add_edge(0, 1, 2, 0)
+        builder.shift_ports(0, 10)
+        assert sorted(builder.ports(0)) == [10, 11]
+        assert builder.endpoint(1, 0) == (0, 10)
+
+
+class TestComposition:
+    def test_add_graph_disjoint_union(self):
+        base = generators.path_graph(3)
+        builder = GraphBuilder()
+        off_a = builder.add_graph(base)
+        off_b = builder.add_graph(base)
+        assert off_a == 0 and off_b == 3
+        builder.add_edge(2, 1, 3 + 2, 1)
+        graph = builder.build()
+        assert graph.num_nodes == 6
+        assert graph.num_edges == 5
+
+    def test_merge_nodes(self):
+        builder = GraphBuilder(4)
+        builder.add_edge(0, 0, 1, 0)
+        builder.add_edge(2, 0, 3, 0)
+        # merge node 2 into node 0: node 3's edge reattaches to node 0 on port 0 of node 2?
+        # node 2 uses port 0, node 0 already uses port 0 -> clash expected
+        with pytest.raises(PortLabelingError):
+            builder.merge_nodes(0, 2)
+
+    def test_merge_nodes_success(self):
+        builder = GraphBuilder(4)
+        builder.add_edge(0, 0, 1, 0)
+        builder.add_edge(2, 1, 3, 0)
+        builder.merge_nodes(0, 2)
+        graph = builder.build()
+        assert graph.num_nodes == 3
+        assert graph.degree(0) == 2
+        # node 3 shifted down to handle 2
+        assert graph.has_edge(0, 2)
+
+    def test_from_graph(self):
+        base = generators.star_graph(3)
+        builder = GraphBuilder.from_graph(base)
+        assert builder.num_nodes == base.num_nodes
+        assert builder.num_edges == base.num_edges
+        assert builder.build() == base

@@ -1,0 +1,135 @@
+"""Unit tests for graph generators, serialization and isomorphism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.portgraph import are_isomorphic, find_isomorphism, generators
+from repro.portgraph.io import (
+    graph_from_dict,
+    graph_from_json,
+    graph_from_networkx,
+    graph_to_dict,
+    graph_to_dot,
+    graph_to_json,
+    graph_to_networkx,
+)
+
+
+class TestGenerators:
+    def test_path_graph_shape(self):
+        graph = generators.path_graph(5)
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 4
+        assert graph.degree_histogram() == {1: 2, 2: 3}
+
+    def test_cycle_graph_shape(self):
+        graph = generators.cycle_graph(7)
+        assert graph.num_nodes == 7
+        assert graph.num_edges == 7
+        assert set(graph.degree_sequence()) == {2}
+
+    def test_complete_graph_ports(self):
+        graph = generators.complete_graph(4)
+        assert graph.num_edges == 6
+        for v in graph.nodes():
+            assert sorted(graph.ports(v)) == [0, 1, 2]
+
+    def test_star_graph(self):
+        graph = generators.star_graph(5)
+        assert graph.degree(0) == 5
+        assert all(graph.degree(v) == 1 for v in range(1, 6))
+
+    def test_full_ary_tree_counts(self):
+        graph = generators.full_ary_tree(3, 2)
+        assert graph.num_nodes == 1 + 3 + 9
+        assert graph.degree(0) == 3
+        # internal nodes have degree arity+1, leaves degree 1
+        assert graph.degree_histogram() == {3: 1, 4: 3, 1: 9}
+
+    def test_full_ary_tree_port_convention(self):
+        graph = generators.full_ary_tree(2, 3)
+        # every internal non-root node's parent port is `arity`
+        for v in graph.nodes():
+            if v == 0 or graph.degree(v) == 1:
+                continue
+            assert graph.degree(v) == 3
+            assert 2 in graph.ports(v)
+
+    def test_random_connected_graph_is_connected_and_valid(self):
+        for seed in range(5):
+            graph = generators.random_connected_graph(12, extra_edges=6, seed=seed)
+            assert graph.num_nodes == 12
+            assert graph.num_edges >= 11
+
+    def test_random_tree(self):
+        graph = generators.random_tree(10, seed=3)
+        assert graph.num_edges == 9
+
+    def test_generator_argument_validation(self):
+        with pytest.raises(ValueError):
+            generators.path_graph(1)
+        with pytest.raises(ValueError):
+            generators.cycle_graph(2)
+        with pytest.raises(ValueError):
+            generators.full_ary_tree(0, 2)
+        with pytest.raises(ValueError):
+            generators.star_graph(0)
+
+
+class TestIO:
+    def test_dict_roundtrip(self):
+        graph = generators.random_connected_graph(9, extra_edges=4, seed=7)
+        data = graph_to_dict(graph)
+        again = graph_from_dict(data)
+        assert again == graph
+
+    def test_json_roundtrip(self):
+        graph = generators.asymmetric_cycle(6)
+        payload = graph_to_json(graph, indent=2)
+        again = graph_from_json(payload)
+        assert again == graph
+
+    def test_networkx_roundtrip(self):
+        graph = generators.random_connected_graph(8, extra_edges=3, seed=11)
+        nx_graph = graph_to_networkx(graph)
+        assert nx_graph.number_of_edges() == graph.num_edges
+        again = graph_from_networkx(nx_graph)
+        assert again == graph
+
+    def test_dot_output_mentions_all_edges(self):
+        graph = generators.path_graph(4)
+        dot = graph_to_dot(graph, highlight={0: "red"})
+        assert dot.count("--") == graph.num_edges
+        assert "fillcolor" in dot
+
+
+class TestIsomorphism:
+    def test_relabeled_graph_is_isomorphic(self):
+        graph = generators.random_connected_graph(10, extra_edges=4, seed=5)
+        shuffled = graph.relabeled(list(reversed(range(10))))
+        mapping = find_isomorphism(graph, shuffled)
+        assert mapping is not None
+        assert are_isomorphic(graph, shuffled)
+
+    def test_mirror_relabeling_of_line_is_isomorphic(self):
+        # The only two valid port labelings of the 3-node line are mirror
+        # images of each other, hence isomorphic as port-labeled maps.
+        first = generators.three_node_line((0, 0, 1, 0))
+        second = generators.three_node_line((0, 1, 0, 0))
+        assert are_isomorphic(first, second)
+
+    def test_different_port_labelings_not_isomorphic(self):
+        # Same topology (a 5-cycle), different port labelings: the symmetric
+        # labeling is vertex-transitive, the asymmetric one is not.
+        assert not are_isomorphic(
+            generators.cycle_graph(5), generators.asymmetric_cycle(5)
+        )
+
+    def test_different_sizes_not_isomorphic(self):
+        assert not are_isomorphic(generators.path_graph(4), generators.path_graph(5))
+
+    def test_symmetric_cycle_isomorphic_to_rotation(self):
+        graph = generators.cycle_graph(6)
+        rotated = graph.relabeled([(v + 2) % 6 for v in range(6)])
+        assert are_isomorphic(graph, rotated)

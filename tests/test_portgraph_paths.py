@@ -1,0 +1,126 @@
+"""Unit tests for path / port-sequence utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.portgraph import generators
+from repro.portgraph.paths import (
+    bfs_distances,
+    complete_ports_of_path,
+    diameter,
+    distance,
+    eccentricity,
+    first_ports_of_simple_paths,
+    follow_port_pairs,
+    follow_ports,
+    is_first_port_of_simple_path,
+    is_simple_node_sequence,
+    outgoing_ports_of_path,
+    path_from_complete_ports,
+    path_from_outgoing_ports,
+    reachable_without,
+    shortest_path,
+    shortest_path_via_port,
+)
+
+
+class TestFollowing:
+    def test_follow_ports_on_path_graph(self):
+        graph = generators.path_graph(4)
+        assert follow_ports(graph, 0, [0, 0, 0]) == [0, 1, 2, 3]
+        assert follow_ports(graph, 3, [0, 1, 1]) == [3, 2, 1, 0]
+
+    def test_follow_ports_invalid_port(self):
+        graph = generators.path_graph(3)
+        assert follow_ports(graph, 0, [1]) is None
+
+    def test_follow_port_pairs(self):
+        graph = generators.three_node_line()
+        # node0 --(0,0)-- node1 --(1,0)-- node2
+        assert follow_port_pairs(graph, 0, [(0, 0), (1, 0)]) == [0, 1, 2]
+        assert follow_port_pairs(graph, 0, [(0, 1)]) is None
+
+    def test_is_simple(self):
+        assert is_simple_node_sequence([0, 1, 2])
+        assert not is_simple_node_sequence([0, 1, 0])
+
+
+class TestShortestPaths:
+    def test_bfs_distances(self):
+        graph = generators.path_graph(5)
+        assert bfs_distances(graph, 0) == [0, 1, 2, 3, 4]
+
+    def test_shortest_path_endpoints(self):
+        graph = generators.asymmetric_cycle(6)
+        path = shortest_path(graph, 0, 3)
+        assert path is not None
+        assert path[0] == 0 and path[-1] == 3
+        assert len(path) == 4
+        assert shortest_path(graph, 2, 2) == [2]
+
+    def test_distance_and_diameter(self):
+        graph = generators.path_graph(6)
+        assert distance(graph, 0, 5) == 5
+        assert eccentricity(graph, 2) == 3
+        assert diameter(graph) == 5
+
+    def test_shortest_path_via_port(self):
+        graph = generators.asymmetric_cycle(5)
+        # from node 1, port towards node 2 vs towards node 0
+        towards_2 = graph.port_to(1, 2)
+        path = shortest_path_via_port(graph, 1, towards_2, 0)
+        assert path is not None
+        assert path[0] == 1 and path[-1] == 0
+        assert path[1] == 2  # forced around the long way
+        assert len(path) == 5
+
+    def test_shortest_path_via_port_blocked(self):
+        graph = generators.path_graph(4)
+        # from node 1, taking the port towards node 2 can never reach node 0
+        towards_2 = graph.port_to(1, 2)
+        assert shortest_path_via_port(graph, 1, towards_2, 0) is None
+
+
+class TestPortSequenceConversion:
+    def test_outgoing_ports_roundtrip(self):
+        graph = generators.random_connected_graph(10, extra_edges=5, seed=3)
+        path = shortest_path(graph, 0, 7)
+        ports = outgoing_ports_of_path(graph, path)
+        assert path_from_outgoing_ports(graph, 0, ports) == path
+
+    def test_complete_ports_roundtrip(self):
+        graph = generators.random_connected_graph(10, extra_edges=5, seed=4)
+        path = shortest_path(graph, 1, 8)
+        sequence = complete_ports_of_path(graph, path)
+        assert len(sequence) == 2 * (len(path) - 1)
+        assert path_from_complete_ports(graph, 1, sequence) == path
+
+    def test_complete_ports_rejects_odd_length(self):
+        graph = generators.path_graph(3)
+        assert path_from_complete_ports(graph, 0, (0, 0, 1)) is None
+
+
+class TestPortElectionCondition:
+    def test_reachable_without(self):
+        graph = generators.path_graph(4)
+        reach = reachable_without(graph, 0, 1)
+        assert reach[0] and not reach[2] and not reach[3]
+
+    def test_first_port_on_path_graph(self):
+        graph = generators.path_graph(4)
+        # from node 1, only the port towards node 0 starts a simple path to node 0
+        towards_0 = graph.port_to(1, 0)
+        towards_2 = graph.port_to(1, 2)
+        assert is_first_port_of_simple_path(graph, 1, towards_0, 0)
+        assert not is_first_port_of_simple_path(graph, 1, towards_2, 0)
+        assert first_ports_of_simple_paths(graph, 1, 0) == [towards_0]
+
+    def test_first_port_on_cycle_both_directions(self):
+        graph = generators.asymmetric_cycle(5)
+        ports = first_ports_of_simple_paths(graph, 2, 0)
+        assert len(ports) == 2  # both directions around the cycle work
+
+    def test_leader_itself_has_no_first_port(self):
+        graph = generators.path_graph(3)
+        assert first_ports_of_simple_paths(graph, 1, 1) == []

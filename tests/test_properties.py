@@ -1,0 +1,139 @@
+"""Cross-cutting property-based tests (hypothesis) on the library's core invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.advice import decode_map_advice, encode_map_advice
+from repro.algorithms import weaken_outputs
+from repro.core import (
+    LEADER,
+    Task,
+    all_election_indices,
+    indices_respect_hierarchy,
+    is_feasible,
+    path_election_assignment,
+    selection_assignment,
+    selection_index,
+    validate,
+)
+from repro.portgraph import generators
+from repro.portgraph.io import graph_from_dict, graph_to_dict
+from repro.portgraph.paths import (
+    bfs_distances,
+    complete_ports_of_path,
+    outgoing_ports_of_path,
+    path_from_complete_ports,
+    shortest_path,
+)
+from repro.views import ViewRefinement, augmented_view, view_from_symbols, view_to_symbols
+
+
+graph_strategy = st.builds(
+    generators.random_connected_graph,
+    st.integers(min_value=3, max_value=14),
+    st.integers(min_value=0, max_value=10),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+class TestGraphInvariants:
+    @given(graph=graph_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_serialization_roundtrip(self, graph):
+        assert graph_from_dict(graph_to_dict(graph)) == graph
+        assert decode_map_advice(encode_map_advice(graph)) == graph
+
+    @given(graph=graph_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_handshake_lemma_and_port_consistency(self, graph):
+        assert sum(graph.degree_sequence()) == 2 * graph.num_edges
+        for v in graph.nodes():
+            for p in graph.ports(v):
+                u, q = graph.endpoint(v, p)
+                assert graph.endpoint(u, q) == (v, p)
+
+    @given(graph=graph_strategy, source=st.integers(min_value=0, max_value=13))
+    @settings(max_examples=30, deadline=None)
+    def test_shortest_paths_are_consistent_with_bfs_distances(self, graph, source):
+        source %= graph.num_nodes
+        dist = bfs_distances(graph, source)
+        for target in list(graph.nodes())[:6]:
+            path = shortest_path(graph, source, target)
+            assert path is not None
+            assert len(path) - 1 == dist[target]
+            # port-sequence encodings of the path round-trip
+            assert path_from_complete_ports(
+                graph, source, complete_ports_of_path(graph, path)
+            ) == path
+            out = outgoing_ports_of_path(graph, path)
+            assert len(out) == len(path) - 1
+
+
+class TestViewInvariants:
+    @given(graph=graph_strategy, depth=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_view_symbol_roundtrip_and_size(self, graph, depth):
+        view = augmented_view(graph, 0, depth)
+        symbols = view_to_symbols(view)
+        assert view_from_symbols(symbols) == view
+        assert symbols[0] == depth
+        assert view.height == depth
+
+    @given(graph=graph_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_refinement_classes_never_coarsen(self, graph):
+        refinement = ViewRefinement(graph)
+        stable = refinement.ensure_stable()
+        counts = [refinement.num_classes(d) for d in range(stable + 2)]
+        assert counts == sorted(counts)
+        assert counts[-1] == counts[-2]  # stable means stable
+
+    @given(graph=graph_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_feasibility_iff_some_unique_node_eventually(self, graph):
+        refinement = ViewRefinement(graph)
+        feasible = is_feasible(graph, refinement=refinement)
+        index = selection_index(graph, refinement=refinement)
+        assert feasible == (index is not None)
+        if feasible:
+            leader = selection_assignment(graph, index, refinement=refinement)
+            assert refinement.has_unique_view(leader, index)
+
+    @given(graph=graph_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_equal_view_classes_have_equal_size(self, graph):
+        refinement = ViewRefinement(graph)
+        stable = refinement.ensure_stable()
+        sizes = {len(m) for m in refinement.classes(stable).values()}
+        assert len(sizes) == 1
+
+
+class TestElectionInvariants:
+    @given(graph=graph_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_minimum_time_solutions_validate_and_weaken(self, graph):
+        indices = all_election_indices(graph)
+        assert indices_respect_hierarchy(indices)
+        if indices[Task.COMPLETE_PORT_PATH_ELECTION] is None:
+            return
+        depth = indices[Task.COMPLETE_PORT_PATH_ELECTION]
+        leader, sequences = path_election_assignment(graph, depth, complete=True)
+        outputs = dict(sequences)
+        outputs[leader] = LEADER
+        assert validate(Task.COMPLETE_PORT_PATH_ELECTION, graph, outputs).ok
+        for target in (Task.PORT_PATH_ELECTION, Task.PORT_ELECTION, Task.SELECTION):
+            assert validate(target, graph, weaken_outputs(
+                Task.COMPLETE_PORT_PATH_ELECTION, outputs, target
+            )).ok
+
+    @given(graph=graph_strategy, depth_bump=st.integers(min_value=1, max_value=2))
+    @settings(max_examples=15, deadline=None)
+    def test_solvability_is_monotone_in_time(self, graph, depth_bump):
+        # if Selection is solvable at ψ_S, it stays solvable with more time
+        index = selection_index(graph)
+        if index is None:
+            return
+        later = selection_assignment(graph, index + depth_bump)
+        assert later is not None

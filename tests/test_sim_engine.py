@@ -1,0 +1,122 @@
+"""Unit and integration tests for the LOCAL-model simulator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.portgraph import generators
+from repro.sim import (
+    FunctionalViewAlgorithm,
+    NodeAlgorithm,
+    ViewBasedAlgorithm,
+    gather_views,
+    run_synchronous,
+)
+from repro.views import augmented_view
+
+
+class _EchoDegree(NodeAlgorithm):
+    """Trivial non-communicating algorithm used to exercise the engine API."""
+
+    def __init__(self, rounds: int = 0) -> None:
+        super().__init__()
+        self._rounds = rounds
+
+    def rounds_needed(self):
+        return self._rounds
+
+    def messages_to_send(self, round_number):
+        return {}
+
+    def receive(self, round_number, messages):
+        self.last_messages = messages
+
+    def output(self):
+        return self.degree
+
+
+class TestEngineBasics:
+    def test_zero_round_execution(self):
+        graph = generators.star_graph(3)
+        result = run_synchronous(graph, _EchoDegree, rounds=0)
+        assert result.outputs == {0: 3, 1: 1, 2: 1, 3: 1}
+        assert result.trace.rounds == 0
+        assert result.trace.total_messages == 0
+
+    def test_rounds_needed_resolution(self):
+        graph = generators.path_graph(3)
+        result = run_synchronous(graph, lambda: _EchoDegree(rounds=2))
+        assert result.trace.rounds == 2
+
+    def test_missing_round_budget_rejected(self):
+        graph = generators.path_graph(3)
+
+        class NoBudget(_EchoDegree):
+            def rounds_needed(self):
+                return None
+
+        with pytest.raises(ValueError):
+            run_synchronous(graph, NoBudget)
+
+    def test_negative_rounds_rejected(self):
+        graph = generators.path_graph(3)
+        with pytest.raises(ValueError):
+            run_synchronous(graph, _EchoDegree, rounds=-1)
+
+    def test_message_counting(self):
+        graph = generators.cycle_graph(5)
+        result = run_synchronous(graph, lambda: ViewCollector(2), rounds=2)
+        # every node sends on both ports in both rounds
+        assert result.trace.total_messages == 2 * 2 * 5
+
+    def test_advice_is_passed_to_every_node(self):
+        graph = generators.path_graph(3)
+
+        class AdviceEcho(_EchoDegree):
+            def output(self):
+                return self.advice
+
+        result = run_synchronous(graph, AdviceEcho, rounds=0, advice="1011")
+        assert set(result.outputs.values()) == {"1011"}
+        assert result.trace.advice_bits == 4
+
+
+class ViewCollector(ViewBasedAlgorithm):
+    def decide(self, view):
+        return view
+
+
+class TestSimulatorHonesty:
+    """The distributed view after r rounds must equal B^r computed from the graph."""
+
+    @pytest.mark.parametrize("rounds", [0, 1, 2, 3])
+    def test_gathered_views_match_direct_computation(self, rounds):
+        graph = generators.random_connected_graph(10, extra_edges=5, seed=21)
+        gathered = gather_views(graph, rounds)
+        for v in graph.nodes():
+            assert gathered[v] == augmented_view(graph, v, rounds), f"node {v}, r={rounds}"
+
+    @given(
+        n=st.integers(min_value=3, max_value=10),
+        extra=st.integers(min_value=0, max_value=5),
+        seed=st.integers(min_value=0, max_value=200),
+        rounds=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_views_match(self, n, extra, seed, rounds):
+        graph = generators.random_connected_graph(n, extra_edges=extra, seed=seed)
+        gathered = gather_views(graph, rounds)
+        sample = list(graph.nodes())[:5]
+        for v in sample:
+            assert gathered[v] == augmented_view(graph, v, rounds)
+
+    def test_functional_view_algorithm(self):
+        graph = generators.star_graph(4)
+        result = run_synchronous(
+            graph,
+            lambda: FunctionalViewAlgorithm(1, lambda view, advice: (view.degree, advice)),
+            advice="01",
+        )
+        assert result.outputs[0] == (4, "01")
+        assert result.outputs[1] == (1, "01")

@@ -1,0 +1,140 @@
+"""Unit and property tests for partition refinement of views."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.portgraph import generators
+from repro.views import (
+    ViewRefinement,
+    all_nodes_have_twins,
+    augmented_view,
+    distinguishing_depth,
+    find_twin,
+    refine_views,
+    unique_view_nodes,
+    view_key,
+    views_equal,
+    views_equal_across_graphs,
+)
+
+
+class TestRefinementBasics:
+    def test_depth_zero_classes_are_degrees(self):
+        graph = generators.star_graph(4)
+        refinement = refine_views(graph)
+        assert refinement.num_classes(0) == 2
+        assert sorted(len(m) for m in refinement.classes(0).values()) == [1, 4]
+
+    def test_symmetric_cycle_never_splits(self):
+        graph = generators.cycle_graph(6)
+        refinement = ViewRefinement(graph)
+        assert refinement.ensure_stable() == 0
+        assert refinement.num_classes(10) == 1
+        assert not refinement.is_discrete()
+
+    def test_path_graph_becomes_discrete(self):
+        graph = generators.path_graph(5)
+        refinement = ViewRefinement(graph)
+        assert refinement.is_discrete()
+        assert refinement.num_classes(refinement.ensure_stable()) == 5
+
+    def test_unique_nodes_and_twins(self):
+        graph = generators.asymmetric_cycle(6)
+        refinement = ViewRefinement(graph)
+        # at depth 1, nodes 2, 3, 4 are too far from the irregular node 0 to differ
+        assert set(refinement.unique_nodes(1)) == {0, 1, 5}
+        assert refinement.twin_of(2, 1) in {3, 4}
+        # at depth 2 everything is distinct
+        assert len(refinement.unique_nodes(2)) == 6
+        assert refinement.twin_of(2, 2) is None
+
+    def test_first_depth_with_unique_node(self):
+        graph = generators.path_graph(4)
+        assert ViewRefinement(graph).first_depth_with_unique_node() == 1
+        graph2 = generators.star_graph(3)
+        assert ViewRefinement(graph2).first_depth_with_unique_node() == 0
+        symmetric = generators.cycle_graph(5)
+        assert ViewRefinement(symmetric).first_depth_with_unique_node() is None
+
+    def test_max_depth_limits_search(self):
+        graph = generators.asymmetric_cycle(6)
+        refinement = ViewRefinement(graph)
+        assert refinement.first_depth_with_unique_node(max_depth=0) is None
+        assert refinement.first_depth_with_unique_node() == 1
+
+    def test_distinguishing_depth(self):
+        graph = generators.asymmetric_cycle(6)
+        refinement = ViewRefinement(graph)
+        assert refinement.distinguishing_depth(0, 2) == 1
+        assert refinement.distinguishing_depth(2, 3) == 2
+        symmetric = generators.cycle_graph(4)
+        assert ViewRefinement(symmetric).distinguishing_depth(0, 2) is None
+
+    def test_negative_depth_rejected(self):
+        graph = generators.path_graph(3)
+        with pytest.raises(ValueError):
+            ViewRefinement(graph).colors(-1)
+
+
+class TestRefinementMatchesExplicitViews:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3])
+    def test_same_equivalence_as_view_trees(self, seed, depth):
+        graph = generators.random_connected_graph(9, extra_edges=4, seed=seed)
+        refinement = ViewRefinement(graph)
+        keys = [view_key(augmented_view(graph, v, depth)) for v in graph.nodes()]
+        for u in graph.nodes():
+            for v in graph.nodes():
+                assert (keys[u] == keys[v]) == refinement.views_equal(u, v, depth), (
+                    f"mismatch at depth {depth} for nodes {u},{v} (seed {seed})"
+                )
+
+    @given(
+        n=st.integers(min_value=3, max_value=12),
+        extra=st.integers(min_value=0, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+        depth=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_refinement_equals_view_equality(self, n, extra, seed, depth):
+        graph = generators.random_connected_graph(n, extra_edges=extra, seed=seed)
+        refinement = ViewRefinement(graph)
+        keys = [view_key(augmented_view(graph, v, depth)) for v in graph.nodes()]
+        classes_by_key = len(set(keys))
+        assert classes_by_key == refinement.num_classes(depth)
+        sample = list(graph.nodes())[: min(6, n)]
+        for u in sample:
+            for v in sample:
+                assert (keys[u] == keys[v]) == refinement.views_equal(u, v, depth)
+
+
+class TestComparisonHelpers:
+    def test_views_equal_wrapper(self):
+        graph = generators.path_graph(4)
+        assert views_equal(graph, 1, 2, 0)
+        assert not views_equal(graph, 1, 2, 1)
+
+    def test_cross_graph_equality(self):
+        first = generators.path_graph(5)
+        second = generators.path_graph(7)
+        # the low-numbered end of every path graph looks identical at small depth
+        assert views_equal_across_graphs(first, 0, second, 0, 2)
+        assert views_equal_across_graphs(first, 1, second, 1, 2)
+        assert not views_equal_across_graphs(first, 0, second, 3, 2)
+
+    def test_find_twin_and_unique_nodes(self):
+        graph = generators.path_graph(4)
+        assert find_twin(graph, 0, 0) == 3
+        assert find_twin(graph, 0, 1) is None
+        assert unique_view_nodes(graph, 0) == []
+        assert set(unique_view_nodes(graph, 1)) == {0, 1, 2, 3}
+
+    def test_all_nodes_have_twins(self):
+        assert all_nodes_have_twins(generators.cycle_graph(6), 5)
+        assert not all_nodes_have_twins(generators.star_graph(3), 0)
+
+    def test_distinguishing_depth_wrapper(self):
+        graph = generators.asymmetric_cycle(6)
+        assert distinguishing_depth(graph, 2, 3) == 2

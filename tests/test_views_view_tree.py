@@ -1,0 +1,151 @@
+"""Unit tests for explicit view trees and their encodings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.portgraph import generators
+from repro.views import (
+    ViewNode,
+    augmented_view,
+    compare_views,
+    lexicographically_smallest_view,
+    truncated_view,
+    view_from_symbols,
+    view_key,
+    view_of_leaf_degrees,
+    view_to_symbols,
+)
+
+
+class TestViewStructure:
+    def test_depth_zero_view_is_just_the_degree(self):
+        graph = generators.star_graph(3)
+        view = augmented_view(graph, 0, 0)
+        assert view.degree == 3
+        assert view.children == ()
+        assert view.height == 0
+        assert view.num_tree_nodes == 1
+
+    def test_view_children_follow_ports_in_order(self):
+        graph = generators.three_node_line()
+        view = augmented_view(graph, 1, 1)
+        assert view.degree == 2
+        assert [p for p, _q, _c in view.children] == [0, 1]
+        in_port_to_0 = graph.edge_ports(1, 0)[1]
+        assert view.children[0][1] == in_port_to_0
+
+    def test_view_includes_backtracking_paths(self):
+        # The view is the tree of *all* paths, including ones that go back
+        # along the edge they came from, so every non-frontier tree node has
+        # exactly `degree` children.
+        graph = generators.path_graph(3)
+        view = augmented_view(graph, 0, 2)
+        # root has 1 child (degree 1), that child (the middle node, degree 2)
+        # has 2 children (one of which returns to the start node).
+        assert len(view.children) == 1
+        middle = view.children[0][2]
+        assert middle.degree == 2
+        assert len(middle.children) == 2
+
+    def test_view_size_growth(self):
+        graph = generators.cycle_graph(5)
+        for depth in range(4):
+            view = augmented_view(graph, 0, depth)
+            assert view.height == depth
+            assert view.num_tree_nodes == 2 ** (depth + 1) - 1
+
+    def test_truncated_view_has_unlabeled_frontier(self):
+        graph = generators.path_graph(4)
+        plain = truncated_view(graph, 0, 2)
+        frontier_child = plain.children[0][2].children[0][2]
+        assert frontier_child.degree is None
+
+    def test_paths_enumeration(self):
+        graph = generators.three_node_line()
+        view = augmented_view(graph, 0, 2)
+        paths = list(view.paths())
+        # one path per frontier node: the degree-1 root has 1 child, which has 2 children
+        assert len(paths) == 2
+        assert ((0, 0), (0, 0)) in paths
+        assert ((0, 0), (1, 0)) in paths
+
+    def test_leaf_degrees(self):
+        graph = generators.star_graph(2)
+        view = augmented_view(graph, 0, 1)
+        assert view_of_leaf_degrees(view) == [1, 1]
+
+    def test_negative_depth_rejected(self):
+        graph = generators.path_graph(3)
+        with pytest.raises(ValueError):
+            augmented_view(graph, 0, -1)
+        with pytest.raises(ValueError):
+            truncated_view(graph, 0, -1)
+
+
+class TestViewEquality:
+    def test_symmetric_cycle_views_all_equal(self):
+        graph = generators.cycle_graph(6)
+        keys = {view_key(augmented_view(graph, v, 3)) for v in graph.nodes()}
+        assert len(keys) == 1
+
+    def test_twins_at_depth_1_split_at_depth_2(self):
+        # In the asymmetric cycle, nodes 2 and 3 are too far from the single
+        # port irregularity (at node 0) to notice it within one round.
+        graph = generators.asymmetric_cycle(6)
+        assert augmented_view(graph, 2, 1) == augmented_view(graph, 3, 1)
+        assert augmented_view(graph, 2, 2) != augmented_view(graph, 3, 2)
+
+    def test_view_equality_vs_hash(self):
+        graph = generators.cycle_graph(4)
+        a = augmented_view(graph, 0, 2)
+        b = augmented_view(graph, 2, 2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_compare_views_total_order(self):
+        graph = generators.path_graph(4)
+        end = augmented_view(graph, 0, 1)
+        middle = augmented_view(graph, 1, 1)
+        assert compare_views(end, middle) != 0
+        assert compare_views(end, end) == 0
+        assert compare_views(end, middle) == -compare_views(middle, end)
+
+    def test_lexicographically_smallest(self):
+        graph = generators.path_graph(5)
+        views = [augmented_view(graph, v, 2) for v in graph.nodes()]
+        smallest = lexicographically_smallest_view(views)
+        assert smallest is not None
+        assert min(view_key(v) for v in views) == view_key(smallest)
+        assert lexicographically_smallest_view([]) is None
+
+
+class TestViewEncoding:
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3])
+    def test_symbols_roundtrip(self, depth):
+        graph = generators.random_connected_graph(8, extra_edges=4, seed=13)
+        for node in (0, 3, 7):
+            view = augmented_view(graph, node, depth)
+            symbols = view_to_symbols(view)
+            assert view_from_symbols(symbols) == view
+
+    def test_symbols_reject_plain_views(self):
+        graph = generators.path_graph(4)
+        with pytest.raises(ValueError):
+            view_to_symbols(truncated_view(graph, 0, 2))
+
+    def test_symbols_reject_trailing_garbage(self):
+        graph = generators.path_graph(3)
+        symbols = view_to_symbols(augmented_view(graph, 0, 1))
+        with pytest.raises(ValueError):
+            view_from_symbols(tuple(symbols) + (7,))
+
+    def test_symbols_reject_empty(self):
+        with pytest.raises(ValueError):
+            view_from_symbols(())
+
+    def test_distinct_views_have_distinct_symbols(self):
+        graph = generators.path_graph(5)
+        symbols = {view_to_symbols(augmented_view(graph, v, 2)) for v in graph.nodes()}
+        keys = {view_key(augmented_view(graph, v, 2)) for v in graph.nodes()}
+        assert len(symbols) == len(keys)
