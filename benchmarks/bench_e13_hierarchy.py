@@ -3,47 +3,52 @@
 Computes all four election indices exactly on a spread of small graphs
 (including the paper's own 3-node example with ψ_CPPE = 1 > 0 = ψ_S) and
 checks the ordering, plus the downward output derivations.
+
+The sweep goes through the batched experiment runner: the study graphs are
+declared as :class:`~repro.runner.GraphSpec` objects, one shared refinement
+per graph serves all four ψ_Z queries, and a second bench certifies that
+re-running the same spec is served entirely from the refinement cache.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core import Task, all_election_indices, indices_respect_hierarchy
-from repro.portgraph import generators
+from repro.core import Task, indices_respect_hierarchy
+from repro.runner import ExperimentRunner, GraphSpec, SweepSpec, refinement_cache
+
+_STUDY_SPECS = (
+    GraphSpec.make("three-node-line"),
+    GraphSpec.make("star", leaves=3),
+    GraphSpec.make("star", leaves=5),
+    GraphSpec.make("path", n=6),
+    GraphSpec.make("asymmetric-cycle", n=5),
+    GraphSpec.make("asymmetric-cycle", n=7),
+    GraphSpec.make("random", n=8, extra_edges=3, seed=2),
+    GraphSpec.make("random", n=9, extra_edges=5, seed=4),
+    GraphSpec.make("random", n=10, extra_edges=2, seed=8),
+)
 
 
-def _study_graphs():
-    return [
-        generators.three_node_line(),
-        generators.star_graph(3),
-        generators.star_graph(5),
-        generators.path_graph(6),
-        generators.asymmetric_cycle(5),
-        generators.asymmetric_cycle(7),
-        generators.random_connected_graph(8, extra_edges=3, seed=2),
-        generators.random_connected_graph(9, extra_edges=5, seed=4),
-        generators.random_connected_graph(10, extra_edges=2, seed=8),
-    ]
+def _indices_of(record):
+    return {task: record[f"psi_{task.value}"] for task in Task.ordered()}
 
 
 def bench_fact_1_1_indices(benchmark, table_printer):
-    graphs = _study_graphs()
+    sweep = SweepSpec.make(_STUDY_SPECS)
+    runner = ExperimentRunner()
 
-    def compute():
-        return [(graph, all_election_indices(graph)) for graph in graphs]
-
-    results = benchmark(compute)
+    report = benchmark(runner.run, sweep)
     rows = []
-    for graph, indices in results:
+    for record in report.table.records():
         rows.append([
-            graph.name,
-            graph.num_nodes,
-            indices[Task.SELECTION],
-            indices[Task.PORT_ELECTION],
-            indices[Task.PORT_PATH_ELECTION],
-            indices[Task.COMPLETE_PORT_PATH_ELECTION],
-            indices_respect_hierarchy(indices),
+            record["graph"],
+            record["n"],
+            record["psi_S"],
+            record["psi_PE"],
+            record["psi_PPE"],
+            record["psi_CPPE"],
+            indices_respect_hierarchy(_indices_of(record)),
         ])
     table_printer(
         "E13 / Fact 1.1: election indices of assorted feasible graphs",
@@ -54,3 +59,26 @@ def bench_fact_1_1_indices(benchmark, table_printer):
     # the paper's example: 3-node line with ports 0,0,1,0 has ψ_S = 0, ψ_CPPE = 1
     line_row = rows[0]
     assert line_row[2] == 0 and line_row[5] == 1
+
+
+def bench_fact_1_1_cached_resweep(benchmark, table_printer):
+    """Re-running the same sweep spec performs no new refinement passes."""
+    sweep = SweepSpec.make(_STUDY_SPECS)
+    runner = ExperimentRunner()
+    warm = runner.run(sweep)
+    before = refinement_cache.stats()
+
+    report = benchmark(runner.run, sweep)
+    after = refinement_cache.stats()
+    table_printer(
+        "E13: cached re-sweep of the Fact 1.1 study",
+        ["graphs", "run 1 elapsed (s)", "run 2 elapsed (s)", "new refinement passes in run 2 (expected: 0)"],
+        [[
+            len(sweep.graphs),
+            round(warm.elapsed, 4),
+            round(report.elapsed, 4),
+            after["refinement_passes"] - before["refinement_passes"],
+        ]],
+    )
+    assert report.table.to_json() == warm.table.to_json()
+    assert after["refinement_passes"] == before["refinement_passes"]

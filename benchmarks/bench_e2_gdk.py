@@ -3,34 +3,66 @@
 Rebuilds members G_i, checks that exactly the root of the single copy of
 T_{i,2} has a unique depth-k view (Lemma 2.6), that ψ_S(G_i) = k (Lemma 2.7),
 and tabulates the class sizes of Fact 2.3.
+
+ψ_S and the uniqueness profile are computed through the experiment runner
+(one ``gdk`` spec per member, profiled at depth k); the structural check that
+the unique node is the distinguished root r_{i,2} reuses the same cached
+refinement via :func:`repro.runner.shared_refinement`.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core import selection_index
+from repro.core import Task
 from repro.families import build_gdk_member, gdk_class_size
-from repro.views import ViewRefinement
+from repro.runner import ExperimentRunner, GraphSpec, SweepSpec, shared_refinement
+
+_MEMBER_POINTS = [(4, 1, 3), (4, 1, 9), (5, 1, 4), (4, 2, 2)]
 
 
-@pytest.mark.parametrize("delta,k,index", [(4, 1, 3), (4, 1, 9), (5, 1, 4), (4, 2, 2)])
+@pytest.mark.parametrize("delta,k,index", _MEMBER_POINTS)
 def bench_gdk_member_construction(benchmark, table_printer, delta, k, index):
     member = benchmark(build_gdk_member, delta, k, index)
-    refinement = ViewRefinement(member.graph)
-    psi = selection_index(member.graph, refinement=refinement)
-    unique = refinement.unique_nodes(k)
+    sweep = SweepSpec.make(
+        [GraphSpec.make("gdk", delta=delta, k=k, index=index)],
+        tasks=[Task.SELECTION],
+        profile_depths=[k],
+    )
+    record = ExperimentRunner().run(sweep).table.records()[0]
+    # the runner built an equal graph, so this is a cache hit, not a recompute
+    unique = shared_refinement(member.graph).unique_nodes(k)
     table_printer(
         f"E2 / Figure 2: G_{{Δ={delta},k={k}}}[{index}]",
         ["Δ", "k", "i", "nodes", "edges", "ψ_S (paper: k)", "#unique@k (paper: 1)", "unique is r_{i,2}"],
         [[
             delta, k, index,
-            member.graph.num_nodes, member.graph.num_edges,
-            psi, len(unique), unique == [member.distinguished_root],
+            record["n"], record["m"],
+            record["psi_S"], record[f"unique_at_{k}"], unique == [member.distinguished_root],
         ]],
     )
-    assert psi == k
+    assert record["psi_S"] == k
+    assert record[f"unique_at_{k}"] == 1
     assert unique == [member.distinguished_root]
+
+
+def bench_gdk_selection_sweep(benchmark, table_printer):
+    """ψ_S = k across members of several classes, as one batched runner sweep."""
+    sweep = SweepSpec.make(
+        [GraphSpec.make("gdk", delta=delta, k=k, index=index) for delta, k, index in _MEMBER_POINTS],
+        tasks=[Task.SELECTION],
+    )
+    report = benchmark(ExperimentRunner().run, sweep)
+    records = report.table.records()
+    table_printer(
+        "E2 / Lemma 2.7: ψ_S(G_i) = k over a batched member sweep",
+        ["graph", "n", "ψ_S", "ψ_S == k"],
+        [[r["graph"], r["n"], r["psi_S"], r["psi_S"] == k]
+         for r, (_delta, k, _index) in zip(records, _MEMBER_POINTS)],
+    )
+    assert all(
+        record["psi_S"] == k for record, (_delta, k, _index) in zip(records, _MEMBER_POINTS)
+    )
 
 
 def bench_fact_2_3_class_sizes(benchmark, table_printer):

@@ -3,6 +3,10 @@
 Builds the template U and a member G_σ, verifies that no node has a unique
 view at depth k-1 (Lemma 3.6) while exactly the cycle roots do at depth k
 (Lemma 3.8), and tabulates Fact 3.1's class sizes.
+
+The uniqueness profile of Lemmas 3.6/3.8 is produced by the experiment
+runner (a ``udk`` spec profiled at depths k-1 and k); the identification of
+the unique nodes with the cycle roots reuses the runner's cached refinement.
 """
 
 from __future__ import annotations
@@ -10,7 +14,7 @@ from __future__ import annotations
 import pytest
 
 from repro.families import build_udk_member, build_udk_template, udk_class_size, udk_tree_count
-from repro.views import ViewRefinement
+from repro.runner import ExperimentRunner, GraphSpec, SweepSpec, shared_refinement
 
 
 def bench_template_construction(benchmark, table_printer):
@@ -30,19 +34,24 @@ def bench_template_construction(benchmark, table_printer):
 def bench_lemma_3_6_and_3_8(benchmark, table_printer, delta, k):
     sigma = tuple((j % (delta - 1)) + 1 for j in range(udk_tree_count(delta, k)))
     member = build_udk_member(delta, k, sigma)
+    sweep = SweepSpec.make(
+        [GraphSpec.make("udk", delta=delta, k=k, sigma=list(sigma))],
+        tasks=[],
+        profile_depths=[k - 1, k],
+    )
+    runner = ExperimentRunner()
 
-    def analyse():
-        refinement = ViewRefinement(member.graph)
-        return refinement.unique_nodes(k - 1), refinement.unique_nodes(k)
-
-    unique_below, unique_at = benchmark(analyse)
+    record = benchmark(lambda: runner.run(sweep).table.records()[0])
+    # same graph as the runner's spec build -> served by the shared cache
+    unique_at = shared_refinement(member.graph).unique_nodes(k)
     cycle_roots = set(member.cycle_root_nodes())
     table_printer(
         f"E5 / Lemmas 3.6 and 3.8 on G_σ (Δ={delta}, k={k})",
         ["#unique@k-1 (paper: 0)", "#unique@k (paper: 2y)", "unique@k are exactly the cycle roots"],
-        [[len(unique_below), len(unique_at), set(unique_at) == cycle_roots]],
+        [[record[f"unique_at_{k - 1}"], record[f"unique_at_{k}"], set(unique_at) == cycle_roots]],
     )
-    assert not unique_below
+    assert record[f"unique_at_{k - 1}"] == 0
+    assert record[f"unique_at_{k}"] == len(cycle_roots)
     assert set(unique_at) == cycle_roots
 
 

@@ -2,6 +2,10 @@
 
 Runs the degree-case Port Election algorithm of Lemma 3.9 on the template and
 on members, validates every output, and confirms both election indices.
+
+The ψ_S / ψ_PE computation goes through the experiment runner (one
+``udk-template`` / ``udk`` spec per point), so the refinement behind the
+indices is the shared cached one rather than a per-bench rebuild.
 """
 
 from __future__ import annotations
@@ -9,32 +13,33 @@ from __future__ import annotations
 import pytest
 
 from repro.algorithms import udk_port_election_outputs
-from repro.core import Task, port_election_index, selection_index, validate
+from repro.core import Task, validate
 from repro.families import build_udk_member, build_udk_template, udk_tree_count
-from repro.views import ViewRefinement
+from repro.runner import ExperimentRunner, GraphSpec, SweepSpec
 
 
 @pytest.mark.parametrize("delta,k,use_template", [(4, 1, True), (4, 1, False)])
 def bench_lemma_3_9_pe_algorithm(benchmark, table_printer, delta, k, use_template):
     if use_template:
         member = build_udk_template(delta, k)
+        spec = GraphSpec.make("udk-template", delta=delta, k=k)
     else:
         y = udk_tree_count(delta, k)
         sigma = tuple((3 * j) % (delta - 1) + 1 for j in range(y))
         member = build_udk_member(delta, k, sigma)
+        spec = GraphSpec.make("udk", delta=delta, k=k, sigma=list(sigma))
 
     outputs = benchmark(udk_port_election_outputs, member)
     result = validate(Task.PORT_ELECTION, member.graph, outputs)
-    refinement = ViewRefinement(member.graph)
-    psi_s = selection_index(member.graph, refinement=refinement)
-    psi_pe = port_election_index(member.graph, refinement=refinement)
+    sweep = SweepSpec.make([spec], tasks=[Task.SELECTION, Task.PORT_ELECTION])
+    record = ExperimentRunner().run(sweep).table.records()[0]
     table_printer(
         f"E6 / Lemma 3.9: PE on {'template U' if use_template else 'member G_σ'} (Δ={delta}, k={k})",
         ["n", "ψ_S (paper: k)", "ψ_PE (paper: k)", "PE outputs valid", "leader is a cycle root"],
         [[
-            member.graph.num_nodes, psi_s, psi_pe, result.ok,
+            record["n"], record["psi_S"], record["psi_PE"], result.ok,
             result.leader in set(member.cycle_root_nodes()),
         ]],
     )
     assert result.ok
-    assert psi_s == k and psi_pe == k
+    assert record["psi_S"] == k and record["psi_PE"] == k

@@ -33,9 +33,16 @@ class GraphSummary:
     view_classes_by_depth: List[int] = field(default_factory=list)
 
 
+def _shared_refinement(graph: PortLabeledGraph) -> ViewRefinement:
+    # Lazy import: repro.runner.results imports format_table from this module.
+    from ..runner.cache import shared_refinement
+
+    return shared_refinement(graph)
+
+
 def summarize_graph(graph: PortLabeledGraph, *, max_depth: Optional[int] = None) -> GraphSummary:
     """Summarise a graph: size, degrees, feasibility, ψ_S, view-class growth."""
-    refinement = ViewRefinement(graph)
+    refinement = _shared_refinement(graph)
     feasible = is_feasible(graph, refinement=refinement)
     index = selection_index(graph, refinement=refinement)
     stable = refinement.ensure_stable()
@@ -56,7 +63,7 @@ def summarize_graph(graph: PortLabeledGraph, *, max_depth: Optional[int] = None)
 
 def view_class_profile(graph: PortLabeledGraph, max_depth: int) -> List[int]:
     """Number of distinct views at every depth 0..max_depth."""
-    refinement = ViewRefinement(graph)
+    refinement = _shared_refinement(graph)
     return [refinement.num_classes(depth) for depth in range(max_depth + 1)]
 
 

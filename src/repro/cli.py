@@ -15,6 +15,14 @@ Construct a member of one of the paper's families and print its statistics::
 Print the counting facts for a parameter triple::
 
     repro-leader-election counts --delta 5 --k 2 --mu 2
+
+Run a batched experiment sweep through the experiment runner (shared
+refinement cache, optional multiprocessing fan-out, deterministic tables)::
+
+    repro-leader-election bench --generator asymmetric-cycle --sizes 5,6,7,8
+    repro-leader-election bench --graph gdk:delta=4,k=1,index=2 --graph star:leaves=5 \
+        --tasks S,PE --workers 4 --format csv --output results.csv
+    repro-leader-election bench --spec sweep.json --repeat 2 --cache-stats
 """
 
 from __future__ import annotations
@@ -36,19 +44,32 @@ from .families import (
     jmuk_border_count,
     udk_tree_count,
 )
-from .portgraph import generators
-
 __all__ = ["main", "build_parser"]
 
-_GENERATORS = {
-    "path": lambda n: generators.path_graph(n),
-    "cycle": lambda n: generators.cycle_graph(n),
-    "asymmetric-cycle": lambda n: generators.asymmetric_cycle(n),
-    "star": lambda n: generators.star_graph(n),
-    "complete": lambda n: generators.complete_graph(n),
-    "rotational-complete": lambda n: generators.rotational_complete_graph(n),
-    "random": lambda n: generators.random_connected_graph(n, extra_edges=n // 2, seed=0),
-}
+#: Generators offered by the ``indices`` subcommand (a subset of the runner's
+#: graph-kind registry, which is the single source of builders).
+_INDICES_GENERATORS = (
+    "asymmetric-cycle",
+    "complete",
+    "cycle",
+    "path",
+    "random",
+    "rotational-complete",
+    "star",
+)
+
+#: Parameter name a bare "size" maps to, per generator kind (default: ``n``).
+_SIZE_PARAM = {"star": "leaves", "hypercube": "dimension"}
+
+
+def _generator_spec(name: str, size: int):
+    """The runner spec for one named generator at one size."""
+    from .runner import GraphSpec
+
+    if name == "random":
+        # historical `indices` semantics: a mildly dense random graph
+        return GraphSpec.make("random", n=size, extra_edges=size // 2, seed=0)
+    return GraphSpec.make(name, **{_SIZE_PARAM.get(name, "n"): size})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,7 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     indices = sub.add_parser("indices", help="compute ψ_S, ψ_PE, ψ_PPE, ψ_CPPE of a generator graph")
-    indices.add_argument("--generator", choices=sorted(_GENERATORS), default="asymmetric-cycle")
+    indices.add_argument("--generator", choices=_INDICES_GENERATORS, default="asymmetric-cycle")
     indices.add_argument("--size", type=int, default=6)
 
     family = sub.add_parser("family", help="construct a member of one of the paper's graph families")
@@ -74,6 +95,41 @@ def build_parser() -> argparse.ArgumentParser:
     counts.add_argument("--delta", type=int, default=5)
     counts.add_argument("--k", type=int, default=2)
     counts.add_argument("--mu", type=int, default=2)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run a batched sweep (graphs x tasks) through the experiment runner",
+    )
+    bench.add_argument("--spec", metavar="FILE", help="load a SweepSpec from a JSON file")
+    bench.add_argument(
+        "--generator",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="sweep a generator over --sizes (repeatable)",
+    )
+    bench.add_argument("--sizes", default="6,8", help="comma-separated sizes for --generator sweeps")
+    bench.add_argument(
+        "--graph",
+        action="append",
+        default=[],
+        metavar="KIND:key=val,...",
+        help="add one graph spec, e.g. gdk:delta=4,k=1,index=2 (repeatable)",
+    )
+    bench.add_argument("--tasks", default="S,PE,PPE,CPPE", help="comma-separated task codes")
+    bench.add_argument(
+        "--profile-depths",
+        default="",
+        help="comma-separated depths at which to record view-class profiles",
+    )
+    bench.add_argument("--max-depth", type=int, default=None)
+    bench.add_argument("--max-states", type=int, default=200_000)
+    bench.add_argument("--workers", type=int, default=1, help="worker processes (1 = in-process)")
+    bench.add_argument("--chunk-size", type=int, default=None, help="jobs per worker chunk")
+    bench.add_argument("--repeat", type=int, default=1, help="run the sweep this many times (cache demo)")
+    bench.add_argument("--format", choices=["text", "json", "csv"], default="text")
+    bench.add_argument("--output", default="-", help="write the table here ('-' = stdout)")
+    bench.add_argument("--cache-stats", action="store_true", help="print refinement-cache stats to stderr")
 
     return parser
 
@@ -93,7 +149,7 @@ def _print_summary(graph) -> None:
 
 
 def _command_indices(args: argparse.Namespace) -> int:
-    graph = _GENERATORS[args.generator](args.size)
+    graph = _generator_spec(args.generator, args.size).build()
     _print_summary(graph)
     indices = all_election_indices(graph)
     rows = [[task.value, task.full_name, indices[task]] for task in Task.ordered()]
@@ -127,6 +183,92 @@ def _command_family(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_int_list(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _parse_graph_option(option: str):
+    """Parse ``kind:key=val,key=val`` into a :class:`~repro.runner.GraphSpec`."""
+    from .runner import GraphSpec
+
+    kind, _, rest = option.partition(":")
+    params = {}
+    for item in filter(None, rest.split(",")):
+        key, eq, value = item.partition("=")
+        if not eq:
+            raise ValueError(f"malformed --graph parameter {item!r} (expected key=value)")
+        params[key.strip()] = int(value)
+    return GraphSpec.make(kind.strip(), **params)
+
+
+def _build_sweep(args: argparse.Namespace):
+    from .runner import GraphSpec, SweepSpec
+
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            return SweepSpec.from_json(handle.read())
+    graphs = []
+    sizes = _parse_int_list(args.sizes)
+    for name in args.generator:
+        param = _SIZE_PARAM.get(name, "n")
+        graphs.extend(GraphSpec.make(name, **{param: size}) for size in sizes)
+    graphs.extend(_parse_graph_option(option) for option in args.graph)
+    if not graphs:
+        raise ValueError("no graphs to sweep: pass --spec, --generator or --graph")
+    return SweepSpec.make(
+        graphs,
+        tasks=[Task(code.strip()) for code in args.tasks.split(",") if code.strip()],
+        max_depth=args.max_depth,
+        max_states=args.max_states,
+        profile_depths=_parse_int_list(args.profile_depths),
+    )
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from .runner import ExperimentRunner, refinement_cache
+
+    try:
+        sweep = _build_sweep(args)
+    except (ValueError, OSError) as error:
+        print(f"bench: {error}", file=sys.stderr)
+        return 2
+    if args.repeat < 1:
+        print("bench: --repeat must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        runner = ExperimentRunner(workers=args.workers, chunk_size=args.chunk_size)
+    except ValueError as error:
+        print(f"bench: {error}", file=sys.stderr)
+        return 2
+    report = None
+    for run_number in range(1, args.repeat + 1):
+        before = refinement_cache.stats()
+        try:
+            report = runner.run(sweep)
+        except ValueError as error:
+            # bad graph parameters surface here: specs are only built inside
+            # the runner (possibly in a worker process)
+            print(f"bench: {error}", file=sys.stderr)
+            return 2
+        if args.cache_stats:
+            after = report.cache_stats
+            fresh_passes = after["refinement_passes"] - before["refinement_passes"]
+            print(
+                f"[run {run_number}/{args.repeat}] {len(sweep.graphs)} graphs in "
+                f"{report.elapsed:.3f}s, workers={report.workers}, "
+                f"cache hits={after['hits']} misses={after['misses']} "
+                f"new refinement passes={fresh_passes}",
+                file=sys.stderr,
+            )
+    rendered = report.table.render(args.format)
+    if args.output == "-":
+        sys.stdout.write(rendered)
+    else:
+        with open(args.output, "w", encoding="utf-8", newline="") as handle:
+            handle.write(rendered)
+    return 0
+
+
 def _command_counts(args: argparse.Namespace) -> int:
     from .families import format_count
 
@@ -144,6 +286,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_family(args)
     if args.command == "counts":
         return _command_counts(args)
+    if args.command == "bench":
+        return _command_bench(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -52,6 +52,21 @@ class SearchLimitExceeded(RuntimeError):
     """Raised when the PPE/CPPE sequence search exceeds its state budget."""
 
 
+def _default_refinement(graph: PortLabeledGraph) -> ViewRefinement:
+    """The process-wide memoised refinement of ``graph``.
+
+    Every index function takes an explicit ``refinement`` for callers that
+    manage their own; when none is passed, the shared LRU cache of the runner
+    subsystem supplies one, so repeated queries about the same graph -- from
+    feasibility checks, from different ψ_Z computations, from benchmark
+    sweeps -- all refine it at most once per process.  (Imported lazily:
+    ``repro.runner`` imports this module.)
+    """
+    from ..runner.cache import shared_refinement
+
+    return shared_refinement(graph)
+
+
 # --------------------------------------------------------------------------- #
 # ψ_S
 # --------------------------------------------------------------------------- #
@@ -62,7 +77,7 @@ def selection_index(
 
     Returns ``None`` for infeasible graphs (no such depth exists).
     """
-    refinement = refinement or ViewRefinement(graph)
+    refinement = refinement if refinement is not None else _default_refinement(graph)
     return refinement.first_depth_with_unique_node()
 
 
@@ -80,7 +95,7 @@ def selection_assignment(
     """
     from ..views.encoding import augmented_view_key
 
-    refinement = refinement or ViewRefinement(graph)
+    refinement = refinement if refinement is not None else _default_refinement(graph)
     unique = refinement.unique_nodes(depth)
     if not unique:
         return None
@@ -159,7 +174,7 @@ def port_election_assignment(
     can be implemented by a distributed algorithm running for ``depth`` rounds
     with the map as advice.
     """
-    refinement = refinement or ViewRefinement(graph)
+    refinement = refinement if refinement is not None else _default_refinement(graph)
     classes = refinement.classes(depth)
     cut = _RemovedNodeComponents(graph)
     singleton_nodes = sorted(m[0] for m in classes.values() if len(m) == 1)
@@ -187,7 +202,7 @@ def port_election_index(
     max_depth: Optional[int] = None,
 ) -> Optional[int]:
     """ψ_PE(G); ``None`` if the graph is infeasible (or ``max_depth`` is hit first)."""
-    refinement = refinement or ViewRefinement(graph)
+    refinement = refinement if refinement is not None else _default_refinement(graph)
     start = refinement.first_depth_with_unique_node(max_depth=max_depth)
     if start is None:
         return None
@@ -289,7 +304,7 @@ def path_election_assignment(
     max_states: int = 200_000,
 ) -> Optional[Tuple[int, Dict[int, Tuple[int, ...]]]]:
     """A (leader, per-node sequence) assignment realising PPE/CPPE at ``depth``, or ``None``."""
-    refinement = refinement or ViewRefinement(graph)
+    refinement = refinement if refinement is not None else _default_refinement(graph)
     classes = refinement.classes(depth)
     singleton_nodes = sorted(m[0] for m in classes.values() if len(m) == 1)
     for leader in singleton_nodes:
@@ -319,7 +334,7 @@ def _path_index(
     max_depth: Optional[int],
     max_states: int,
 ) -> Optional[int]:
-    refinement = refinement or ViewRefinement(graph)
+    refinement = refinement if refinement is not None else _default_refinement(graph)
     start = refinement.first_depth_with_unique_node(max_depth=max_depth)
     if start is None:
         return None
@@ -404,8 +419,8 @@ def all_election_indices(
     max_depth: Optional[int] = None,
     max_states: int = 200_000,
 ) -> Dict[Task, Optional[int]]:
-    """ψ_Z(G) for all four tasks, sharing one refinement."""
-    refinement = ViewRefinement(graph)
+    """ψ_Z(G) for all four tasks, sharing one (process-cached) refinement."""
+    refinement = _default_refinement(graph)
     return {
         task: election_index(
             task,

@@ -25,6 +25,19 @@ __all__ = [
 ]
 
 
+def _default_refinement(graph: PortLabeledGraph) -> ViewRefinement:
+    """The process-wide memoised refinement of ``graph``.
+
+    Feasibility is decided at the refinement fixpoint; routing the default
+    through the runner's shared cache means a feasibility check and a later
+    ψ_Z computation on the same graph reuse one refinement.  (Imported
+    lazily: ``repro.runner`` imports :mod:`repro.core`.)
+    """
+    from ..runner.cache import shared_refinement
+
+    return shared_refinement(graph)
+
+
 def is_feasible(
     graph: PortLabeledGraph, *, refinement: Optional[ViewRefinement] = None
 ) -> bool:
@@ -32,7 +45,7 @@ def is_feasible(
 
     True iff all nodes have pairwise distinct infinite views.
     """
-    refinement = refinement or ViewRefinement(graph)
+    refinement = refinement if refinement is not None else _default_refinement(graph)
     return refinement.is_discrete()
 
 
@@ -44,7 +57,7 @@ def infeasibility_witness(
     Any two nodes of the returned class are indistinguishable forever, which
     is the paper's reason why no deterministic algorithm can elect a leader.
     """
-    refinement = refinement or ViewRefinement(graph)
+    refinement = refinement if refinement is not None else _default_refinement(graph)
     stable = refinement.ensure_stable()
     for members in refinement.classes(stable).values():
         if len(members) > 1:
@@ -56,5 +69,5 @@ def symmetry_classes(
     graph: PortLabeledGraph, *, refinement: Optional[ViewRefinement] = None
 ) -> Dict[int, List[int]]:
     """The partition of nodes into classes of equal infinite views."""
-    refinement = refinement or ViewRefinement(graph)
+    refinement = refinement if refinement is not None else _default_refinement(graph)
     return refinement.classes(refinement.ensure_stable())

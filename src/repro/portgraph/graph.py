@@ -13,13 +13,20 @@ is an O(1) lookup.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+import hashlib
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from .validation import PortLabelingError, validate_adjacency
 
 __all__ = ["PortLabeledGraph"]
 
 Endpoint = Tuple[int, int]
+
+#: Number of port-aware colour-refinement rounds folded into a fingerprint.
+#: Three rounds already separate every pair of structurally different graphs
+#: appearing in the test suite and the benchmark sweeps; the (sorted) signature
+#: multiset of each round is invariant under node relabeling by construction.
+_FINGERPRINT_ROUNDS = 3
 
 
 class PortLabeledGraph:
@@ -40,7 +47,7 @@ class PortLabeledGraph:
         graphs twice.
     """
 
-    __slots__ = ("_adj", "_num_edges", "_name", "_max_degree")
+    __slots__ = ("_adj", "_num_edges", "_name", "_max_degree", "_fingerprint")
 
     def __init__(self, adjacency: Sequence, *, name: str = "", validate: bool = True) -> None:
         if validate:
@@ -57,6 +64,7 @@ class PortLabeledGraph:
         self._num_edges = sum(len(row) for row in self._adj) // 2
         self._name = name
         self._max_degree = max((len(row) for row in self._adj), default=0)
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -161,6 +169,49 @@ class PortLabeledGraph:
             for p, (u, q) in enumerate(row):
                 new_adj[perm[v]][p] = (perm[u], q)
         return PortLabeledGraph(new_adj, name=self._name if name is None else name, validate=False)
+
+    def fingerprint(self) -> str:
+        """A canonical structural fingerprint of the graph (hex digest).
+
+        The fingerprint is invariant under relabeling of the node handles:
+        ``g.fingerprint() == g.relabeled(perm).fingerprint()`` for every
+        permutation ``perm``, because it hashes the *sorted multiset* of
+        port-aware colour-refinement signatures rather than anything indexed
+        by handle.  It is sensitive to everything a handle-blind observer can
+        see -- node/edge counts, degrees, and the port numbers on both sides
+        of every edge up to :data:`_FINGERPRINT_ROUNDS` refinement rounds --
+        which makes it the cache key used by
+        :mod:`repro.runner.cache` to share :class:`~repro.views.refinement.ViewRefinement`
+        instances across repeated sweeps.  (Graphs that colour refinement
+        cannot tell apart share a fingerprint; consumers that need exact
+        identity additionally compare adjacency, as the runner cache does.)
+
+        The digest is stable across processes and Python versions: it is
+        computed with BLAKE2b over an explicit byte encoding, never with the
+        salted built-in ``hash``.  The result is memoised on the instance.
+        """
+        if self._fingerprint is not None:
+            return self._fingerprint
+
+        def _digest(payload: str) -> int:
+            return int.from_bytes(
+                hashlib.blake2b(payload.encode("ascii"), digest_size=8).digest(), "big"
+            )
+
+        colors: List[int] = [len(row) for row in self._adj]
+        for _ in range(_FINGERPRINT_ROUNDS):
+            colors = [
+                _digest(repr((colors[v], tuple((q, colors[u]) for u, q in row))))
+                for v, row in enumerate(self._adj)
+            ]
+        summary = (
+            self.num_nodes,
+            self.num_edges,
+            tuple(sorted(self.degree_histogram().items())),
+            tuple(sorted(colors)),
+        )
+        self._fingerprint = hashlib.sha256(repr(summary).encode("ascii")).hexdigest()
+        return self._fingerprint
 
     def degree_histogram(self) -> Dict[int, int]:
         """Mapping ``degree -> number of nodes of that degree``."""

@@ -1,0 +1,38 @@
+"""Batched experiment runner with shared refinement caching.
+
+This subsystem turns the ad-hoc loops of the benchmark scripts into data:
+
+* :mod:`repro.runner.cache` -- a process-wide LRU of memoised
+  :class:`~repro.views.refinement.ViewRefinement` objects keyed on the
+  canonical graph fingerprint, shared by feasibility checks, ψ_Z index
+  computation and the lower-bound twin queries;
+* :mod:`repro.runner.spec` -- declarative, picklable sweep specifications
+  (graph families x tasks x depths);
+* :mod:`repro.runner.runner` -- the :class:`ExperimentRunner` that fans a
+  sweep out over ``multiprocessing`` workers with chunked scheduling and
+  deterministic result ordering;
+* :mod:`repro.runner.results` -- byte-deterministic JSON/CSV/text tables.
+
+See the "runner" section of ``DESIGN.md`` for the data flow and the
+``bench`` subcommand of :mod:`repro.cli` for the command-line entry point.
+"""
+
+from .cache import CacheEntry, RefinementCache, refinement_cache, shared_refinement
+from .results import ResultTable
+from .runner import ExperimentRunner, RunReport, evaluate_graph_spec, run_sweep
+from .spec import GraphSpec, SweepSpec, graph_kinds
+
+__all__ = [
+    "CacheEntry",
+    "RefinementCache",
+    "refinement_cache",
+    "shared_refinement",
+    "GraphSpec",
+    "SweepSpec",
+    "graph_kinds",
+    "ResultTable",
+    "ExperimentRunner",
+    "RunReport",
+    "evaluate_graph_spec",
+    "run_sweep",
+]

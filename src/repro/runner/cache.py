@@ -1,0 +1,198 @@
+"""Process-wide memoisation of :class:`~repro.views.refinement.ViewRefinement`.
+
+Every layer of the library (feasibility checks, the four ψ_Z computations,
+the twin queries of the lower-bound lemmas, graph summaries) is driven by the
+same partition-refinement object, and a refinement is pure -- it depends only
+on the graph.  Before this cache existed, each benchmark script and each
+``all_election_indices`` call rebuilt the refinement from scratch, so a sweep
+that touches the same graph from five angles paid for five refinements.
+
+:class:`RefinementCache` is a small LRU keyed on the *canonical fingerprint*
+of the graph (:meth:`repro.portgraph.graph.PortLabeledGraph.fingerprint`).
+Because the fingerprint is relabeling-invariant it may collide for graphs
+with different node handles (deliberately: isomorphic copies, or in rare
+cases refinement-equivalent non-isomorphic graphs), and a refinement's colour
+lists are indexed by handle -- so each fingerprint maps to a *bucket* of
+``(graph, refinement)`` pairs compared by exact labeled equality.  A hit
+therefore always returns a refinement that is correct for the exact graph
+asked about, while the fingerprint keeps lookups O(1) in the number of
+distinct graphs seen.
+
+The module-level singleton :data:`refinement_cache` is what the rest of the
+library uses: :func:`shared_refinement` is the default source of refinements
+in :mod:`repro.core.feasibility`, :mod:`repro.core.election_index` and the
+experiment runner, so one memoised refinement per graph serves ψ_S / ψ_PE /
+ψ_PPE / ψ_CPPE queries, feasibility and twin queries alike.
+
+Counters (hits, misses, evictions, and the total number of refinement
+*passes* performed by cached refinements) are exposed via
+:meth:`RefinementCache.stats`; a repeated sweep over the same spec must not
+increase ``refinement_passes``, which is how the tests and the ``bench``
+CLI certify cache reuse.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+from ..portgraph.graph import PortLabeledGraph
+from ..views.refinement import ViewRefinement
+
+__all__ = ["CacheEntry", "RefinementCache", "refinement_cache", "shared_refinement"]
+
+#: Default number of distinct fingerprints kept by the process-wide cache.
+DEFAULT_MAXSIZE = 128
+
+
+class CacheEntry:
+    """One cached graph: its refinement plus a memo of derived query results.
+
+    ``memo`` maps hashable query keys -- e.g. ``("psi", "PPE", max_depth,
+    max_states)`` or ``("feasible",)`` -- to previously computed answers.
+    Every answer memoised here is a pure function of the graph (and of the
+    key's own parameters), so replaying a sweep can skip not only the
+    refinement passes but also the expensive PPE/CPPE joint searches.
+    """
+
+    __slots__ = ("graph", "refinement", "memo")
+
+    def __init__(self, graph: PortLabeledGraph, refinement: ViewRefinement) -> None:
+        self.graph = graph
+        self.refinement = refinement
+        self.memo: Dict[Tuple, object] = {}
+
+
+class RefinementCache:
+    """An LRU cache of :class:`ViewRefinement` objects, one per exact graph.
+
+    ``maxsize`` bounds the total number of *entries* (exact graphs), not
+    fingerprints: a bucket of relabeled copies of one graph is evicted
+    entry-by-entry like everything else.
+
+    The LRU bookkeeping and the counters are guarded by a lock, so lookups
+    may be issued from multiple threads; the *returned* objects
+    (:class:`ViewRefinement`, ``entry.memo``) are not themselves
+    synchronised, so concurrent queries about the same graph at uncomputed
+    depths should be serialised by the caller.  The library's own
+    parallelism uses ``multiprocessing`` (one private cache per worker
+    process), which avoids the issue entirely.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self._maxsize = maxsize
+        # fingerprint -> list of entries; the bucket resolves fingerprint
+        # collisions by exact labeled-graph equality.
+        self._buckets: "OrderedDict[str, List[CacheEntry]]" = OrderedDict()
+        self._num_entries = 0
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._evicted_passes = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._num_entries
+
+    def entry(self, graph: PortLabeledGraph) -> CacheEntry:
+        """The cache entry of ``graph`` (created on first request)."""
+        key = graph.fingerprint()
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is not None:
+                self._buckets.move_to_end(key)
+                for stored in bucket:
+                    if stored.graph == graph:
+                        self._hits += 1
+                        return stored
+            self._misses += 1
+            entry = CacheEntry(graph, ViewRefinement(graph))
+            if bucket is None:
+                self._buckets[key] = [entry]
+            else:
+                bucket.append(entry)
+            self._num_entries += 1
+            while self._num_entries > self._maxsize:
+                # evict the oldest entry of the least-recently-used bucket
+                oldest_key = next(iter(self._buckets))
+                oldest_bucket = self._buckets[oldest_key]
+                evicted = oldest_bucket.pop(0)
+                if not oldest_bucket:
+                    del self._buckets[oldest_key]
+                self._num_entries -= 1
+                self._evictions += 1
+                self._evicted_passes += evicted.refinement.passes
+            return entry
+
+    def get(self, graph: PortLabeledGraph) -> ViewRefinement:
+        """The memoised refinement of ``graph`` (created on first request)."""
+        return self.entry(graph).refinement
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._buckets.clear()
+            self._num_entries = 0
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+            self._evicted_passes = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    @property
+    def refinement_passes(self) -> int:
+        """Total refinement passes performed by refinements this cache created.
+
+        Includes passes of entries that have since been evicted, so the value
+        is monotone: if it is unchanged after a sweep, the sweep performed no
+        partition refinement at all -- every query was served from memoised
+        partitions.
+        """
+        with self._lock:
+            live = sum(
+                entry.refinement.passes
+                for bucket in self._buckets.values()
+                for entry in bucket
+            )
+            return live + self._evicted_passes
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of all counters (suitable for printing or diffing)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "currsize": len(self),
+            "maxsize": self.maxsize,
+            "refinement_passes": self.refinement_passes,
+        }
+
+
+#: The process-wide cache used by the library's default code paths.
+refinement_cache = RefinementCache()
+
+
+def shared_refinement(graph: PortLabeledGraph) -> ViewRefinement:
+    """The process-wide memoised :class:`ViewRefinement` of ``graph``."""
+    return refinement_cache.get(graph)

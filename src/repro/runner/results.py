@@ -1,0 +1,75 @@
+"""Deterministic result tables emitted by the experiment runner.
+
+A :class:`ResultTable` is a plain (columns, rows) container with three
+serialisations -- JSON, CSV and the library's aligned plain-text format.  All
+three are *byte-deterministic*: the same table always serialises to the same
+bytes, with no timestamps, no float formatting ambiguity and a fixed column
+order, so a parallel run and a serial run of the same sweep can be compared
+with ``==`` on the serialised output (which the acceptance tests do).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Sequence, Tuple
+
+from ..analysis.statistics import format_table
+
+__all__ = ["ResultTable"]
+
+
+@dataclass(frozen=True)
+class ResultTable:
+    """An immutable table of experiment results."""
+
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Any, ...], ...]
+
+    @classmethod
+    def from_records(cls, records: Sequence[Mapping[str, Any]]) -> "ResultTable":
+        """Build a table from dict records; columns in first-seen order.
+
+        Records missing a column get ``None`` in that cell, so heterogeneous
+        sweeps (e.g. graphs with different profile depths) still line up.
+        """
+        columns: List[str] = []
+        for record in records:
+            for name in record:
+                if name not in columns:
+                    columns.append(name)
+        rows = tuple(tuple(record.get(name) for name in columns) for record in records)
+        return cls(columns=tuple(columns), rows=rows)
+
+    def records(self) -> List[dict]:
+        """The rows as dicts (the inverse of :meth:`from_records`)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    # ------------------------------------------------------------------ #
+    # serialisations
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> str:
+        payload = {"columns": list(self.columns), "rows": [list(row) for row in self.rows]}
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(["" if cell is None else cell for cell in row])
+        return buffer.getvalue()
+
+    def to_text(self) -> str:
+        return format_table(list(self.columns), [list(row) for row in self.rows])
+
+    def render(self, fmt: str) -> str:
+        if fmt == "json":
+            return self.to_json()
+        if fmt == "csv":
+            return self.to_csv()
+        if fmt == "text":
+            return self.to_text() + "\n"
+        raise ValueError(f"unknown format {fmt!r} (expected text, json or csv)")

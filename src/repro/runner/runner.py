@@ -1,0 +1,166 @@
+"""The batched experiment runner: one sweep in, one deterministic table out.
+
+The runner expands a :class:`~repro.runner.spec.SweepSpec` into one *job per
+graph*, evaluates every job (feasibility, the requested ψ_Z indices, optional
+view-class profiles), and assembles the rows -- in spec order, regardless of
+completion order -- into a :class:`~repro.runner.results.ResultTable`.
+
+Within a job all queries share a single memoised
+:class:`~repro.views.refinement.ViewRefinement` obtained from the
+process-wide :data:`~repro.runner.cache.refinement_cache`, so a graph that
+appears in several sweeps (or several times in one sweep) is refined at most
+once per process.  With ``workers > 1`` jobs fan out over a
+``multiprocessing`` pool in deterministic chunks; each worker process keeps
+its own refinement cache, and because job evaluation is pure, parallel and
+serial runs of the same spec produce byte-identical tables.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.election_index import SearchLimitExceeded, election_index
+from ..core.feasibility import is_feasible
+from .cache import refinement_cache
+from .results import ResultTable
+from .spec import GraphSpec, SweepSpec
+
+__all__ = ["ExperimentRunner", "RunReport", "evaluate_graph_spec", "run_sweep"]
+
+
+def evaluate_graph_spec(spec: GraphSpec, sweep: SweepSpec) -> Dict[str, Any]:
+    """Evaluate one graph of a sweep into a flat result record.
+
+    Builds the graph, fetches its entry from the process-wide refinement
+    cache, and answers every requested query against that one refinement.
+    Feasibility and the ψ_Z values (keyed by their search parameters) are
+    memoised on the entry, so replaying a sweep skips the PPE/CPPE joint
+    searches as well as the refinement passes.  A PPE or CPPE search that
+    exceeds ``sweep.max_states`` records ``None`` for the index and lists the
+    task under ``search_limited`` instead of aborting the whole sweep.
+    """
+    graph = spec.build()
+    entry = refinement_cache.entry(graph)
+    refinement = entry.refinement
+    feasible = entry.memo.get(("feasible",))
+    if feasible is None:
+        feasible = is_feasible(graph, refinement=refinement)
+        entry.memo[("feasible",)] = feasible
+    record: Dict[str, Any] = {
+        "graph": spec.label,
+        "n": graph.num_nodes,
+        "m": graph.num_edges,
+        "max_degree": graph.max_degree,
+        "feasible": feasible,
+    }
+    limited: List[str] = []
+    for task in sweep.tasks:
+        memo_key = ("psi", task.value, sweep.max_depth, sweep.max_states)
+        outcome = entry.memo.get(memo_key)
+        if outcome is None:
+            try:
+                outcome = ("ok", election_index(
+                    task,
+                    graph,
+                    refinement=refinement,
+                    max_depth=sweep.max_depth,
+                    max_states=sweep.max_states,
+                ))
+            except SearchLimitExceeded:
+                outcome = ("limited", None)
+            entry.memo[memo_key] = outcome
+        status, value = outcome
+        if status == "limited":
+            limited.append(task.value)
+        record[f"psi_{task.value}"] = value
+    for depth in sweep.profile_depths:
+        record[f"classes_at_{depth}"] = refinement.num_classes(depth)
+        record[f"unique_at_{depth}"] = len(refinement.unique_nodes(depth))
+    if sweep.tasks or sweep.profile_depths:
+        record["search_limited"] = ",".join(limited)
+    return record
+
+
+def _evaluate_indexed(job: Tuple[int, GraphSpec, SweepSpec]) -> Tuple[int, Dict[str, Any]]:
+    index, spec, sweep = job
+    return index, evaluate_graph_spec(spec, sweep)
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """A finished sweep: the table plus execution metadata.
+
+    Only :attr:`table` is deterministic; :attr:`elapsed` and
+    :attr:`cache_stats` describe this particular execution.  For parallel
+    runs ``cache_stats`` reflects the parent process only -- worker caches
+    live and die with their processes.
+    """
+
+    table: ResultTable
+    elapsed: float
+    workers: int
+    cache_stats: Dict[str, int]
+
+
+class ExperimentRunner:
+    """Runs :class:`SweepSpec` sweeps serially or across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes; ``1`` (the default) evaluates in-process
+        and is what populates the long-lived refinement cache of the calling
+        process.
+    chunk_size:
+        Jobs handed to a worker at a time.  Defaults to spreading the jobs
+        about four chunks per worker, which keeps scheduling balanced without
+        drowning small sweeps in IPC.
+    """
+
+    def __init__(self, *, workers: int = 1, chunk_size: Optional[int] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self._workers = workers
+        self._chunk_size = chunk_size
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def _resolve_chunk_size(self, num_jobs: int) -> int:
+        if self._chunk_size is not None:
+            return self._chunk_size
+        return max(1, num_jobs // (self._workers * 4))
+
+    def run(self, sweep: SweepSpec) -> RunReport:
+        """Evaluate the sweep and return the (deterministically ordered) report."""
+        # each job carries only the evaluation settings, not the whole graph
+        # list -- otherwise a G-graph parallel sweep pickles O(G^2) spec data
+        settings = replace(sweep, graphs=())
+        jobs = [(index, spec, settings) for index, spec in enumerate(sweep.graphs)]
+        started = time.perf_counter()
+        if self._workers == 1 or len(jobs) <= 1:
+            indexed = [_evaluate_indexed(job) for job in jobs]
+        else:
+            chunk = self._resolve_chunk_size(len(jobs))
+            with multiprocessing.Pool(processes=self._workers) as pool:
+                indexed = pool.map(_evaluate_indexed, jobs, chunksize=chunk)
+        indexed.sort(key=lambda pair: pair[0])
+        table = ResultTable.from_records([record for _index, record in indexed])
+        elapsed = time.perf_counter() - started
+        return RunReport(
+            table=table,
+            elapsed=elapsed,
+            workers=self._workers,
+            cache_stats=refinement_cache.stats(),
+        )
+
+
+def run_sweep(sweep: SweepSpec, *, workers: int = 1, chunk_size: Optional[int] = None) -> RunReport:
+    """Convenience wrapper: ``ExperimentRunner(workers=...).run(sweep)``."""
+    return ExperimentRunner(workers=workers, chunk_size=chunk_size).run(sweep)

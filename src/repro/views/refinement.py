@@ -38,6 +38,7 @@ class ViewRefinement:
         self._colors: List[List[int]] = [self._canonicalise(initial)]
         self._num_classes: List[int] = [len(set(self._colors[0]))]
         self._stable_depth: Optional[int] = None
+        self._passes = 0
         if graph.num_nodes == 1 or self._num_classes[0] == graph.num_nodes:
             self._stable_depth = 0
 
@@ -50,6 +51,18 @@ class ViewRefinement:
     def stable_depth(self) -> Optional[int]:
         """Smallest depth whose partition equals the infinite-view partition (if computed)."""
         return self._stable_depth
+
+    @property
+    def passes(self) -> int:
+        """Number of refinement passes performed so far.
+
+        Each pass is one O(n + m) sweep deepening the partition by one level.
+        The counter only ever grows while new depths are being computed, so
+        the runner's :class:`~repro.runner.cache.RefinementCache` uses it to
+        certify that a repeated sweep re-used cached partitions instead of
+        refining again.
+        """
+        return self._passes
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -65,6 +78,7 @@ class ViewRefinement:
 
     def _refine_once(self) -> None:
         graph = self._graph
+        self._passes += 1
         previous = self._colors[-1]
         signatures: Dict[Tuple, int] = {}
         new_colors: List[int] = []

@@ -43,3 +43,62 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestBenchCommand:
+    def test_generator_sweep_text(self, capsys):
+        assert main(["bench", "--generator", "asymmetric-cycle", "--sizes", "5,6"]) == 0
+        out = capsys.readouterr().out
+        assert "asymmetric-cycle(n=5)" in out
+        assert "psi_CPPE" in out
+
+    def test_graph_option_and_json(self, capsys):
+        assert main([
+            "bench", "--graph", "gdk:delta=4,k=1,index=2", "--tasks", "S", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "psi_S" in payload["columns"]
+        assert payload["rows"][0][payload["columns"].index("psi_S")] == 1
+
+    def test_repeat_with_cache_stats(self, capsys):
+        assert main([
+            "bench", "--generator", "star", "--sizes", "3,4",
+            "--repeat", "2", "--cache-stats", "--format", "csv",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "new refinement passes=0" in captured.err.splitlines()[-1]
+        assert captured.out.startswith("graph,")
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "table.csv"
+        assert main([
+            "bench", "--generator", "path", "--sizes", "4", "--tasks", "S,PE",
+            "--format", "csv", "--output", str(target),
+        ]) == 0
+        assert target.read_text().startswith("graph,n,m")
+
+    def test_spec_file(self, tmp_path, capsys):
+        from repro.runner import GraphSpec, SweepSpec
+
+        spec_path = tmp_path / "sweep.json"
+        sweep = SweepSpec.make([GraphSpec.make("three-node-line")], tasks=[])
+        spec_path.write_text(sweep.to_json())
+        assert main(["bench", "--spec", str(spec_path), "--format", "csv"]) == 0
+        assert "three-node-line" in capsys.readouterr().out
+
+    def test_no_graphs_is_an_error(self, capsys):
+        assert main(["bench"]) == 2
+        assert "no graphs to sweep" in capsys.readouterr().err
+
+    def test_malformed_graph_option(self, capsys):
+        assert main(["bench", "--graph", "path:oops"]) == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_wrong_parameter_name_is_a_clean_error(self, capsys):
+        assert main(["bench", "--graph", "grid:n=4"]) == 2
+        assert "invalid parameters for graph kind 'grid'" in capsys.readouterr().err
+
+    def test_out_of_range_family_index_is_a_clean_error(self, capsys):
+        assert main(["bench", "--graph", "gdk:delta=4,k=1,index=99"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("bench: ")
