@@ -8,9 +8,12 @@ and refinement throughput on graphs up to the full 132k-node J_Y member.
 
 from __future__ import annotations
 
+from collections import deque
+
 import pytest
 
 from repro.families import build_component, build_gadget, build_jmuk_member, jmuk_border_count
+from repro.kernel import BlockCutTree, CSRPartitionRefinement, build_csr
 from repro.portgraph import generators
 from repro.sim import gather_views
 from repro.views import ViewRefinement
@@ -39,26 +42,34 @@ def bench_simulator_view_gathering(benchmark, table_printer, n):
 )
 def bench_refinement_throughput(benchmark, table_printer, name, builder):
     graph = builder()
+    csr = graph.csr()
 
     def refine():
-        refinement = ViewRefinement(graph)
-        return refinement.num_classes(6)
+        # a fresh engine per call: ViewRefinement shares the graph-memoised
+        # engine since the kernel refactor, which would measure warm state
+        engine = CSRPartitionRefinement(csr)
+        effective = engine.ensure_depth(6)
+        return engine.num_classes_at(effective)
 
     classes = benchmark(refine)
     table_printer(
-        "E14: partition refinement throughput",
+        "E14: partition refinement throughput (cold kernel engine)",
         ["graph", "n", "m", "classes at depth 6"],
         [[name, graph.num_nodes, graph.num_edges, classes]],
     )
     assert classes >= 1
+    assert ViewRefinement(graph).num_classes(6) == classes
 
 
 def bench_full_member_refinement(benchmark, table_printer):
     z = jmuk_border_count(2, 4)
     member = build_jmuk_member(2, 4, tuple(i % 2 for i in range(2 ** (z - 1))))
+    csr = member.graph.csr()
 
     def refine():
-        return ViewRefinement(member.graph).num_classes(4)
+        engine = CSRPartitionRefinement(csr)
+        effective = engine.ensure_depth(4)
+        return engine.num_classes_at(effective)
 
     classes = benchmark.pedantic(refine, iterations=1, rounds=2)
     table_printer(
@@ -67,3 +78,52 @@ def bench_full_member_refinement(benchmark, table_printer):
         [[member.graph.num_nodes, member.graph.num_edges, 4, classes]],
     )
     assert classes == member.graph.num_nodes
+
+
+@pytest.mark.parametrize("n", [200, 800])
+def bench_blockcut_vs_removed_node_bfs(benchmark, table_printer, n):
+    """ψ_PE's cut queries: one block-cut DFS vs the legacy per-removed-node BFS."""
+    graph = generators.random_connected_graph(n, extra_edges=n // 4, seed=7)
+    leader = 0
+    queries = [(v, p) for v in list(graph.nodes())[1:] for p in graph.ports(v)]
+
+    def kernel_queries():
+        tree = BlockCutTree(build_csr(graph))
+        return sum(tree.starts_simple_path(v, p, leader) for v, p in queries)
+
+    def legacy_queries():
+        hits = 0
+        comps = {}
+        for v, p in queries:
+            w = graph.neighbor(v, p)
+            if w == leader:
+                hits += 1
+                continue
+            comp = comps.get(v)
+            if comp is None:
+                comp = [-1] * graph.num_nodes
+                comp[v] = -2
+                next_id = 0
+                for start in graph.nodes():
+                    if comp[start] != -1:
+                        continue
+                    comp[start] = next_id
+                    queue = deque([start])
+                    while queue:
+                        x = queue.popleft()
+                        for y in graph.neighbors(x):
+                            if comp[y] == -1:
+                                comp[y] = next_id
+                                queue.append(y)
+                    next_id += 1
+                comps[v] = comp
+            hits += comp[w] == comp[leader]
+        return hits
+
+    kernel_hits = benchmark(kernel_queries)
+    assert kernel_hits == legacy_queries()
+    table_printer(
+        "E14: simple-path query throughput (block-cut tree vs per-removed-node BFS)",
+        ["n", "m", "queries", "ports starting a simple path to the leader"],
+        [[graph.num_nodes, graph.num_edges, len(queries), kernel_hits]],
+    )

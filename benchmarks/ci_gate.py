@@ -1,0 +1,96 @@
+"""CI micro-benchmark gate: certify that warm sweep replays do zero fresh work.
+
+Runs a small fixed sweep twice through the experiment runner and writes
+``BENCH_PR2.json`` (cold/warm wall-time, refinement passes, joint-search
+states).  The gate **fails** (exit code 1) if the warm replay performed any
+refinement passes — the contract of the kernel-object cache: replaying a
+sweep must be served entirely from memoised partitions, block-cut trees and
+ψ memos.  Byte-identical tables across the two runs are asserted as well.
+
+Usage (as in ``.github/workflows/ci.yml``)::
+
+    PYTHONPATH=src python benchmarks/ci_gate.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.core import Task, reset_search_statistics, search_statistics
+from repro.runner import ExperimentRunner, GraphSpec, SweepSpec, refinement_cache
+
+#: The fixed gate sweep: one graph per hot path — a G_{Δ,k} member for the
+#: refinement and block-cut paths, small mixed graphs for the PPE/CPPE joint
+#: searches.  (U_{Δ,k} members are deliberately absent: their exact CPPE
+#: searches take minutes and belong to the benchmark record, not a CI gate.)
+GATE_SWEEP = SweepSpec.make(
+    [
+        GraphSpec.make("gdk", delta=4, k=1, index=3),
+        GraphSpec.make("asymmetric-cycle", n=7),
+        GraphSpec.make("star", leaves=4),
+        GraphSpec.make("random", n=9, extra_edges=4, seed=2),
+    ],
+    tasks=Task.ordered(),
+    profile_depths=(1,),
+)
+
+
+def _measure(runner: ExperimentRunner):
+    cache_before = refinement_cache.stats()
+    search_before = search_statistics()
+    started = time.perf_counter()
+    report = runner.run(GATE_SWEEP)
+    elapsed = time.perf_counter() - started
+    cache_after = refinement_cache.stats()
+    search_after = search_statistics()
+    return report, {
+        "wall_time_s": round(elapsed, 6),
+        "refinement_passes": cache_after["refinement_passes"]
+        - cache_before["refinement_passes"],
+        "search_states": search_after["states"] - search_before["states"],
+        "search_cells": search_after["cells"] - search_before["cells"],
+        "cache_hits": cache_after["hits"] - cache_before["hits"],
+        "cache_misses": cache_after["misses"] - cache_before["misses"],
+    }
+
+
+def main(argv) -> int:
+    output_path = argv[1] if len(argv) > 1 else "BENCH_PR2.json"
+    refinement_cache.clear()
+    reset_search_statistics()
+    runner = ExperimentRunner()
+    cold_report, cold = _measure(runner)
+    warm_report, warm = _measure(runner)
+    payload = {
+        "sweep_graphs": [spec.label for spec in GATE_SWEEP.graphs],
+        "cold": cold,
+        "warm": warm,
+        "tables_identical": cold_report.table.to_json() == warm_report.table.to_json(),
+    }
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    failures = []
+    if warm["refinement_passes"] != 0:
+        failures.append(
+            f"warm replay performed {warm['refinement_passes']} refinement passes (expected 0)"
+        )
+    if warm["search_states"] != 0:
+        failures.append(
+            f"warm replay stored {warm['search_states']} fresh search states (expected 0)"
+        )
+    if not payload["tables_identical"]:
+        failures.append("cold and warm tables differ")
+    if cold["refinement_passes"] == 0:
+        failures.append("cold run performed no refinement passes: the gate measured nothing")
+    for failure in failures:
+        print(f"ci_gate: FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

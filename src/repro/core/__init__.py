@@ -9,6 +9,8 @@ from .election_index import (
     port_election_assignment,
     port_election_index,
     port_path_election_index,
+    reset_search_statistics,
+    search_statistics,
     selection_assignment,
     selection_index,
 )
@@ -51,6 +53,8 @@ __all__ = [
     "selection_assignment",
     "port_election_assignment",
     "path_election_assignment",
+    "search_statistics",
+    "reset_search_statistics",
     "indices_respect_hierarchy",
     "verify_fact_1_1",
     "index_gaps",

@@ -30,6 +30,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..kernel import GraphKernel
+from ..kernel.csr import bfs_distances_csr
 from ..portgraph.graph import PortLabeledGraph
 from ..views.refinement import ViewRefinement
 from .tasks import Task
@@ -45,11 +47,39 @@ __all__ = [
     "selection_assignment",
     "port_election_assignment",
     "path_election_assignment",
+    "search_statistics",
+    "reset_search_statistics",
 ]
 
 
 class SearchLimitExceeded(RuntimeError):
     """Raised when the PPE/CPPE sequence search exceeds its state budget."""
+
+
+#: When ``max_cells`` is not given explicitly, the footprint cap of the joint
+#: search defaults to this many int cells per allowed state.  A stored state
+#: costs ``k`` position ints plus ``k`` visited sets of up to path-length
+#: nodes each, so a pure state *count* wildly undercounts real memory for
+#: large classes; the cell cap bounds the actual footprint of ``seen`` (and
+#: with it the queue, which only holds states already in ``seen``).
+_DEFAULT_CELLS_PER_STATE = 32
+
+#: Process-wide counters of the PPE/CPPE joint searches (monotone; workers
+#: keep their own copies).  ``states``/``cells`` count *stored* search states
+#: and their int-cell footprint, so the CI benchmark gate can certify that a
+#: warm sweep replay performed zero fresh search work.
+_SEARCH_STATS = {"searches": 0, "states": 0, "cells": 0, "limit_hits": 0}
+
+
+def search_statistics() -> Dict[str, int]:
+    """A snapshot of the cumulative PPE/CPPE joint-search counters."""
+    return dict(_SEARCH_STATS)
+
+
+def reset_search_statistics() -> None:
+    """Zero the cumulative joint-search counters (tests and benchmarks)."""
+    for key in _SEARCH_STATS:
+        _SEARCH_STATS[key] = 0
 
 
 def _default_refinement(graph: PortLabeledGraph) -> ViewRefinement:
@@ -65,6 +95,18 @@ def _default_refinement(graph: PortLabeledGraph) -> ViewRefinement:
     from ..runner.cache import shared_refinement
 
     return shared_refinement(graph)
+
+
+def _default_kernel(graph: PortLabeledGraph) -> GraphKernel:
+    """The process-wide memoised kernel (CSR, block-cut tree, BFS distances).
+
+    Lives on the same cache entry as the refinement, so a warm sweep skips
+    block-cut-tree construction exactly as it skips refinement passes.
+    (Imported lazily for the same layering reason as above.)
+    """
+    from ..runner.cache import shared_kernel
+
+    return shared_kernel(graph)
 
 
 # --------------------------------------------------------------------------- #
@@ -105,59 +147,22 @@ def selection_assignment(
 # --------------------------------------------------------------------------- #
 # ψ_PE
 # --------------------------------------------------------------------------- #
-class _RemovedNodeComponents:
-    """Cached connected components of ``G - v`` for varying ``v``.
-
-    ``component(v, w)`` is the component id of ``w`` in the graph with node
-    ``v`` deleted; two nodes are connected in ``G - v`` iff their ids match.
-    """
-
-    def __init__(self, graph: PortLabeledGraph) -> None:
-        self._graph = graph
-        self._cache: Dict[int, List[int]] = {}
-
-    def components_without(self, removed: int) -> List[int]:
-        cached = self._cache.get(removed)
-        if cached is not None:
-            return cached
-        graph = self._graph
-        comp = [-1] * graph.num_nodes
-        comp[removed] = -2
-        next_id = 0
-        for start in graph.nodes():
-            if comp[start] != -1:
-                continue
-            comp[start] = next_id
-            queue = deque([start])
-            while queue:
-                x = queue.popleft()
-                for y in graph.neighbors(x):
-                    if comp[y] == -1:
-                        comp[y] = next_id
-                        queue.append(y)
-            next_id += 1
-        self._cache[removed] = comp
-        return comp
-
-    def first_port_ok(self, v: int, port: int, leader: int) -> bool:
-        """Whether ``port`` at ``v`` starts a simple path from ``v`` to ``leader``."""
-        w = self._graph.neighbor(v, port)
-        if w == leader:
-            return True
-        comp = self.components_without(v)
-        return comp[w] == comp[leader]
-
-
 def _pe_class_port(
     graph: PortLabeledGraph,
     members: Sequence[int],
     leader: int,
-    cut: _RemovedNodeComponents,
+    cut,
 ) -> Optional[int]:
-    """A single port valid as PE output for every member of a class, or ``None``."""
+    """A single port valid as PE output for every member of a class, or ``None``.
+
+    ``cut`` is the graph's :class:`~repro.kernel.blockcut.BlockCutTree`: one
+    DFS per graph answers every "does this port start a simple path to the
+    leader?" question in O(log Δ), replacing the per-removed-node BFS family
+    this helper used to drive.
+    """
     min_degree = min(graph.degree(v) for v in members)
     for port in range(min_degree):
-        if all(cut.first_port_ok(v, port, leader) for v in members):
+        if all(cut.starts_simple_path(v, port, leader) for v in members):
             return port
     return None
 
@@ -176,7 +181,7 @@ def port_election_assignment(
     """
     refinement = refinement if refinement is not None else _default_refinement(graph)
     classes = refinement.classes(depth)
-    cut = _RemovedNodeComponents(graph)
+    cut = _default_kernel(graph).block_cut_tree()
     singleton_nodes = sorted(m[0] for m in classes.values() if len(m) == 1)
     for leader in singleton_nodes:
         ports: Dict[int, int] = {}
@@ -230,69 +235,112 @@ def _common_path_sequence(
     complete: bool,
     max_length: Optional[int] = None,
     max_states: int = 200_000,
+    max_cells: Optional[int] = None,
+    distances=None,
 ) -> Optional[Tuple[int, ...]]:
     """A common port sequence tracing a simple path from every member to ``leader``.
 
     For ``complete=False`` the sequence is the PPE-style outgoing ports
     ``(p1, ..., pk)``; for ``complete=True`` it is the CPPE-style flat
     ``(p1, q1, ..., pk, qk)``.  Returns ``None`` if no common sequence of
-    length at most ``max_length`` exists.  Raises :class:`SearchLimitExceeded`
-    when the joint search grows beyond ``max_states`` states.
+    length at most ``max_length`` exists.
+
+    Two budgets guard the exponential joint search, both raising
+    :class:`SearchLimitExceeded`: ``max_states`` bounds the number of stored
+    states, and ``max_cells`` bounds their actual int-cell footprint
+    (positions plus per-member visited sets; default
+    ``max_states * 32``).  The state count alone undercounts memory by a
+    factor of ``class size × path length``, which is what the cell cap fixes.
+
+    ``distances`` (hop distances to ``leader``, e.g. from
+    :meth:`repro.kernel.GraphKernel.distances_from`) enables lower-bound
+    pruning: a branch whose member provably cannot reach the leader within
+    the remaining simple-path budget is dead and never enters ``seen``.
+    Pruning only removes provably fruitless states, so the returned sequence
+    is identical with and without it.  When ``None``, one BFS from ``leader``
+    over the graph's CSR view is performed here.
     """
     if any(v == leader for v in members):
         return None
     if max_length is None:
         max_length = graph.num_nodes - 1
+    if max_cells is None:
+        max_cells = max_states * _DEFAULT_CELLS_PER_STATE
+    if distances is None:
+        distances = bfs_distances_csr(graph.csr(), leader)
+    stats = _SEARCH_STATS
+    stats["searches"] += 1
+    if any(distances[v] > max_length for v in members):
+        return None
+    csr = graph.csr()
+    offsets = csr.offsets
+    neighbors = csr.neighbors
+    reverse_ports = csr.reverse_ports
+    k = len(members)
     start_positions = tuple(members)
     start_visited = tuple(frozenset((v,)) for v in members)
     queue: deque = deque([(start_positions, start_visited, ())])
     seen = {(start_positions, start_visited)}
-    while queue:
-        positions, visited, sequence = queue.popleft()
-        steps_taken = len(sequence) // 2 if complete else len(sequence)
-        if steps_taken >= max_length:
-            continue
-        min_degree = min(graph.degree(v) for v in positions)
-        for port in range(min_degree):
-            next_nodes: List[int] = []
-            incoming_ports = set()
-            blocked = False
-            for i, v in enumerate(positions):
-                u, q = graph.endpoint(v, port)
-                if u in visited[i]:
-                    blocked = True
-                    break
-                next_nodes.append(u)
-                incoming_ports.add(q)
-            if blocked:
+    cells = 2 * k  # the start state: k positions + k singleton visited sets
+    try:
+        while queue:
+            positions, visited, sequence = queue.popleft()
+            steps_taken = len(sequence) // 2 if complete else len(sequence)
+            if steps_taken >= max_length:
                 continue
-            if complete and len(incoming_ports) != 1:
-                continue
-            if complete:
-                new_sequence = sequence + (port, next(iter(incoming_ports)))
-            else:
-                new_sequence = sequence + (port,)
-            if all(u == leader for u in next_nodes):
-                return new_sequence
-            if any(u == leader for u in next_nodes):
-                # Some members reached the leader early: their simple path can
-                # no longer end at the leader later, so this branch is dead.
-                continue
-            new_positions = tuple(next_nodes)
-            new_visited = tuple(
-                visited[i] | {next_nodes[i]} for i in range(len(positions))
-            )
-            key = (new_positions, new_visited)
-            if key in seen:
-                continue
-            seen.add(key)
-            if len(seen) > max_states:
-                raise SearchLimitExceeded(
-                    f"common-path search exceeded {max_states} states "
-                    f"(class size {len(members)})"
+            remaining = max_length - steps_taken - 1
+            min_degree = min(offsets[v + 1] - offsets[v] for v in positions)
+            for port in range(min_degree):
+                next_nodes: List[int] = []
+                incoming_ports = set()
+                blocked = False
+                for i, v in enumerate(positions):
+                    dart = offsets[v] + port
+                    u = neighbors[dart]
+                    if u in visited[i] or distances[u] > remaining:
+                        # revisit, or provably unable to reach the leader
+                        # within the simple-path budget (distance lower
+                        # bound; never triggers for the leader itself)
+                        blocked = True
+                        break
+                    next_nodes.append(u)
+                    incoming_ports.add(reverse_ports[dart])
+                if blocked:
+                    continue
+                if complete and len(incoming_ports) != 1:
+                    continue
+                if complete:
+                    new_sequence = sequence + (port, next(iter(incoming_ports)))
+                else:
+                    new_sequence = sequence + (port,)
+                if all(u == leader for u in next_nodes):
+                    return new_sequence
+                if any(u == leader for u in next_nodes):
+                    # Some members reached the leader early: their simple path
+                    # can no longer end at the leader later: a dead branch.
+                    continue
+                new_positions = tuple(next_nodes)
+                new_visited = tuple(
+                    visited[i] | {next_nodes[i]} for i in range(k)
                 )
-            queue.append((new_positions, new_visited, new_sequence))
-    return None
+                key = (new_positions, new_visited)
+                if key in seen:
+                    continue
+                seen.add(key)
+                cells += k + k * (steps_taken + 2)
+                if len(seen) > max_states or cells > max_cells:
+                    stats["limit_hits"] += 1
+                    raise SearchLimitExceeded(
+                        f"common-path search exceeded its budget: "
+                        f"{len(seen)} states / {cells} cells "
+                        f"(limits {max_states} states / {max_cells} cells, "
+                        f"class size {k})"
+                    )
+                queue.append((new_positions, new_visited, new_sequence))
+        return None
+    finally:
+        stats["states"] += len(seen)
+        stats["cells"] += cells
 
 
 def path_election_assignment(
@@ -302,19 +350,28 @@ def path_election_assignment(
     complete: bool,
     refinement: Optional[ViewRefinement] = None,
     max_states: int = 200_000,
+    max_cells: Optional[int] = None,
 ) -> Optional[Tuple[int, Dict[int, Tuple[int, ...]]]]:
     """A (leader, per-node sequence) assignment realising PPE/CPPE at ``depth``, or ``None``."""
     refinement = refinement if refinement is not None else _default_refinement(graph)
     classes = refinement.classes(depth)
+    kernel = _default_kernel(graph)
     singleton_nodes = sorted(m[0] for m in classes.values() if len(m) == 1)
     for leader in singleton_nodes:
+        distances = kernel.distances_from(leader)
         sequences: Dict[int, Tuple[int, ...]] = {}
         feasible = True
         for members in classes.values():
             if members == [leader]:
                 continue
             sequence = _common_path_sequence(
-                graph, members, leader, complete=complete, max_states=max_states
+                graph,
+                members,
+                leader,
+                complete=complete,
+                max_states=max_states,
+                max_cells=max_cells,
+                distances=distances,
             )
             if sequence is None:
                 feasible = False
@@ -333,6 +390,7 @@ def _path_index(
     refinement: Optional[ViewRefinement],
     max_depth: Optional[int],
     max_states: int,
+    max_cells: Optional[int] = None,
 ) -> Optional[int]:
     refinement = refinement if refinement is not None else _default_refinement(graph)
     start = refinement.first_depth_with_unique_node(max_depth=max_depth)
@@ -342,7 +400,12 @@ def _path_index(
     depth = start
     while max_depth is None or depth <= max_depth:
         assignment = path_election_assignment(
-            graph, depth, complete=complete, refinement=refinement, max_states=max_states
+            graph,
+            depth,
+            complete=complete,
+            refinement=refinement,
+            max_states=max_states,
+            max_cells=max_cells,
         )
         if assignment is not None:
             return depth
@@ -358,6 +421,7 @@ def port_path_election_index(
     refinement: Optional[ViewRefinement] = None,
     max_depth: Optional[int] = None,
     max_states: int = 200_000,
+    max_cells: Optional[int] = None,
 ) -> Optional[int]:
     """ψ_PPE(G) (exact, bounded search)."""
     return _path_index(
@@ -366,6 +430,7 @@ def port_path_election_index(
         refinement=refinement,
         max_depth=max_depth,
         max_states=max_states,
+        max_cells=max_cells,
     )
 
 
@@ -375,6 +440,7 @@ def complete_port_path_election_index(
     refinement: Optional[ViewRefinement] = None,
     max_depth: Optional[int] = None,
     max_states: int = 200_000,
+    max_cells: Optional[int] = None,
 ) -> Optional[int]:
     """ψ_CPPE(G) (exact, bounded search)."""
     return _path_index(
@@ -383,6 +449,7 @@ def complete_port_path_election_index(
         refinement=refinement,
         max_depth=max_depth,
         max_states=max_states,
+        max_cells=max_cells,
     )
 
 

@@ -1,0 +1,147 @@
+"""Flat compressed-sparse-row (CSR) view of a port-labeled graph.
+
+A port-labeled graph stores, per node ``v`` of degree ``d``, the port table
+``(neighbour, neighbour_port)`` for ports ``0..d-1``.  Because ports are
+contiguous by the model's definition, the whole graph flattens into four int
+arrays with *darts* (directed edge slots) as the unit:
+
+* ``offsets[v] .. offsets[v+1]`` — the dart range of node ``v``;
+* ``neighbors[offsets[v] + p]`` — the node reached from ``v`` via port ``p``;
+* ``ports[i]`` — the outgoing port of dart ``i`` (i.e. ``i - offsets[v]``);
+* ``reverse_ports[offsets[v] + p]`` — the port number on the far side.
+
+Every hot loop of the kernel (refinement signatures, block-cut DFS, BFS,
+message routing) walks these arrays instead of tuples-of-tuples, which avoids
+one Python object dereference per edge visit.  The arrays use the standard
+:mod:`array` module so the kernel stays dependency-free; :func:`as_numpy`
+exposes them as ``numpy`` arrays when numpy happens to be installed (it is
+optional and never imported unless asked for).
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import deque
+from typing import Dict, Tuple
+
+__all__ = ["CSRGraph", "build_csr", "bfs_distances_csr", "as_numpy"]
+
+#: array typecode for all kernel int arrays (signed, at least 32 bits).
+INT_TYPECODE = "l"
+
+
+class CSRGraph:
+    """The flat-array encoding of one port-labeled graph.
+
+    Instances are immutable by convention (the arrays are never written after
+    construction) and are memoised per graph by
+    :meth:`repro.portgraph.graph.PortLabeledGraph.csr`.
+    """
+
+    __slots__ = ("num_nodes", "num_edges", "offsets", "neighbors", "reverse_ports", "_ports")
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_edges: int,
+        offsets: array,
+        neighbors: array,
+        reverse_ports: array,
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.num_edges = num_edges
+        self.offsets = offsets
+        self.neighbors = neighbors
+        self.reverse_ports = reverse_ports
+        self._ports = None  # built on first access; no hot path reads it
+
+    @property
+    def ports(self) -> array:
+        """Outgoing port of every dart: ``ports[offsets[v] + p] == p``.
+
+        Derivable from ``offsets`` alone, so it is materialised lazily — the
+        kernel's hot loops (refinement, block-cut DFS, BFS, message routing)
+        never read it; it exists for dart-indexed consumers such as
+        :func:`as_numpy`.
+        """
+        if self._ports is None:
+            ports = array(INT_TYPECODE, [0] * self.offsets[self.num_nodes])
+            for v in range(self.num_nodes):
+                for p in range(self.offsets[v], self.offsets[v + 1]):
+                    ports[p] = p - self.offsets[v]
+            self._ports = ports
+        return self._ports
+
+    # ------------------------------------------------------------------ #
+    def degree(self, v: int) -> int:
+        return self.offsets[v + 1] - self.offsets[v]
+
+    def endpoint(self, v: int, port: int) -> Tuple[int, int]:
+        """``(u, q)``: the neighbour via ``port`` at ``v`` and the port back."""
+        dart = self.offsets[v] + port
+        return self.neighbors[dart], self.reverse_ports[dart]
+
+    def neighbor(self, v: int, port: int) -> int:
+        return self.neighbors[self.offsets[v] + port]
+
+    def neighbor_slice(self, v: int) -> array:
+        """The port-ordered neighbours of ``v`` as an array slice."""
+        return self.neighbors[self.offsets[v] : self.offsets[v + 1]]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CSRGraph n={self.num_nodes} m={self.num_edges}>"
+
+
+def build_csr(graph) -> CSRGraph:
+    """Flatten a :class:`~repro.portgraph.graph.PortLabeledGraph` into CSR arrays."""
+    n = graph.num_nodes
+    offsets = array(INT_TYPECODE, [0] * (n + 1))
+    total = 0
+    for v in range(n):
+        offsets[v] = total
+        total += graph.degree(v)
+    offsets[n] = total
+    neighbors = array(INT_TYPECODE, [0] * total)
+    reverse_ports = array(INT_TYPECODE, [0] * total)
+    for v in range(n):
+        base = offsets[v]
+        for p, (u, q) in enumerate(graph.adjacency(v)):
+            neighbors[base + p] = u
+            reverse_ports[base + p] = q
+    return CSRGraph(n, total // 2, offsets, neighbors, reverse_ports)
+
+
+def bfs_distances_csr(csr: CSRGraph, source: int) -> array:
+    """Hop distances from ``source`` to every node (-1 if unreachable)."""
+    dist = array(INT_TYPECODE, [-1] * csr.num_nodes)
+    dist[source] = 0
+    offsets = csr.offsets
+    neighbors = csr.neighbors
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        next_dist = dist[v] + 1
+        for i in range(offsets[v], offsets[v + 1]):
+            u = neighbors[i]
+            if dist[u] < 0:
+                dist[u] = next_dist
+                queue.append(u)
+    return dist
+
+
+def as_numpy(csr: CSRGraph) -> Dict[str, "object"]:
+    """The CSR arrays as numpy arrays, if numpy is installed.
+
+    Raises ``RuntimeError`` when numpy is unavailable — the kernel itself
+    never needs it; this is a convenience for downstream numeric consumers.
+    """
+    try:
+        import numpy
+    except ImportError as error:  # pragma: no cover - depends on environment
+        raise RuntimeError("numpy is not installed; the kernel runs on the array module") from error
+    return {
+        "offsets": numpy.asarray(csr.offsets),
+        "neighbors": numpy.asarray(csr.neighbors),
+        "ports": numpy.asarray(csr.ports),
+        "reverse_ports": numpy.asarray(csr.reverse_ports),
+    }

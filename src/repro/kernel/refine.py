@@ -1,0 +1,381 @@
+"""Incremental worklist partition refinement on CSR arrays.
+
+The view-equivalence partitions of a port-labeled graph (depth-``h`` classes
+= equal truncated views ``B^h``) are computed by iterated signature
+refinement: the depth-``h`` class of ``v`` is determined by its depth-(h-1)
+class together with the port-ordered ``(incoming port, neighbour's class)``
+pairs.  The naive scheme re-signatures *every* node at *every* depth —
+O((n + m) · h) with a large constant, because each signature allocates a
+nested tuple.
+
+This engine is incremental in the style of Hopcroft / Paige–Tarjan.  Classes
+carry stable ids across depths; when a class splits, one fragment (the
+largest — the deterministic "retained" fragment) keeps the id and only the
+members of the *other* fragments enter the worklist.  A pass then
+re-signatures exactly the classes containing a worklist node or one of its
+CSR neighbours, skipping singletons (they can never split):
+
+* a class none of whose members or members' neighbours changed class cannot
+  split — restricted to that neighbourhood, the partition is literally the
+  same equivalence relation as one depth earlier;
+* a neighbour that stayed in the *retained* fragment of its old class kept
+  its class id, so signatures referencing it are unchanged — which is why
+  retained-fragment members may be excluded from the worklist (two
+  same-class neighbours both in retained fragments of one old class are
+  still in one class).
+
+On rapidly-discretising graphs every pass touches everything and the cost
+matches a full sweep minus the already-discrete regions; on slowly
+stabilising graphs (long quasi-symmetric cycles and paths) a pass touches
+only the O(Δ)-sized frontier where classes are still splitting, turning the
+O((n + m) · n) worst case into O(n + m + total churn).
+
+Colours are materialised per depth as raw id arrays (an O(n) C-level copy
+per pass) and canonicalised lazily — renumbered 0..c-1 by first appearance
+in node order — only for depths actually queried, which keeps the public
+colour lists byte-identical to the classic full-sweep implementation.
+Inverse indexes (``members_at``: class → node list, ``unique_at``) are also
+built lazily per depth and cached, so class/twin/uniqueness queries are
+O(1) / O(output) after a one-off O(n) build per queried depth.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+from .csr import INT_TYPECODE, CSRGraph
+
+__all__ = ["CSRPartitionRefinement"]
+
+
+class CSRPartitionRefinement:
+    """Lazy per-depth view-equivalence partitions of one CSR graph.
+
+    The partitions (and the canonical colour numberings exposed by
+    :meth:`colors_at`) are exactly those of the classic full-sweep
+    refinement; only the work per pass is reduced to the neighbourhood of the
+    previous pass's splits.
+    """
+
+    __slots__ = (
+        "_csr",
+        "_raw",
+        "_num_classes",
+        "_current_members",
+        "_class_size",
+        "_next_id",
+        "_changed",
+        "_stable_depth",
+        "_passes",
+        "_canonical",
+        "_members",
+        "_unique",
+    )
+
+    def __init__(self, csr: CSRGraph) -> None:
+        self._csr = csr
+        n = csr.num_nodes
+        offsets = csr.offsets
+        initial = array(INT_TYPECODE, [0] * n)
+        mapping: Dict[int, int] = {}
+        members: Dict[int, List[int]] = {}
+        for v in range(n):
+            degree = offsets[v + 1] - offsets[v]
+            color = mapping.get(degree)
+            if color is None:
+                color = len(mapping)
+                mapping[degree] = color
+                members[color] = []
+            initial[v] = color
+            members[color].append(v)
+        #: raw (stable-id) colour arrays per depth.
+        self._raw: List[array] = [initial]
+        self._num_classes: List[int] = [len(mapping)]
+        #: live class id -> member list.  Lists may contain *stale* entries
+        #: (nodes split off to a fresh id since): a node v is a live member
+        #: of d iff the latest raw colours say so.  Stale entries are
+        #: filtered on touch and compacted when they outnumber live ones.
+        self._current_members = members
+        #: live class id -> exact live member count.
+        self._class_size: Dict[int, int] = {d: len(group) for d, group in members.items()}
+        self._next_id = len(mapping)
+        #: worklist: members of non-retained fragments of the latest pass.
+        #: ``None`` means "everything" (before the first pass).
+        self._changed: Optional[List[int]] = None
+        self._stable_depth: Optional[int] = None
+        self._passes = 0
+        #: lazily-built per-depth views: canonical colours, class -> members,
+        #: unique-node lists.
+        self._canonical: Dict[int, array] = {}
+        self._members: Dict[int, List[List[int]]] = {}
+        self._unique: Dict[int, List[int]] = {}
+        if n == 1 or self._num_classes[0] == n:
+            self._stable_depth = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def csr(self) -> CSRGraph:
+        return self._csr
+
+    @property
+    def passes(self) -> int:
+        return self._passes
+
+    @property
+    def stable_depth(self) -> Optional[int]:
+        return self._stable_depth
+
+    @property
+    def computed_depth(self) -> int:
+        """Deepest depth whose partition has been materialised."""
+        return len(self._raw) - 1
+
+    @property
+    def class_counts(self) -> Tuple[int, ...]:
+        """Class counts of every materialised depth (0..computed_depth)."""
+        return tuple(self._num_classes)
+
+    # ------------------------------------------------------------------ #
+    def _signature(self, v: int, previous: array) -> tuple:
+        csr = self._csr
+        offsets = csr.offsets
+        neighbors = csr.neighbors
+        reverse_ports = csr.reverse_ports
+        return tuple(
+            (reverse_ports[i], previous[neighbors[i]])
+            for i in range(offsets[v], offsets[v + 1])
+        )
+
+    def _split_class(
+        self,
+        d: int,
+        parts: List[List[int]],
+        retained_index: int,
+        new_colors: array,
+        changed_next: List[int],
+    ) -> None:
+        """Give every fragment except ``parts[retained_index]`` a fresh id."""
+        current_members = self._current_members
+        class_size = self._class_size
+        for index, part in enumerate(parts):
+            if index == retained_index:
+                continue
+            fresh = self._next_id
+            self._next_id = fresh + 1
+            for v in part:
+                new_colors[v] = fresh
+            current_members[fresh] = part
+            class_size[fresh] = len(part)
+        retained = parts[retained_index]
+        current_members[d] = retained
+        class_size[d] = len(retained)
+        for index, part in enumerate(parts):
+            if index != retained_index:
+                changed_next.extend(part)
+
+    def _refine_once(self) -> None:
+        csr = self._csr
+        offsets = csr.offsets
+        neighbors = csr.neighbors
+        previous = self._raw[-1]
+        current_members = self._current_members
+        class_size = self._class_size
+        changed = self._changed
+        self._passes += 1
+
+        new_colors = array(INT_TYPECODE, previous)
+        changed_next: List[int] = []
+        splits = 0
+
+        if changed is None:
+            # First pass: every multi-member class is re-signatured in full.
+            for d in sorted(current_members):
+                group = current_members[d]
+                if len(group) <= 1:
+                    continue
+                fragments: Dict[tuple, List[int]] = {}
+                for v in group:
+                    signature = self._signature(v, previous)
+                    bucket = fragments.get(signature)
+                    if bucket is None:
+                        fragments[signature] = [v]
+                    else:
+                        bucket.append(v)
+                if len(fragments) > 1:
+                    parts = list(fragments.values())
+                    retained_index = max(range(len(parts)), key=lambda i: len(parts[i]))
+                    self._split_class(d, parts, retained_index, new_colors, changed_next)
+                    splits += len(parts) - 1
+        else:
+            # 1. collect the *touched* nodes (worklist nodes and their
+            #    neighbours), bucketed by their current class.  Only these
+            #    members can have a signature differing from their class's;
+            #    every untouched member of a touched class provably shares
+            #    one common signature, so it never needs re-signaturing.
+            touched = bytearray(csr.num_nodes)
+            touched_by_class: Dict[int, List[int]] = {}
+            for v in changed:
+                if not touched[v]:
+                    touched[v] = 1
+                    touched_by_class.setdefault(previous[v], []).append(v)
+                for i in range(offsets[v], offsets[v + 1]):
+                    u = neighbors[i]
+                    if not touched[u]:
+                        touched[u] = 1
+                        touched_by_class.setdefault(previous[u], []).append(u)
+
+            # 2. re-signature the touched members of each dirty class.
+            for d in sorted(touched_by_class):
+                if class_size[d] <= 1:
+                    continue
+                touched_members = touched_by_class[d]
+                untouched_count = class_size[d] - len(touched_members)
+                sig_groups: Dict[tuple, List[int]] = {}
+                for v in touched_members:
+                    signature = self._signature(v, previous)
+                    bucket = sig_groups.get(signature)
+                    if bucket is None:
+                        sig_groups[signature] = [v]
+                    else:
+                        bucket.append(v)
+
+                if untouched_count == 0:
+                    if len(sig_groups) == 1:
+                        continue
+                    parts = list(sig_groups.values())
+                    retained_index = max(range(len(parts)), key=lambda i: len(parts[i]))
+                    self._split_class(d, parts, retained_index, new_colors, changed_next)
+                    splits += len(parts) - 1
+                    continue
+
+                # Some members are untouched: they all share the signature of
+                # any untouched representative, so one O(Δ) probe stands in
+                # for all of them.
+                rep = None
+                for v in current_members[d]:
+                    if previous[v] == d and not touched[v]:
+                        rep = v
+                        break
+                rep_signature = self._signature(rep, previous)
+                rep_group = sig_groups.pop(rep_signature, None)
+                implicit_size = untouched_count + (len(rep_group) if rep_group else 0)
+                if not sig_groups:
+                    continue  # every touched member matched: no split
+                moved = list(sig_groups.values())
+                largest_moved = max(len(part) for part in moved)
+                if implicit_size >= largest_moved:
+                    # the untouched fragment is retained: it keeps id d and
+                    # is never materialised, so the pass stays O(touched)
+                    for part in moved:
+                        fresh = self._next_id
+                        self._next_id = fresh + 1
+                        for v in part:
+                            new_colors[v] = fresh
+                        current_members[fresh] = part
+                        class_size[fresh] = len(part)
+                        changed_next.extend(part)
+                    class_size[d] = implicit_size
+                    splits += len(moved)
+                else:
+                    # a touched fragment outgrew the untouched one; the class
+                    # is mostly churn anyway, so materialising it is within
+                    # the touched budget
+                    rep_set = set(rep_group) if rep_group else ()
+                    implicit = [
+                        v
+                        for v in current_members[d]
+                        if previous[v] == d and (not touched[v] or v in rep_set)
+                    ]
+                    parts = [implicit] + moved
+                    retained_index = 1 + max(
+                        range(len(moved)), key=lambda i: len(moved[i])
+                    )
+                    self._split_class(d, parts, retained_index, new_colors, changed_next)
+                    splits += len(parts) - 1
+
+        # compact member lists whose stale entries dominate
+        for d in set(previous[v] for v in changed_next) if changed_next else ():
+            group = current_members.get(d)
+            if group is not None and len(group) > 2 * max(1, class_size[d]):
+                current_members[d] = [v for v in group if new_colors[v] == d]
+
+        self._raw.append(new_colors)
+        self._num_classes.append(self._num_classes[-1] + splits)
+        self._changed = changed_next
+
+        if self._stable_depth is None and splits == 0:
+            # refinement only splits classes: a pass with no splits means the
+            # partition reached its fixpoint one depth earlier.
+            self._stable_depth = len(self._raw) - 2
+
+    # ------------------------------------------------------------------ #
+    def ensure_depth(self, depth: int) -> int:
+        """Materialise partitions up to ``depth`` (or the fixpoint).
+
+        Returns the *effective* depth at which to read: ``depth`` itself, or
+        the stable depth when that is smaller.
+        """
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        while len(self._raw) <= depth and self._stable_depth is None:
+            self._refine_once()
+        if self._stable_depth is not None and depth > self._stable_depth:
+            return self._stable_depth
+        return depth
+
+    def ensure_stable(self) -> int:
+        while self._stable_depth is None:
+            self._refine_once()
+        return self._stable_depth
+
+    # ------------------------------------------------------------------ #
+    # O(1) / O(output) queries (depth must already be effective)
+    # ------------------------------------------------------------------ #
+    def colors_at(self, effective: int) -> array:
+        """Canonical colours at a materialised depth (0..c-1 by first appearance).
+
+        Byte-identical to the lists the classic full-sweep implementation
+        produced, because first-appearance renumbering is a pure function of
+        the partition.  Built lazily and cached per depth.
+        """
+        cached = self._canonical.get(effective)
+        if cached is None:
+            raw = self._raw[effective]
+            mapping: Dict[int, int] = {}
+            mapping_get = mapping.get
+            cached = array(INT_TYPECODE, raw)
+            for v, r in enumerate(raw):
+                color = mapping_get(r)
+                if color is None:
+                    color = len(mapping)
+                    mapping[r] = color
+                cached[v] = color
+            self._canonical[effective] = cached
+        return cached
+
+    def num_classes_at(self, effective: int) -> int:
+        return self._num_classes[effective]
+
+    def members_at(self, effective: int) -> List[List[int]]:
+        """Canonical class → members (ascending node order), built lazily."""
+        cached = self._members.get(effective)
+        if cached is None:
+            cached = [[] for _ in range(self._num_classes[effective])]
+            for v, c in enumerate(self.colors_at(effective)):
+                cached[c].append(v)
+            self._members[effective] = cached
+        return cached
+
+    def unique_at(self, effective: int) -> List[int]:
+        """Nodes in singleton classes (ascending), built lazily per depth."""
+        cached = self._unique.get(effective)
+        if cached is None:
+            cached = sorted(
+                group[0] for group in self.members_at(effective) if len(group) == 1
+            )
+            self._unique[effective] = cached
+        return cached
+
+    def class_members(self, node: int, effective: int) -> List[int]:
+        return self.members_at(effective)[self.colors_at(effective)[node]]

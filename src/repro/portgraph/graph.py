@@ -22,11 +22,14 @@ __all__ = ["PortLabeledGraph"]
 
 Endpoint = Tuple[int, int]
 
-#: Number of port-aware colour-refinement rounds folded into a fingerprint.
-#: Three rounds already separate every pair of structurally different graphs
-#: appearing in the test suite and the benchmark sweeps; the (sorted) signature
-#: multiset of each round is invariant under node relabeling by construction.
-_FINGERPRINT_ROUNDS = 3
+#: Cap on the refinement depth (passes *and* per-class label-chain rounds)
+#: folded into :meth:`PortLabeledGraph.fingerprint`.  The digest normally
+#: stops one round past the refinement fixpoint; on adversarially
+#: slow-stabilising graphs (long quasi-symmetric cycles, where the fixpoint
+#: takes ~n/2 passes) the cap bounds both the time and the per-depth colour
+#: arrays the memoised engine retains, at the cost of the fingerprint seeing
+#: "only" 64 rounds -- still far beyond the old fixed 3.
+_FINGERPRINT_LABEL_ROUNDS = 64
 
 
 class PortLabeledGraph:
@@ -47,7 +50,16 @@ class PortLabeledGraph:
         graphs twice.
     """
 
-    __slots__ = ("_adj", "_num_edges", "_name", "_max_degree", "_fingerprint")
+    __slots__ = (
+        "_adj",
+        "_num_edges",
+        "_name",
+        "_max_degree",
+        "_fingerprint",
+        "_cache_key",
+        "_csr",
+        "_engine",
+    )
 
     def __init__(self, adjacency: Sequence, *, name: str = "", validate: bool = True) -> None:
         if validate:
@@ -65,6 +77,9 @@ class PortLabeledGraph:
         self._name = name
         self._max_degree = max((len(row) for row in self._adj), default=0)
         self._fingerprint: Optional[str] = None
+        self._cache_key: Optional[str] = None
+        self._csr = None
+        self._engine = None
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -152,6 +167,36 @@ class PortLabeledGraph:
                 if v < u:
                     yield v, p, u, q
 
+    def csr(self):
+        """The flat-array (CSR) view of the graph, built lazily and memoised.
+
+        Returns a :class:`repro.kernel.csr.CSRGraph`: four int arrays
+        (``offsets`` / ``neighbors`` / ``ports`` / ``reverse_ports``) that the
+        compute kernel (refinement, block-cut tree, BFS, message routing)
+        walks instead of the tuple-of-tuples port tables.  The view is
+        immutable and shared by every consumer of this graph instance.
+        """
+        if self._csr is None:
+            from ..kernel.csr import build_csr  # lazy: keeps graph construction import-light
+
+            self._csr = build_csr(self)
+        return self._csr
+
+    def refinement_engine(self):
+        """The graph's incremental partition-refinement engine, memoised.
+
+        Returns the :class:`repro.kernel.refine.CSRPartitionRefinement` shared
+        by every consumer of this instance: :meth:`fingerprint` (which refines
+        to the fixpoint), :class:`repro.views.refinement.ViewRefinement` (the
+        query facade) and the runner's cache, so the graph is refined at most
+        once per instance no matter who asks first.
+        """
+        if self._engine is None:
+            from ..kernel.refine import CSRPartitionRefinement  # lazy, as in csr()
+
+            self._engine = CSRPartitionRefinement(self.csr())
+        return self._engine
+
     # ------------------------------------------------------------------ #
     # structural helpers
     # ------------------------------------------------------------------ #
@@ -179,12 +224,24 @@ class PortLabeledGraph:
         port-aware colour-refinement signatures rather than anything indexed
         by handle.  It is sensitive to everything a handle-blind observer can
         see -- node/edge counts, degrees, and the port numbers on both sides
-        of every edge up to :data:`_FINGERPRINT_ROUNDS` refinement rounds --
-        which makes it the cache key used by
+        of every edge, refined *to the fixpoint* of port-aware colour
+        refinement -- which makes it the cache key used by
         :mod:`repro.runner.cache` to share :class:`~repro.views.refinement.ViewRefinement`
         instances across repeated sweeps.  (Graphs that colour refinement
         cannot tell apart share a fingerprint; consumers that need exact
         identity additionally compare adjacency, as the runner cache does.)
+
+        Refinement runs until the class-count sequence stabilises, capped at
+        :data:`_FINGERPRINT_LABEL_ROUNDS` rounds (the cap bounds both the
+        passes of the shared incremental engine and the per-class label
+        chain, so fingerprinting stays fast even on graphs whose fixpoint
+        takes ~n/2 passes); the digest folds in the materialised class-count
+        sequence plus the sorted multiset of ``(class label, class size)``
+        pairs one round *past* stabilisation (or at the cap).
+        An earlier scheme truncated at a fixed 3 refinement rounds, which
+        aliased structurally different graphs whose refinements only diverge
+        at depth >= 4 -- see ``tests/test_portgraph_fingerprint.py`` for an
+        explicit colliding pair and the regression test.
 
         The digest is stable across processes and Python versions: it is
         computed with BLAKE2b over an explicit byte encoding, never with the
@@ -198,8 +255,77 @@ class PortLabeledGraph:
                 hashlib.blake2b(payload.encode("ascii"), digest_size=8).digest(), "big"
             )
 
+        engine = self.refinement_engine()
+        # Refine to the fixpoint, but never past the round cap: the cap keeps
+        # fingerprinting O(cap · work-per-pass) in time and O(cap · n) in
+        # retained colour arrays even on graphs whose fixpoint takes ~n/2
+        # passes.  One round past stabilisation is folded in: the partition no
+        # longer splits there, but the label chain still deepens by one
+        # neighbourhood radius, which is what separates graphs whose
+        # *partitions* agree while their signature structures differ (the old
+        # 3-round aliasing families).
+        engine.ensure_depth(_FINGERPRINT_LABEL_ROUNDS)
+        stable = engine.stable_depth
+        final_depth = min(
+            engine.computed_depth,
+            _FINGERPRINT_LABEL_ROUNDS if stable is None else stable + 1,
+        )
+        csr = self.csr()
+        # Invariant label chain, one value per class per depth: the label of a
+        # class is the digest of its (port-ordered) signature over the labels
+        # of the previous depth, read off any representative member -- all
+        # members share that signature by definition of the partition.
+        labels: List[int] = [
+            len(self._adj[group[0]]) for group in engine.members_at(0)
+        ]
+        for depth in range(1, final_depth + 1):
+            previous_colors = engine.colors_at(depth - 1)
+            new_labels: List[int] = []
+            for group in engine.members_at(depth):
+                rep = group[0]
+                base = csr.offsets[rep]
+                signature = (
+                    labels[previous_colors[rep]],
+                    tuple(
+                        (csr.reverse_ports[i], labels[previous_colors[csr.neighbors[i]]])
+                        for i in range(base, csr.offsets[rep + 1])
+                    ),
+                )
+                new_labels.append(_digest(repr(signature)))
+            labels = new_labels
+        final_members = engine.members_at(final_depth)
+        summary = (
+            self.num_nodes,
+            self.num_edges,
+            tuple(sorted(self.degree_histogram().items())),
+            engine.class_counts,
+            tuple(sorted((labels[c], len(final_members[c])) for c in range(len(labels)))),
+        )
+        self._fingerprint = hashlib.sha256(repr(summary).encode("ascii")).hexdigest()
+        return self._fingerprint
+
+    def cache_key(self) -> str:
+        """A fast, relabeling-invariant *bucket* key (hex digest).
+
+        Three port-aware colour-refinement hash rounds over the adjacency --
+        O(n + m), no partition engine involved.  Unlike :meth:`fingerprint`
+        it may alias structurally different graphs whose refinements only
+        diverge at depth >= 4; that is fine for its one consumer, the
+        runner's :class:`~repro.runner.cache.RefinementCache`, which resolves
+        every bucket by exact labeled-graph equality anyway.  Keeping the
+        bucket key shallow means a warm cache lookup costs O(n + m), not a
+        refinement to the fixpoint.
+        """
+        if self._cache_key is not None:
+            return self._cache_key
+
+        def _digest(payload: str) -> int:
+            return int.from_bytes(
+                hashlib.blake2b(payload.encode("ascii"), digest_size=8).digest(), "big"
+            )
+
         colors: List[int] = [len(row) for row in self._adj]
-        for _ in range(_FINGERPRINT_ROUNDS):
+        for _ in range(3):
             colors = [
                 _digest(repr((colors[v], tuple((q, colors[u]) for u, q in row))))
                 for v, row in enumerate(self._adj)
@@ -210,8 +336,8 @@ class PortLabeledGraph:
             tuple(sorted(self.degree_histogram().items())),
             tuple(sorted(colors)),
         )
-        self._fingerprint = hashlib.sha256(repr(summary).encode("ascii")).hexdigest()
-        return self._fingerprint
+        self._cache_key = hashlib.sha256(repr(summary).encode("ascii")).hexdigest()
+        return self._cache_key
 
     def degree_histogram(self) -> Dict[int, int]:
         """Mapping ``degree -> number of nodes of that degree``."""

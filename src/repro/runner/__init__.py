@@ -17,7 +17,13 @@ See the "runner" section of ``DESIGN.md`` for the data flow and the
 ``bench`` subcommand of :mod:`repro.cli` for the command-line entry point.
 """
 
-from .cache import CacheEntry, RefinementCache, refinement_cache, shared_refinement
+from .cache import (
+    CacheEntry,
+    RefinementCache,
+    refinement_cache,
+    shared_kernel,
+    shared_refinement,
+)
 from .results import ResultTable
 from .runner import ExperimentRunner, RunReport, evaluate_graph_spec, run_sweep
 from .spec import GraphSpec, SweepSpec, graph_kinds
@@ -27,6 +33,7 @@ __all__ = [
     "RefinementCache",
     "refinement_cache",
     "shared_refinement",
+    "shared_kernel",
     "GraphSpec",
     "SweepSpec",
     "graph_kinds",

@@ -7,16 +7,18 @@ on the graph.  Before this cache existed, each benchmark script and each
 ``all_election_indices`` call rebuilt the refinement from scratch, so a sweep
 that touches the same graph from five angles paid for five refinements.
 
-:class:`RefinementCache` is a small LRU keyed on the *canonical fingerprint*
-of the graph (:meth:`repro.portgraph.graph.PortLabeledGraph.fingerprint`).
-Because the fingerprint is relabeling-invariant it may collide for graphs
-with different node handles (deliberately: isomorphic copies, or in rare
-cases refinement-equivalent non-isomorphic graphs), and a refinement's colour
-lists are indexed by handle -- so each fingerprint maps to a *bucket* of
-``(graph, refinement)`` pairs compared by exact labeled equality.  A hit
-therefore always returns a refinement that is correct for the exact graph
-asked about, while the fingerprint keeps lookups O(1) in the number of
-distinct graphs seen.
+:class:`RefinementCache` is a small LRU keyed on the *shallow bucket key* of
+the graph (:meth:`repro.portgraph.graph.PortLabeledGraph.cache_key` -- three
+O(n + m) hash rounds, deliberately cheaper than the fixpoint-precise
+:meth:`~repro.portgraph.graph.PortLabeledGraph.fingerprint`, so a warm
+lookup never refines).  Because the key is relabeling-invariant and shallow
+it may collide for graphs with different node handles (isomorphic copies, or
+structurally different graphs whose refinements only diverge deep), and a
+refinement's colour lists are indexed by handle -- so each key maps to a
+*bucket* of ``(graph, refinement)`` pairs compared by exact labeled
+equality.  A hit therefore always returns a refinement that is correct for
+the exact graph asked about, while the key keeps lookups O(1) in the number
+of distinct graphs seen.
 
 The module-level singleton :data:`refinement_cache` is what the rest of the
 library uses: :func:`shared_refinement` is the default source of refinements
@@ -37,30 +39,44 @@ import threading
 from collections import OrderedDict
 from typing import Dict, List, Tuple
 
+from ..kernel import GraphKernel
 from ..portgraph.graph import PortLabeledGraph
 from ..views.refinement import ViewRefinement
 
-__all__ = ["CacheEntry", "RefinementCache", "refinement_cache", "shared_refinement"]
+__all__ = [
+    "CacheEntry",
+    "RefinementCache",
+    "refinement_cache",
+    "shared_refinement",
+    "shared_kernel",
+]
 
-#: Default number of distinct fingerprints kept by the process-wide cache.
+#: Default number of distinct bucket keys kept by the process-wide cache.
 DEFAULT_MAXSIZE = 128
 
 
 class CacheEntry:
-    """One cached graph: its refinement plus a memo of derived query results.
+    """One cached graph: its refinement and kernel plus a memo of derived results.
 
     ``memo`` maps hashable query keys -- e.g. ``("psi", "PPE", max_depth,
     max_states)`` or ``("feasible",)`` -- to previously computed answers.
     Every answer memoised here is a pure function of the graph (and of the
     key's own parameters), so replaying a sweep can skip not only the
     refinement passes but also the expensive PPE/CPPE joint searches.
+
+    ``kernel`` is the graph's :class:`~repro.kernel.GraphKernel`: the lazily
+    built CSR view, block-cut tree and per-source BFS distance arrays.  It is
+    cached alongside the refinement so a warm sweep skips block-cut-tree
+    construction (ψ_PE) and distance precomputation (ψ_PPE/ψ_CPPE pruning)
+    exactly as it skips refinement passes.
     """
 
-    __slots__ = ("graph", "refinement", "memo")
+    __slots__ = ("graph", "refinement", "kernel", "memo")
 
     def __init__(self, graph: PortLabeledGraph, refinement: ViewRefinement) -> None:
         self.graph = graph
         self.refinement = refinement
+        self.kernel = GraphKernel(graph)
         self.memo: Dict[Tuple, object] = {}
 
 
@@ -68,7 +84,7 @@ class RefinementCache:
     """An LRU cache of :class:`ViewRefinement` objects, one per exact graph.
 
     ``maxsize`` bounds the total number of *entries* (exact graphs), not
-    fingerprints: a bucket of relabeled copies of one graph is evicted
+    bucket keys: a bucket of relabeled copies of one graph is evicted
     entry-by-entry like everything else.
 
     The LRU bookkeeping and the counters are guarded by a lock, so lookups
@@ -84,7 +100,7 @@ class RefinementCache:
         if maxsize < 1:
             raise ValueError("maxsize must be at least 1")
         self._maxsize = maxsize
-        # fingerprint -> list of entries; the bucket resolves fingerprint
+        # bucket key -> list of entries; the bucket resolves key
         # collisions by exact labeled-graph equality.
         self._buckets: "OrderedDict[str, List[CacheEntry]]" = OrderedDict()
         self._num_entries = 0
@@ -105,7 +121,7 @@ class RefinementCache:
 
     def entry(self, graph: PortLabeledGraph) -> CacheEntry:
         """The cache entry of ``graph`` (created on first request)."""
-        key = graph.fingerprint()
+        key = graph.cache_key()
         with self._lock:
             bucket = self._buckets.get(key)
             if bucket is not None:
@@ -196,3 +212,12 @@ refinement_cache = RefinementCache()
 def shared_refinement(graph: PortLabeledGraph) -> ViewRefinement:
     """The process-wide memoised :class:`ViewRefinement` of ``graph``."""
     return refinement_cache.get(graph)
+
+
+def shared_kernel(graph: PortLabeledGraph) -> GraphKernel:
+    """The process-wide memoised :class:`~repro.kernel.GraphKernel` of ``graph``.
+
+    Lives on the same cache entry as the refinement, so one lookup warms both
+    and eviction drops both together.
+    """
+    return refinement_cache.entry(graph).kernel

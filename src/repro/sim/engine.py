@@ -1,10 +1,13 @@
 """Synchronous execution engine for the LOCAL model.
 
 The engine owns the only piece of global knowledge -- the graph -- and uses
-it exclusively to route messages between ports.  Node algorithms are
-instantiated per node and only ever learn their degree, the advice string and
-the messages arriving on their ports, which keeps the simulation faithful to
-the anonymous model.
+it exclusively to route messages between ports.  Routing runs on the graph's
+flat CSR view (:meth:`~repro.portgraph.graph.PortLabeledGraph.csr`): one
+preallocated inbox slot per directed edge side, stamped per round, instead of
+a dict-of-dicts rebuilt every round.  Node algorithms are instantiated per
+node and only ever learn their degree, the advice string and the messages
+arriving on their ports, which keeps the simulation faithful to the
+anonymous model.
 """
 
 from __future__ import annotations
@@ -89,21 +92,42 @@ def run_synchronous(
     total_rounds = _resolve_rounds(rounds, algorithms)
     trace = ExecutionTrace(advice_bits=0 if advice is None else len(advice))
 
+    # Message routing runs on the graph's CSR view: one preallocated flat
+    # inbox slot per dart (directed edge side), stamped with the round number
+    # instead of being cleared, so a round allocates no per-node containers
+    # beyond the per-port dict each algorithm's `receive` contract requires.
+    csr = graph.csr()
+    offsets = csr.offsets
+    neighbors = csr.neighbors
+    reverse_ports = csr.reverse_ports
+    num_darts = offsets[csr.num_nodes]
+    inbox_flat: list = [None] * num_darts
+    inbox_stamp = [0] * num_darts
+
     for round_number in range(1, total_rounds + 1):
         outboxes: Dict[int, Dict[int, Any]] = {
             v: algorithms[v].messages_to_send(round_number) for v in graph.nodes()
         }
-        inboxes: Dict[int, Dict[int, Any]] = {v: {} for v in graph.nodes()}
         message_count = 0
         for v, outbox in outboxes.items():
+            base = offsets[v]
+            degree = offsets[v + 1] - base
             for port, payload in outbox.items():
-                if port < 0 or port >= graph.degree(v):
+                if port < 0 or port >= degree:
                     raise RuntimeError(f"node {v} tried to send on missing port {port}")
-                u, incoming_port = graph.endpoint(v, port)
-                inboxes[u][incoming_port] = payload
+                dart = base + port
+                target_dart = offsets[neighbors[dart]] + reverse_ports[dart]
+                inbox_flat[target_dart] = payload
+                inbox_stamp[target_dart] = round_number
                 message_count += 1
         for v in graph.nodes():
-            algorithms[v].receive(round_number, inboxes[v])
+            base = offsets[v]
+            messages = {
+                port: inbox_flat[base + port]
+                for port in range(offsets[v + 1] - base)
+                if inbox_stamp[base + port] == round_number
+            }
+            algorithms[v].receive(round_number, messages)
         trace.record_round(round_number, message_count)
 
     outputs = {v: algorithms[v].output() for v in graph.nodes()}

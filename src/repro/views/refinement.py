@@ -15,6 +15,17 @@ fixpoint after at most ``n - 1`` refinements; classes of the fixpoint are
 exactly the classes of equality of *infinite* views, which is what
 feasibility of leader election depends on.
 
+Since the kernel refactor the refinement itself runs on the graph's CSR view
+(:mod:`repro.kernel.refine`): passes are *incremental* — after the first
+sweep only nodes adjacent to classes that split are re-signatured — and the
+engine maintains inverse indexes (class → members, per-depth unique-node
+lists), so :meth:`ViewRefinement.class_of`, :meth:`ViewRefinement.unique_nodes`,
+:meth:`ViewRefinement.twin_of` and
+:meth:`ViewRefinement.first_depth_with_unique_node` are O(1)/O(output)
+lookups instead of O(n) scans per call.  The partitions (and even the
+canonical colour numbers) are identical to the classic full-sweep
+refinement's.
+
 The :class:`ViewRefinement` object computes depths lazily and caches them, so
 a single instance can serve feasibility checks, ψ_S / ψ_PE computation and
 all the "does this node have a twin?" queries of the lower-bound lemmas.
@@ -22,8 +33,9 @@ all the "does this node have a twin?" queries of the lower-bound lemmas.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
+from ..kernel.refine import CSRPartitionRefinement
 from ..portgraph.graph import PortLabeledGraph
 
 __all__ = ["ViewRefinement", "refine_views"]
@@ -34,13 +46,10 @@ class ViewRefinement:
 
     def __init__(self, graph: PortLabeledGraph) -> None:
         self._graph = graph
-        initial = [graph.degree(v) for v in graph.nodes()]
-        self._colors: List[List[int]] = [self._canonicalise(initial)]
-        self._num_classes: List[int] = [len(set(self._colors[0]))]
-        self._stable_depth: Optional[int] = None
-        self._passes = 0
-        if graph.num_nodes == 1 or self._num_classes[0] == graph.num_nodes:
-            self._stable_depth = 0
+        # the engine is memoised on the graph instance, so the fingerprint
+        # (which refines to the fixpoint) and every ViewRefinement of the
+        # same instance share one set of partitions
+        self._engine: CSRPartitionRefinement = graph.refinement_engine()
 
     # ------------------------------------------------------------------ #
     @property
@@ -50,75 +59,33 @@ class ViewRefinement:
     @property
     def stable_depth(self) -> Optional[int]:
         """Smallest depth whose partition equals the infinite-view partition (if computed)."""
-        return self._stable_depth
+        return self._engine.stable_depth
 
     @property
     def passes(self) -> int:
         """Number of refinement passes performed so far.
 
-        Each pass is one O(n + m) sweep deepening the partition by one level.
-        The counter only ever grows while new depths are being computed, so
-        the runner's :class:`~repro.runner.cache.RefinementCache` uses it to
+        Each pass deepens the partition by one level (incrementally: only the
+        neighbourhood of the previous pass's splits is re-signatured).  The
+        counter only ever grows while new depths are being computed, so the
+        runner's :class:`~repro.runner.cache.RefinementCache` uses it to
         certify that a repeated sweep re-used cached partitions instead of
         refining again.
         """
-        return self._passes
+        return self._engine.passes
 
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _canonicalise(colors: Sequence[int]) -> List[int]:
-        """Renumber colours to 0..c-1 in order of first appearance."""
-        mapping: Dict[int, int] = {}
-        out: List[int] = []
-        for c in colors:
-            if c not in mapping:
-                mapping[c] = len(mapping)
-            out.append(mapping[c])
-        return out
-
-    def _refine_once(self) -> None:
-        graph = self._graph
-        self._passes += 1
-        previous = self._colors[-1]
-        signatures: Dict[Tuple, int] = {}
-        new_colors: List[int] = []
-        for v in graph.nodes():
-            signature = (
-                previous[v],
-                tuple((q, previous[u]) for u, q in graph.adjacency(v)),
-            )
-            color = signatures.get(signature)
-            if color is None:
-                color = len(signatures)
-                signatures[signature] = color
-            new_colors.append(color)
-        self._colors.append(new_colors)
-        self._num_classes.append(len(signatures))
-        depth = len(self._colors) - 1
-        if self._stable_depth is None and self._num_classes[depth] == self._num_classes[depth - 1]:
-            # Refinement only splits classes, so equal class counts mean the
-            # partition is unchanged and has reached its fixpoint.
-            self._stable_depth = depth - 1
-
     def _ensure_depth(self, depth: int) -> int:
         """Compute colours up to ``depth`` (or to the fixpoint, whichever is first).
 
         Returns the effective depth at which to read colours: ``depth`` itself
         or the stable depth if that is smaller.
         """
-        if depth < 0:
-            raise ValueError("depth must be non-negative")
-        while len(self._colors) <= depth and self._stable_depth is None:
-            self._refine_once()
-        if self._stable_depth is not None and depth > self._stable_depth:
-            return self._stable_depth
-        return depth
+        return self._engine.ensure_depth(depth)
 
     def ensure_stable(self) -> int:
         """Refine to the fixpoint and return the stable depth."""
-        while self._stable_depth is None:
-            self._refine_once()
-        return self._stable_depth
+        return self._engine.ensure_stable()
 
     # ------------------------------------------------------------------ #
     # queries
@@ -126,54 +93,52 @@ class ViewRefinement:
     def colors(self, depth: int) -> List[int]:
         """Colour of every node at ``depth`` (same colour <=> equal ``B^depth``)."""
         effective = self._ensure_depth(depth)
-        return list(self._colors[effective])
+        return list(self._engine.colors_at(effective))
 
     def color(self, node: int, depth: int) -> int:
         effective = self._ensure_depth(depth)
-        return self._colors[effective][node]
+        return self._engine.colors_at(effective)[node]
 
     def num_classes(self, depth: int) -> int:
         """Number of distinct ``B^depth`` values among the nodes."""
         effective = self._ensure_depth(depth)
-        return self._num_classes[effective]
+        return self._engine.num_classes_at(effective)
 
     def classes(self, depth: int) -> Dict[int, List[int]]:
         """Mapping colour -> list of nodes with that colour at ``depth``."""
         effective = self._ensure_depth(depth)
-        out: Dict[int, List[int]] = {}
-        for v, c in enumerate(self._colors[effective]):
-            out.setdefault(c, []).append(v)
-        return out
+        members = self._engine.members_at(effective)
+        return {c: list(group) for c, group in enumerate(members)}
 
     def class_of(self, node: int, depth: int) -> List[int]:
         """All nodes whose ``B^depth`` equals that of ``node`` (including ``node``)."""
         effective = self._ensure_depth(depth)
-        target = self._colors[effective][node]
-        return [v for v, c in enumerate(self._colors[effective]) if c == target]
+        return list(self._engine.class_members(node, effective))
 
     def views_equal(self, u: int, v: int, depth: int) -> bool:
         """Whether ``B^depth(u) = B^depth(v)``."""
         effective = self._ensure_depth(depth)
-        return self._colors[effective][u] == self._colors[effective][v]
+        colors = self._engine.colors_at(effective)
+        return colors[u] == colors[v]
 
     def has_unique_view(self, node: int, depth: int) -> bool:
         """Whether no other node shares ``node``'s ``B^depth``."""
-        return len(self.class_of(node, depth)) == 1
+        effective = self._ensure_depth(depth)
+        return len(self._engine.class_members(node, effective)) == 1
 
     def unique_nodes(self, depth: int) -> List[int]:
         """Nodes whose ``B^depth`` is unique in the graph."""
         effective = self._ensure_depth(depth)
-        counts: Dict[int, int] = {}
-        for c in self._colors[effective]:
-            counts[c] = counts.get(c, 0) + 1
-        return [v for v, c in enumerate(self._colors[effective]) if counts[c] == 1]
+        return list(self._engine.unique_at(effective))
 
     def twin_of(self, node: int, depth: int) -> Optional[int]:
         """Some other node with the same ``B^depth`` as ``node``, or ``None``."""
-        for v in self.class_of(node, depth):
-            if v != node:
-                return v
-        return None
+        effective = self._ensure_depth(depth)
+        group = self._engine.class_members(node, effective)
+        if len(group) == 1:
+            return None
+        first = group[0]
+        return group[1] if first == node else first
 
     def is_discrete(self) -> bool:
         """Whether the fixpoint partition is discrete (all infinite views distinct)."""
@@ -188,9 +153,10 @@ class ViewRefinement:
         depth = 0
         while True:
             effective = self._ensure_depth(depth)
-            if self.unique_nodes(effective):
+            if self._engine.unique_at(effective):
                 return depth
-            if self._stable_depth is not None and depth >= self._stable_depth:
+            stable = self._engine.stable_depth
+            if stable is not None and depth >= stable:
                 return None
             if max_depth is not None and depth >= max_depth:
                 return None
@@ -202,7 +168,8 @@ class ViewRefinement:
         while True:
             if not self.views_equal(u, v, depth):
                 return depth
-            if self._stable_depth is not None and depth >= self._stable_depth:
+            stable = self._engine.stable_depth
+            if stable is not None and depth >= stable:
                 return None
             depth += 1
 

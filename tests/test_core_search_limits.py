@@ -8,6 +8,8 @@ from repro.core import (
     SearchLimitExceeded,
     complete_port_path_election_index,
     port_path_election_index,
+    reset_search_statistics,
+    search_statistics,
 )
 from repro.core.election_index import _common_path_sequence
 from repro.portgraph import generators
@@ -48,3 +50,54 @@ class TestCommonPathSearch:
             port_path_election_index(graph, max_states=2)
         with pytest.raises(SearchLimitExceeded):
             complete_port_path_election_index(graph, max_states=2)
+
+
+class TestMemoryAccounting:
+    def test_cell_budget_caps_the_real_footprint(self):
+        # each stored state costs k positions plus k growing visited sets, so
+        # a generous *state* budget can still be stopped by the *cell* budget
+        graph = generators.path_graph(12)
+        with pytest.raises(SearchLimitExceeded):
+            _common_path_sequence(
+                graph, [11], 0, complete=False, max_states=10_000, max_cells=12
+            )
+        # with the footprint cap lifted the same search completes
+        assert (
+            _common_path_sequence(
+                graph, [11], 0, complete=False, max_states=10_000
+            )
+            is not None
+        )
+
+    def test_limit_message_reports_states_cells_and_class_size(self):
+        graph = generators.asymmetric_cycle(9)
+        with pytest.raises(SearchLimitExceeded) as excinfo:
+            _common_path_sequence(graph, [3, 4], 0, complete=False, max_states=2)
+        message = str(excinfo.value)
+        assert "states" in message
+        assert "cells" in message
+        assert "class size 2" in message
+
+    def test_max_cells_threads_through_the_index_functions(self):
+        graph = generators.asymmetric_cycle(9)
+        with pytest.raises(SearchLimitExceeded):
+            port_path_election_index(graph, max_states=10_000, max_cells=8)
+        with pytest.raises(SearchLimitExceeded):
+            complete_port_path_election_index(graph, max_states=10_000, max_cells=8)
+
+    def test_search_statistics_count_states_and_cells(self):
+        reset_search_statistics()
+        graph = generators.star_graph(4)
+        assert _common_path_sequence(graph, [1, 2, 3, 4], 0, complete=False) == (0,)
+        stats = search_statistics()
+        assert stats["searches"] == 1
+        assert stats["states"] >= 1
+        assert stats["cells"] >= 8  # the start state alone holds 2 * 4 cells
+        assert stats["limit_hits"] == 0
+        reset_search_statistics()
+        assert search_statistics() == {
+            "searches": 0,
+            "states": 0,
+            "cells": 0,
+            "limit_hits": 0,
+        }

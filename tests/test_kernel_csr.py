@@ -1,0 +1,135 @@
+"""Unit tests for the flat-array kernel: CSR views and block-cut-tree queries."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import BlockCutTree, GraphKernel, bfs_distances_csr, build_csr
+from repro.portgraph import generators
+from repro.portgraph.paths import bfs_distances, reachable_without
+
+graph_strategy = st.builds(
+    generators.random_connected_graph,
+    st.integers(min_value=2, max_value=14),
+    st.integers(min_value=0, max_value=10),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+class TestCSRGraph:
+    def test_csr_is_memoised_on_the_graph(self):
+        graph = generators.path_graph(5)
+        assert graph.csr() is graph.csr()
+
+    @given(graph=graph_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_csr_matches_the_port_table(self, graph):
+        csr = graph.csr()
+        assert csr.num_nodes == graph.num_nodes
+        assert csr.num_edges == graph.num_edges
+        assert len(csr.neighbors) == len(csr.ports) == len(csr.reverse_ports)
+        assert csr.offsets[csr.num_nodes] == 2 * csr.num_edges
+        for v in graph.nodes():
+            assert csr.degree(v) == graph.degree(v)
+            assert list(csr.neighbor_slice(v)) == list(graph.neighbors(v))
+            for p in graph.ports(v):
+                assert csr.endpoint(v, p) == graph.endpoint(v, p)
+                assert csr.neighbor(v, p) == graph.neighbor(v, p)
+                assert csr.ports[csr.offsets[v] + p] == p
+
+    @given(graph=graph_strategy, source=st.integers(min_value=0, max_value=13))
+    @settings(max_examples=30, deadline=None)
+    def test_bfs_distances_match_the_reference(self, graph, source):
+        source %= graph.num_nodes
+        assert list(bfs_distances_csr(graph.csr(), source)) == bfs_distances(graph, source)
+
+    def test_build_csr_standalone(self):
+        graph = generators.star_graph(3)
+        csr = build_csr(graph)
+        assert csr.endpoint(0, 1) == (2, 0)
+
+
+class TestBlockCutTree:
+    @staticmethod
+    def _brute_articulation_points(graph):
+        points = set()
+        for v in graph.nodes():
+            others = [w for w in graph.nodes() if w != v]
+            if not others:
+                continue
+            reach = reachable_without(graph, others[0], v)
+            if not all(reach[w] for w in others):
+                points.add(v)
+        return points
+
+    @given(graph=graph_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_articulation_points_match_brute_force(self, graph):
+        tree = BlockCutTree(graph.csr())
+        assert tree.articulation_points() == self._brute_articulation_points(graph)
+
+    @given(graph=graph_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_removed_node_connectivity_matches_brute_force(self, graph):
+        tree = BlockCutTree(graph.csr())
+        for removed in graph.nodes():
+            for a in graph.nodes():
+                if a == removed:
+                    continue
+                reach = reachable_without(graph, a, removed)
+                for b in graph.nodes():
+                    if b in (removed, a):
+                        continue
+                    assert tree.same_component_without(a, b, removed) == reach[b]
+
+    @given(graph=graph_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_starts_simple_path_matches_the_paths_module(self, graph):
+        from repro.portgraph.paths import is_first_port_of_simple_path
+
+        tree = BlockCutTree(graph.csr())
+        nodes = list(graph.nodes())
+        for v in nodes[:6]:
+            for target in nodes[:6]:
+                for port in graph.ports(v):
+                    assert tree.starts_simple_path(v, port, target) == (
+                        is_first_port_of_simple_path(graph, v, port, target)
+                    )
+
+    def test_blocks_of_a_tree_are_its_edges(self):
+        graph = generators.path_graph(5)
+        tree = BlockCutTree(graph.csr())
+        blocks = sorted(tree.biconnected_components())
+        assert blocks == [(0, 1), (1, 2), (2, 3), (3, 4)]
+        assert tree.articulation_points() == {1, 2, 3}
+
+    def test_cycle_is_one_block(self):
+        graph = generators.cycle_graph(6)
+        tree = BlockCutTree(graph.csr())
+        assert tree.biconnected_components() == [tuple(range(6))]
+        assert tree.articulation_points() == set()
+
+    def test_component_key_rejects_the_removed_node(self):
+        graph = generators.path_graph(3)
+        tree = BlockCutTree(graph.csr())
+        with pytest.raises(ValueError):
+            tree.component_key(1, 1)
+
+
+class TestGraphKernel:
+    def test_kernel_memoises_blockcut_and_distances(self):
+        graph = generators.random_connected_graph(9, extra_edges=3, seed=1)
+        kernel = GraphKernel(graph)
+        assert kernel.csr is graph.csr()
+        assert kernel.block_cut_tree() is kernel.block_cut_tree()
+        assert kernel.distances_from(2) is kernel.distances_from(2)
+        assert list(kernel.distances_from(2)) == bfs_distances(graph, 2)
+
+    def test_shared_kernel_lives_on_the_cache_entry(self):
+        from repro.runner import refinement_cache, shared_kernel
+
+        graph = generators.asymmetric_cycle(7)
+        kernel = shared_kernel(graph)
+        assert shared_kernel(graph) is kernel
+        assert refinement_cache.entry(graph).kernel is kernel
