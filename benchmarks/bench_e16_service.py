@@ -1,0 +1,226 @@
+"""E16 — the serving subsystem: store warm-start speedup and service latency.
+
+Not a table of the paper: the performance record of PR 3's durable layer.
+Two measurements, written to ``BENCH_PR3.json``:
+
+* **Cold vs store-warm sweep.**  An E2/E6/E13-style mixed sweep is run once
+  against an empty artifact store (cold: refines, searches, writes through)
+  and once from a cleared in-memory cache against the now-populated store
+  (store-warm: every record read from disk).  The warm run must perform
+  zero refinement passes — the same contract ``ci_gate.py`` enforces with a
+  genuinely cold child process.
+* **Service latency under concurrent clients.**  An in-process
+  :class:`~repro.service.ElectionServer` on an ephemeral port is hammered by
+  concurrent threads cycling through a few distinct payloads; per-request
+  wall times give p50/p99, and the /stats counters record coalescing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_e16_service.py [BENCH_PR3.json]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import shutil
+import statistics
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+from repro.core import Task, reset_search_statistics
+from repro.portgraph import generators
+from repro.portgraph.io import graph_to_dict
+from repro.runner import ExperimentRunner, GraphSpec, SweepSpec, refinement_cache
+from repro.service import ElectionServer, ElectionService
+from repro.store import ArtifactStore
+
+#: The E2/E6/E13-style mixed sweep (families + generators + joint searches).
+E16_SWEEP = SweepSpec.make(
+    [
+        GraphSpec.make("gdk", delta=4, k=1, index=1),
+        GraphSpec.make("gdk", delta=4, k=1, index=2),
+        GraphSpec.make("gdk", delta=4, k=1, index=3),
+        GraphSpec.make("asymmetric-cycle", n=7),
+        GraphSpec.make("asymmetric-cycle", n=9),
+        GraphSpec.make("star", leaves=4),
+        GraphSpec.make("random", n=9, extra_edges=4, seed=2),
+        GraphSpec.make("random", n=10, extra_edges=5, seed=3),
+    ],
+    tasks=Task.ordered(),
+    profile_depths=(1,),
+)
+
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 25
+
+
+def _run_sweep(store_dir: str) -> dict:
+    before = refinement_cache.stats()
+    report = ExperimentRunner(store_path=store_dir).run(E16_SWEEP)
+    after = report.cache_stats
+    return {
+        "wall_time_s": round(report.elapsed, 6),
+        "refinement_passes": after["refinement_passes"] - before["refinement_passes"],
+        "store_hits": after["store_hits"] - before["store_hits"],
+        "store_misses": after["store_misses"] - before["store_misses"],
+        "table_json": report.table.to_json(),
+    }
+
+
+def run_store_warm_sweep(store_dir: str) -> dict:
+    refinement_cache.clear()
+    reset_search_statistics()
+    cold = _run_sweep(store_dir)
+    refinement_cache.clear()  # a new process, as far as the in-memory cache knows
+    warm = _run_sweep(store_dir)
+    result = {
+        "sweep_graphs": [spec.label for spec in E16_SWEEP.graphs],
+        "cold": {k: v for k, v in cold.items() if k != "table_json"},
+        "store_warm": {k: v for k, v in warm.items() if k != "table_json"},
+        "tables_identical": cold["table_json"] == warm["table_json"],
+        "speedup": round(cold["wall_time_s"] / max(warm["wall_time_s"], 1e-9), 2),
+    }
+    assert warm["refinement_passes"] == 0, "store-warm sweep must not refine"
+    assert result["tables_identical"], "store-warm table must be byte-identical"
+    return result
+
+
+def run_service_latency(store_dir: str) -> dict:
+    refinement_cache.clear()
+    service = ElectionService(store=ArtifactStore(store_dir), workers=4)
+    server = ElectionServer(service, port=0)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def _drive() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=_drive, daemon=True)
+    thread.start()
+    if not started.wait(10):
+        raise RuntimeError("service failed to start")
+    base = f"http://127.0.0.1:{server.port}"
+    payloads = [
+        json.dumps({"spec": spec.to_dict()}).encode("utf-8")
+        for spec in E16_SWEEP.graphs[:4]
+    ] + [
+        json.dumps({"graph": graph_to_dict(generators.asymmetric_cycle(8))}).encode("utf-8")
+    ]
+    latencies: list = []
+    latencies_lock = threading.Lock()
+    errors: list = []
+
+    def client(worker: int) -> None:
+        for i in range(REQUESTS_PER_CLIENT):
+            body = payloads[(worker + i) % len(payloads)]
+            request = urllib.request.Request(
+                f"{base}/election", data=body, headers={"Content-Type": "application/json"}
+            )
+            begin = time.perf_counter()
+            try:
+                with urllib.request.urlopen(request, timeout=30) as response:
+                    response.read()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+                return
+            elapsed = time.perf_counter() - begin
+            with latencies_lock:
+                latencies.append(elapsed)
+
+    workers = [threading.Thread(target=client, args=(w,)) for w in range(CLIENTS)]
+    begin = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    total = time.perf_counter() - begin
+    with urllib.request.urlopen(f"{base}/stats") as response:
+        stats = json.loads(response.read())
+
+    async def _shutdown() -> None:
+        await server.close()
+        await asyncio.sleep(0.05)
+
+    asyncio.run_coroutine_threadsafe(_shutdown(), loop).result(10)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(10)
+    if errors:
+        raise RuntimeError(f"{len(errors)} client requests failed: {errors[0]}")
+    ordered = sorted(latencies)
+    return {
+        "clients": CLIENTS,
+        "requests": len(latencies),
+        "total_wall_s": round(total, 6),
+        "requests_per_s": round(len(latencies) / total, 1),
+        "p50_ms": round(1000 * statistics.median(ordered), 3),
+        "p99_ms": round(1000 * ordered[max(0, int(len(ordered) * 0.99) - 1)], 3),
+        "max_ms": round(1000 * ordered[-1], 3),
+        "coalesced": stats["service"]["coalesced"],
+        "computed": stats["service"]["computed"],
+    }
+
+
+def bench_serving_subsystem(table_printer, tmp_path):
+    """E16 under the pytest harness: one pass of both measurements."""
+    store_dir = str(tmp_path / "store")
+    try:
+        sweep = run_store_warm_sweep(store_dir)
+        service = run_service_latency(store_dir)
+    finally:
+        refinement_cache.attach_store(None)
+        refinement_cache.clear()
+    table_printer(
+        "E16: store warm-start (cold vs warm sweep)",
+        ["graphs", "cold s", "warm s", "speedup", "warm refinement passes (expected 0)"],
+        [[
+            len(E16_SWEEP.graphs),
+            sweep["cold"]["wall_time_s"],
+            sweep["store_warm"]["wall_time_s"],
+            sweep["speedup"],
+            sweep["store_warm"]["refinement_passes"],
+        ]],
+    )
+    table_printer(
+        "E16: service latency under concurrent clients",
+        ["clients", "requests", "p50 ms", "p99 ms", "coalesced"],
+        [[
+            service["clients"],
+            service["requests"],
+            service["p50_ms"],
+            service["p99_ms"],
+            service["coalesced"],
+        ]],
+    )
+    assert sweep["store_warm"]["refinement_passes"] == 0
+    assert sweep["tables_identical"]
+    assert service["requests"] == CLIENTS * REQUESTS_PER_CLIENT
+
+
+def main(argv) -> int:
+    output_path = argv[1] if len(argv) > 1 else "BENCH_PR3.json"
+    store_dir = tempfile.mkdtemp(prefix="repro-e16-store-")
+    try:
+        payload = {
+            "sweep": run_store_warm_sweep(store_dir),
+            "service": run_service_latency(store_dir),
+        }
+    finally:
+        refinement_cache.attach_store(None)
+        refinement_cache.clear()
+        shutil.rmtree(store_dir, ignore_errors=True)
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

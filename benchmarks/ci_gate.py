@@ -1,4 +1,4 @@
-"""CI micro-benchmark gate: certify that warm sweep replays do zero fresh work.
+"""CI micro-benchmark gate: certify that warm replays do zero fresh work.
 
 Runs a small fixed sweep twice through the experiment runner and writes
 ``BENCH_PR2.json`` (cold/warm wall-time, refinement passes, joint-search
@@ -6,6 +6,12 @@ states).  The gate **fails** (exit code 1) if the warm replay performed any
 refinement passes — the contract of the kernel-object cache: replaying a
 sweep must be served entirely from memoised partitions, block-cut trees and
 ψ memos.  Byte-identical tables across the two runs are asserted as well.
+
+Since PR 3 the gate also certifies the *persistent* layer: the parent
+flushes its cache into a throwaway artifact store and spawns a genuinely
+cold child process (``--replay``) pointed at it.  The child must answer the
+same sweep with **zero refinement passes and zero fresh search states**,
+served entirely from store records, and produce a byte-identical table.
 
 Usage (as in ``.github/workflows/ci.yml``)::
 
@@ -15,11 +21,21 @@ Usage (as in ``.github/workflows/ci.yml``)::
 from __future__ import annotations
 
 import json
+import os
+import shutil
+import subprocess
 import sys
+import tempfile
 import time
 
 from repro.core import Task, reset_search_statistics, search_statistics
-from repro.runner import ExperimentRunner, GraphSpec, SweepSpec, refinement_cache
+from repro.runner import (
+    ExperimentRunner,
+    GraphSpec,
+    SweepSpec,
+    attach_store_path,
+    refinement_cache,
+)
 
 #: The fixed gate sweep: one graph per hot path — a G_{Δ,k} member for the
 #: refinement and block-cut paths, small mixed graphs for the PPE/CPPE joint
@@ -56,18 +72,72 @@ def _measure(runner: ExperimentRunner):
     }
 
 
+def _replay(store_dir: str) -> int:
+    """Child entry point: replay the gate sweep in a cold process, store-backed."""
+    refinement_cache.clear()
+    reset_search_statistics()
+    report, metrics = _measure(ExperimentRunner(store_path=store_dir))
+    print(
+        json.dumps(
+            {
+                "metrics": metrics,
+                "store_hits": report.cache_stats["store_hits"],
+                "store_misses": report.cache_stats["store_misses"],
+                "table_json": report.table.to_json(),
+            }
+        )
+    )
+    return 0
+
+
+def _store_warm_replay() -> dict:
+    """Flush the warm cache to a throwaway store and replay it in a cold child."""
+    store_dir = tempfile.mkdtemp(prefix="repro-gate-store-")
+    try:
+        attach_store_path(store_dir)
+        flushed = refinement_cache.flush_to_store()
+        child = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), "--replay", store_dir],
+            capture_output=True,
+            text=True,
+            cwd=os.getcwd(),
+            timeout=600,
+        )
+        if child.returncode != 0:
+            raise RuntimeError(
+                f"store-warm replay child failed (exit {child.returncode}):\n{child.stderr}"
+            )
+        replay = json.loads(child.stdout)
+        replay["records_flushed"] = flushed
+        return replay
+    finally:
+        refinement_cache.attach_store(None)
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+
 def main(argv) -> int:
+    if len(argv) > 2 and argv[1] == "--replay":
+        return _replay(argv[2])
     output_path = argv[1] if len(argv) > 1 else "BENCH_PR2.json"
     refinement_cache.clear()
     reset_search_statistics()
     runner = ExperimentRunner()
     cold_report, cold = _measure(runner)
     warm_report, warm = _measure(runner)
+    store_warm = _store_warm_replay()
     payload = {
         "sweep_graphs": [spec.label for spec in GATE_SWEEP.graphs],
         "cold": cold,
         "warm": warm,
+        "store_warm": {
+            "records_flushed": store_warm["records_flushed"],
+            "store_hits": store_warm["store_hits"],
+            "store_misses": store_warm["store_misses"],
+            **store_warm["metrics"],
+        },
         "tables_identical": cold_report.table.to_json() == warm_report.table.to_json(),
+        "store_warm_table_identical": cold_report.table.to_json()
+        == store_warm["table_json"],
     }
     with open(output_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -87,6 +157,24 @@ def main(argv) -> int:
         failures.append("cold and warm tables differ")
     if cold["refinement_passes"] == 0:
         failures.append("cold run performed no refinement passes: the gate measured nothing")
+    store_warm_out = payload["store_warm"]
+    if store_warm_out["refinement_passes"] != 0:
+        failures.append(
+            f"store-warm cold process performed {store_warm_out['refinement_passes']} "
+            f"refinement passes (expected 0: every graph must warm-start from the store)"
+        )
+    if store_warm_out["search_states"] != 0:
+        failures.append(
+            f"store-warm cold process stored {store_warm_out['search_states']} "
+            f"fresh search states (expected 0)"
+        )
+    if store_warm_out["store_hits"] != len(GATE_SWEEP.graphs):
+        failures.append(
+            f"store-warm cold process hit the store {store_warm_out['store_hits']} times "
+            f"(expected {len(GATE_SWEEP.graphs)})"
+        )
+    if not payload["store_warm_table_identical"]:
+        failures.append("store-warm table differs from the cold table")
     for failure in failures:
         print(f"ci_gate: FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -10,7 +10,11 @@ The package implements, in pure Python:
   the paper's upper-bound algorithm and the universal map-based solvers),
 * the three lower-bound graph families G_{Δ,k}, U_{Δ,k}, J_{µ,k},
 * analysis utilities used by the benchmark harness that regenerates every
-  quantitative claim of the paper.
+  quantitative claim of the paper,
+* a persistent content-addressed artifact store (``repro.store``) and an
+  async JSON/HTTP query service (``repro.service``, the ``serve`` CLI
+  subcommand) so computed refinements, indices and advice outlive the
+  process and serve concurrent clients.
 
 See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-vs-measured record.

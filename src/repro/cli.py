@@ -17,12 +17,20 @@ Print the counting facts for a parameter triple::
     repro-leader-election counts --delta 5 --k 2 --mu 2
 
 Run a batched experiment sweep through the experiment runner (shared
-refinement cache, optional multiprocessing fan-out, deterministic tables)::
+refinement cache, optional multiprocessing fan-out, deterministic tables,
+optional persistent artifact store)::
 
     repro-leader-election bench --generator asymmetric-cycle --sizes 5,6,7,8
     repro-leader-election bench --graph gdk:delta=4,k=1,index=2 --graph star:leaves=5 \
         --tasks S,PE --workers 4 --format csv --output results.csv
     repro-leader-election bench --spec sweep.json --repeat 2 --cache-stats
+    repro-leader-election bench --generator complete --sizes 5,6,7 --store artifacts/
+
+Serve the election pipeline over HTTP (asyncio, request coalescing, warm
+starts from the artifact store)::
+
+    repro-leader-election serve --port 8765 --store artifacts/
+    curl -s localhost:8765/stats
 """
 
 from __future__ import annotations
@@ -44,22 +52,18 @@ from .families import (
     jmuk_border_count,
     udk_tree_count,
 )
+from .runner.spec import sized_graph_kinds
+
 __all__ = ["main", "build_parser"]
 
-#: Generators offered by the ``indices`` subcommand (a subset of the runner's
-#: graph-kind registry, which is the single source of builders).
-_INDICES_GENERATORS = (
-    "asymmetric-cycle",
-    "complete",
-    "cycle",
-    "path",
-    "random",
-    "rotational-complete",
-    "star",
-)
+#: kind -> size parameter name, for every generator parameterised by one
+#: size.  Derived from the runner's graph-kind registry (the single source
+#: of builders), so the ``indices`` subcommand and ``--generator`` sweeps
+#: automatically offer every registered one-parameter generator.
+_SIZE_PARAM = sized_graph_kinds()
 
-#: Parameter name a bare "size" maps to, per generator kind (default: ``n``).
-_SIZE_PARAM = {"star": "leaves", "hypercube": "dimension"}
+#: Generators offered by the ``indices`` subcommand and ``--generator``.
+_INDICES_GENERATORS = tuple(sorted(_SIZE_PARAM))
 
 
 def _generator_spec(name: str, size: int):
@@ -130,6 +134,34 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--format", choices=["text", "json", "csv"], default="text")
     bench.add_argument("--output", default="-", help="write the table here ('-' = stdout)")
     bench.add_argument("--cache-stats", action="store_true", help="print refinement-cache stats to stderr")
+    bench.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persistent artifact store: warm-start from DIR and write results through",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve feasibility / ψ_Z indices / advice over HTTP (asyncio)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persistent artifact store backing the service (created if missing)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="bounded compute worker pool size"
+    )
+    serve.add_argument(
+        "--max-states",
+        type=int,
+        default=200_000,
+        help="default PPE/CPPE search budget for queries that do not set one",
+    )
 
     return parser
 
@@ -236,7 +268,9 @@ def _command_bench(args: argparse.Namespace) -> int:
         print("bench: --repeat must be at least 1", file=sys.stderr)
         return 2
     try:
-        runner = ExperimentRunner(workers=args.workers, chunk_size=args.chunk_size)
+        runner = ExperimentRunner(
+            workers=args.workers, chunk_size=args.chunk_size, store_path=args.store
+        )
     except ValueError as error:
         print(f"bench: {error}", file=sys.stderr)
         return 2
@@ -253,11 +287,17 @@ def _command_bench(args: argparse.Namespace) -> int:
         if args.cache_stats:
             after = report.cache_stats
             fresh_passes = after["refinement_passes"] - before["refinement_passes"]
+            store_note = ""
+            if report.store_stats is not None:
+                store_note = (
+                    f", store records={report.store_stats['records']} "
+                    f"hits={after['store_hits']}"
+                )
             print(
                 f"[run {run_number}/{args.repeat}] {len(sweep.graphs)} graphs in "
                 f"{report.elapsed:.3f}s, workers={report.workers}, "
                 f"cache hits={after['hits']} misses={after['misses']} "
-                f"new refinement passes={fresh_passes}",
+                f"new refinement passes={fresh_passes}{store_note}",
                 file=sys.stderr,
             )
     rendered = report.table.render(args.format)
@@ -266,6 +306,25 @@ def _command_bench(args: argparse.Namespace) -> int:
     else:
         with open(args.output, "w", encoding="utf-8", newline="") as handle:
             handle.write(rendered)
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service import run_server
+
+    try:
+        run_server(
+            host=args.host,
+            port=args.port,
+            store_path=args.store,
+            workers=args.workers,
+            max_states=args.max_states,
+        )
+    except ValueError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -288,6 +347,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_counts(args)
     if args.command == "bench":
         return _command_bench(args)
+    if args.command == "serve":
+        return _command_serve(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

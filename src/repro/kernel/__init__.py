@@ -74,3 +74,17 @@ class GraphKernel:
             cached = bfs_distances_csr(self.csr, source)
             self._distances[source] = cached
         return cached
+
+    def estimated_bytes(self) -> int:
+        """Rough retained footprint of the kernel objects (bytes).
+
+        The CSR arrays are counted exactly; the block-cut tree is charged at
+        a flat per-node rate (its arrays and maps are all O(n)).  Feeds the
+        runner cache's eviction accounting.
+        """
+        total = self.graph.csr().nbytes()
+        if self._blockcut is not None:
+            total += 48 * self.graph.num_nodes
+        for distances in self._distances.values():
+            total += len(distances) * distances.itemsize
+        return total

@@ -72,6 +72,15 @@ class CSRGraph:
             self._ports = ports
         return self._ports
 
+    def nbytes(self) -> int:
+        """Exact footprint of the materialised arrays (bytes)."""
+        total = 0
+        for arr in (self.offsets, self.neighbors, self.reverse_ports):
+            total += len(arr) * arr.itemsize
+        if self._ports is not None:
+            total += len(self._ports) * self._ports.itemsize
+        return total
+
     # ------------------------------------------------------------------ #
     def degree(self, v: int) -> int:
         return self.offsets[v + 1] - self.offsets[v]

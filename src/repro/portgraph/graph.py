@@ -197,6 +197,53 @@ class PortLabeledGraph:
             self._engine = CSRPartitionRefinement(self.csr())
         return self._engine
 
+    def adopt_fingerprint(self, fingerprint: str) -> None:
+        """Install a precomputed :meth:`fingerprint` value without refining.
+
+        Used by the artifact store when restoring a graph whose fingerprint
+        is already certified by its content address: seeding it here means a
+        cold process never pays the refine-to-fixpoint cost just to *name*
+        a graph it is about to warm-start anyway.  Refuses to overwrite a
+        fingerprint that was already computed (or adopted) differently.
+        """
+        if self._fingerprint is not None and self._fingerprint != fingerprint:
+            raise ValueError("adopted fingerprint contradicts the computed one")
+        self._fingerprint = fingerprint
+
+    def adopt_csr(self, csr) -> bool:
+        """Install a prebuilt CSR view instead of deriving one lazily.
+
+        Used by the artifact store when decoding a record that carries the
+        flat arrays; a no-op (returning ``False``) if this instance already
+        built its own view.  The caller guarantees the arrays describe this
+        exact adjacency -- for store records the content address does.
+        """
+        if self._csr is not None:
+            return False
+        self._csr = csr
+        return True
+
+    def adopt_refinement_tables(self, tables: Sequence[Sequence[int]], stable_depth: int) -> bool:
+        """Install precomputed view-refinement partitions without refining.
+
+        ``tables`` are the canonical per-depth colour tables (depth 0 up to
+        at least ``stable_depth``) exactly as
+        :meth:`repro.views.refinement.ViewRefinement.colors` would return
+        them; ``stable_depth`` is the refinement fixpoint.  On success the
+        graph's memoised :meth:`refinement_engine` serves every depth query
+        from the installed tables with **zero refinement passes**, which is
+        how a store-warm process replays sweeps without refining.
+
+        Returns ``False`` (and installs nothing) if this instance already
+        built its engine -- the live engine's state is at least as deep.
+        """
+        if self._engine is not None:
+            return False
+        from ..kernel.refine import CSRPartitionRefinement  # lazy, as in csr()
+
+        self._engine = CSRPartitionRefinement.from_stored(self.csr(), tables, stable_depth)
+        return True
+
     # ------------------------------------------------------------------ #
     # structural helpers
     # ------------------------------------------------------------------ #

@@ -25,8 +25,15 @@ from .cache import (
     shared_refinement,
 )
 from .results import ResultTable
-from .runner import ExperimentRunner, RunReport, evaluate_graph_spec, run_sweep
-from .spec import GraphSpec, SweepSpec, graph_kinds
+from .runner import (
+    ExperimentRunner,
+    RunReport,
+    attach_store_path,
+    evaluate_graph,
+    evaluate_graph_spec,
+    run_sweep,
+)
+from .spec import GraphSpec, SweepSpec, graph_kinds, sized_graph_kinds
 
 __all__ = [
     "CacheEntry",
@@ -37,9 +44,12 @@ __all__ = [
     "GraphSpec",
     "SweepSpec",
     "graph_kinds",
+    "sized_graph_kinds",
     "ResultTable",
     "ExperimentRunner",
     "RunReport",
+    "attach_store_path",
+    "evaluate_graph",
     "evaluate_graph_spec",
     "run_sweep",
 ]

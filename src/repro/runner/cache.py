@@ -31,16 +31,28 @@ Counters (hits, misses, evictions, and the total number of refinement
 :meth:`RefinementCache.stats`; a repeated sweep over the same spec must not
 increase ``refinement_passes``, which is how the tests and the ``bench``
 CLI certify cache reuse.
+
+Since the store subsystem (PR 3) the cache can additionally be backed by a
+persistent :class:`~repro.store.store.ArtifactStore`
+(:meth:`RefinementCache.attach_store`): a miss then *reads through* the
+store -- looked up by the same shallow key, resolved by exact graph
+equality, and warm-started via the record's stored partitions so not a
+single refinement pass is paid -- and computed entries are *written
+through* with :meth:`RefinementCache.persist` /
+:meth:`RefinementCache.flush_to_store`.  That is how a cold process (a CI
+run, a fresh benchmark, a service worker) inherits every refinement and
+ψ_Z search any previous process performed.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..kernel import GraphKernel
 from ..portgraph.graph import PortLabeledGraph
+from ..store import ArtifactRecord, ArtifactStore
 from ..views.refinement import ViewRefinement
 
 __all__ = [
@@ -79,6 +91,21 @@ class CacheEntry:
         self.kernel = GraphKernel(graph)
         self.memo: Dict[Tuple, object] = {}
 
+    def estimated_bytes(self) -> int:
+        """Rough retained footprint of this entry (bytes).
+
+        Sums the refinement engine's per-depth state, the kernel objects
+        (CSR arrays, block-cut tree, BFS distance arrays) and a flat charge
+        per memo entry.  Evicting the entry releases all of it together --
+        the engine and CSR view are memoised on the graph instance, whose
+        only long-lived reference is this entry.
+        """
+        return (
+            self.graph.refinement_engine().estimated_bytes()
+            + self.kernel.estimated_bytes()
+            + 64 * len(self.memo)
+        )
+
 
 class RefinementCache:
     """An LRU cache of :class:`ViewRefinement` objects, one per exact graph.
@@ -109,6 +136,10 @@ class RefinementCache:
         self._misses = 0
         self._evictions = 0
         self._evicted_passes = 0
+        self._evicted_bytes = 0
+        self._store: Optional[ArtifactStore] = None
+        self._store_hits = 0
+        self._store_misses = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -120,7 +151,17 @@ class RefinementCache:
             return self._num_entries
 
     def entry(self, graph: PortLabeledGraph) -> CacheEntry:
-        """The cache entry of ``graph`` (created on first request)."""
+        """The cache entry of ``graph`` (created on first request).
+
+        With a store attached, an in-memory miss first *reads through* the
+        store: a record of an exactly equal graph warm-starts the entry
+        (partitions installed, fingerprint seeded, ψ/feasibility memo
+        pre-filled) so the cold process performs zero refinement passes.
+        The store lookup happens under the cache lock -- it is a small read
+        of a content-addressed file, and serialising it also means
+        concurrent threads asking for the same graph trigger one disk read,
+        not several.
+        """
         key = graph.cache_key()
         with self._lock:
             bucket = self._buckets.get(key)
@@ -131,14 +172,28 @@ class RefinementCache:
                         self._hits += 1
                         return stored
             self._misses += 1
+            memo_seed = None
+            if self._store is not None:
+                record = self._store.load_for_graph(graph)
+                if record is not None:
+                    record.adopt_onto(graph)
+                    memo_seed = record.memo_entries()
+                    self._store_hits += 1
+                else:
+                    self._store_misses += 1
             entry = CacheEntry(graph, ViewRefinement(graph))
+            if memo_seed:
+                entry.memo.update(memo_seed)
             if bucket is None:
                 self._buckets[key] = [entry]
             else:
                 bucket.append(entry)
             self._num_entries += 1
             while self._num_entries > self._maxsize:
-                # evict the oldest entry of the least-recently-used bucket
+                # evict the oldest entry of the least-recently-used bucket;
+                # the entry's kernel objects (CSR, block-cut tree, BFS
+                # distance arrays) go with it, and their footprint is
+                # accounted in evicted_bytes
                 oldest_key = next(iter(self._buckets))
                 oldest_bucket = self._buckets[oldest_key]
                 evicted = oldest_bucket.pop(0)
@@ -147,6 +202,7 @@ class RefinementCache:
                 self._num_entries -= 1
                 self._evictions += 1
                 self._evicted_passes += evicted.refinement.passes
+                self._evicted_bytes += evicted.estimated_bytes()
             return entry
 
     def get(self, graph: PortLabeledGraph) -> ViewRefinement:
@@ -154,7 +210,7 @@ class RefinementCache:
         return self.entry(graph).refinement
 
     def clear(self) -> None:
-        """Drop all entries and reset the counters."""
+        """Drop all entries and reset the counters (the store stays attached)."""
         with self._lock:
             self._buckets.clear()
             self._num_entries = 0
@@ -162,6 +218,67 @@ class RefinementCache:
             self._misses = 0
             self._evictions = 0
             self._evicted_passes = 0
+            self._evicted_bytes = 0
+            self._store_hits = 0
+            self._store_misses = 0
+
+    # ------------------------------------------------------------------ #
+    # persistent store backend
+    # ------------------------------------------------------------------ #
+    @property
+    def store(self) -> Optional[ArtifactStore]:
+        """The attached persistent artifact store, if any."""
+        return self._store
+
+    def attach_store(self, store: Optional[ArtifactStore]) -> None:
+        """Back this cache with a persistent store (``None`` detaches).
+
+        Attaching only affects *future* lookups; existing entries stay
+        in memory and can be persisted with :meth:`flush_to_store`.
+        """
+        with self._lock:
+            self._store = store
+
+    def persist(self, graph: PortLabeledGraph, *, include_advice: bool = True) -> bool:
+        """Write-through the entry of ``graph`` to the attached store.
+
+        Ensures the entry exists (computing it if needed), snapshots it into
+        an :class:`~repro.store.record.ArtifactRecord` -- refined to the
+        fixpoint, with every memoised ψ/feasibility outcome -- merges it
+        with any record already stored for the fingerprint, and puts the
+        result.  Returns whether bytes were written (``False`` both when no
+        store is attached and when the stored record was already
+        up to date).
+        """
+        store = self._store
+        if store is None:
+            return False
+        entry = self.entry(graph)
+        record = ArtifactRecord.from_computed(
+            entry.graph, memo=entry.memo, include_advice=include_advice
+        )
+        existing = store.get_bytes(record.fingerprint)
+        if existing is not None:
+            try:
+                record = record.merged_with(ArtifactRecord.from_bytes(existing))
+            except ValueError:
+                # corrupt incumbent (put replaces it) or a different labeling
+                # behind the same relabeling-invariant fingerprint (put
+                # refuses the conflict; this labeling stays in-memory only)
+                pass
+        return store.put(record)
+
+    def flush_to_store(self) -> int:
+        """Persist every live entry; returns how many records were written."""
+        if self._store is None:
+            return 0
+        with self._lock:
+            entries = [entry for bucket in self._buckets.values() for entry in bucket]
+        written = 0
+        for entry in entries:
+            if self.persist(entry.graph):
+                written += 1
+        return written
 
     # ------------------------------------------------------------------ #
     @property
@@ -193,6 +310,30 @@ class RefinementCache:
             )
             return live + self._evicted_passes
 
+    @property
+    def evicted_bytes(self) -> int:
+        """Estimated bytes released by evictions (refinements *and* kernels)."""
+        return self._evicted_bytes
+
+    @property
+    def store_hits(self) -> int:
+        """In-memory misses that were served by the attached store."""
+        return self._store_hits
+
+    @property
+    def store_misses(self) -> int:
+        """In-memory misses the attached store could not serve either."""
+        return self._store_misses
+
+    def live_bytes(self) -> int:
+        """Estimated retained footprint of all live entries (bytes)."""
+        with self._lock:
+            return sum(
+                entry.estimated_bytes()
+                for bucket in self._buckets.values()
+                for entry in bucket
+            )
+
     def stats(self) -> Dict[str, int]:
         """A snapshot of all counters (suitable for printing or diffing)."""
         return {
@@ -202,6 +343,10 @@ class RefinementCache:
             "currsize": len(self),
             "maxsize": self.maxsize,
             "refinement_passes": self.refinement_passes,
+            "evicted_bytes": self.evicted_bytes,
+            "live_bytes": self.live_bytes(),
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
         }
 
 

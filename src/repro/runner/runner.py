@@ -18,6 +18,7 @@ serial runs of the same spec produce byte-identical tables.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
@@ -28,29 +29,55 @@ from .cache import refinement_cache
 from .results import ResultTable
 from .spec import GraphSpec, SweepSpec
 
-__all__ = ["ExperimentRunner", "RunReport", "evaluate_graph_spec", "run_sweep"]
+__all__ = [
+    "ExperimentRunner",
+    "RunReport",
+    "attach_store_path",
+    "evaluate_graph",
+    "evaluate_graph_spec",
+    "run_sweep",
+]
 
 
-def evaluate_graph_spec(spec: GraphSpec, sweep: SweepSpec) -> Dict[str, Any]:
-    """Evaluate one graph of a sweep into a flat result record.
+def attach_store_path(store_path: str) -> None:
+    """Back the process-wide refinement cache with the store at ``store_path``.
 
-    Builds the graph, fetches its entry from the process-wide refinement
-    cache, and answers every requested query against that one refinement.
-    Feasibility and the ψ_Z values (keyed by their search parameters) are
-    memoised on the entry, so replaying a sweep skips the PPE/CPPE joint
-    searches as well as the refinement passes.  A PPE or CPPE search that
-    exceeds ``sweep.max_states`` records ``None`` for the index and lists the
-    task under ``search_limited`` instead of aborting the whole sweep.
+    Idempotent per path; a different path replaces the attached store.  Also
+    used as the ``multiprocessing`` pool initializer so every worker process
+    reads and writes through the same on-disk store -- which is what lets
+    the fan-out ship fingerprint-addressed *results* between processes
+    instead of recomputing them in each.
     """
-    graph = spec.build()
+    from ..store import ArtifactStore  # lazy: keep the serial path import-light
+
+    current = refinement_cache.store
+    resolved = os.path.abspath(store_path)
+    if current is None or current.root != resolved:
+        refinement_cache.attach_store(ArtifactStore(resolved))
+
+
+def evaluate_graph(graph, sweep: SweepSpec, *, label: Optional[str] = None) -> Dict[str, Any]:
+    """Evaluate one built graph into a flat result record.
+
+    Fetches the graph's entry from the process-wide refinement cache and
+    answers every requested query against that one refinement.  Feasibility
+    and the ψ_Z values (keyed by their search parameters) are memoised on
+    the entry, so replaying a sweep skips the PPE/CPPE joint searches as
+    well as the refinement passes; with a store attached the entry itself
+    may arrive warm from disk, and the computed outcome is written through
+    at the end.  A PPE or CPPE search that exceeds ``sweep.max_states``
+    records ``None`` for the index and lists the task under
+    ``search_limited`` instead of aborting the whole sweep.
+    """
     entry = refinement_cache.entry(graph)
     refinement = entry.refinement
+    memo_size_before = len(entry.memo)
     feasible = entry.memo.get(("feasible",))
     if feasible is None:
         feasible = is_feasible(graph, refinement=refinement)
         entry.memo[("feasible",)] = feasible
     record: Dict[str, Any] = {
-        "graph": spec.label,
+        "graph": graph.name if label is None else label,
         "n": graph.num_nodes,
         "m": graph.num_edges,
         "max_degree": graph.max_degree,
@@ -81,7 +108,17 @@ def evaluate_graph_spec(spec: GraphSpec, sweep: SweepSpec) -> Dict[str, Any]:
         record[f"unique_at_{depth}"] = len(refinement.unique_nodes(depth))
     if sweep.tasks or sweep.profile_depths:
         record["search_limited"] = ",".join(limited)
+    if refinement_cache.store is not None and len(entry.memo) > memo_size_before:
+        # write through only when this evaluation computed something new --
+        # a fully warm replay (every answer memoised, possibly straight from
+        # the store) skips the record re-encode and disk compare entirely
+        refinement_cache.persist(graph)
     return record
+
+
+def evaluate_graph_spec(spec: GraphSpec, sweep: SweepSpec) -> Dict[str, Any]:
+    """Evaluate one graph of a sweep into a flat result record (see :func:`evaluate_graph`)."""
+    return evaluate_graph(spec.build(), sweep, label=spec.label)
 
 
 def _evaluate_indexed(job: Tuple[int, GraphSpec, SweepSpec]) -> Tuple[int, Dict[str, Any]]:
@@ -103,6 +140,9 @@ class RunReport:
     elapsed: float
     workers: int
     cache_stats: Dict[str, int]
+    #: Stats of the attached artifact store, when the runner was given one
+    #: (parent-process handle only, like ``cache_stats``).
+    store_stats: Optional[Dict[str, int]] = None
 
 
 class ExperimentRunner:
@@ -118,15 +158,30 @@ class ExperimentRunner:
         Jobs handed to a worker at a time.  Defaults to spreading the jobs
         about four chunks per worker, which keeps scheduling balanced without
         drowning small sweeps in IPC.
+    store_path:
+        Directory of a persistent :class:`~repro.store.store.ArtifactStore`.
+        When given, the parent process *and* every worker process attach the
+        store to their refinement cache: jobs warm-start from records any
+        earlier process (or an earlier job of this very sweep) persisted,
+        and write their own results through, so the fan-out exchanges
+        fingerprint-addressed artifacts on disk instead of recomputing per
+        process.
     """
 
-    def __init__(self, *, workers: int = 1, chunk_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+        store_path: Optional[str] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
         self._workers = workers
         self._chunk_size = chunk_size
+        self._store_path = store_path
 
     @property
     def workers(self) -> int:
@@ -139,6 +194,8 @@ class ExperimentRunner:
 
     def run(self, sweep: SweepSpec) -> RunReport:
         """Evaluate the sweep and return the (deterministically ordered) report."""
+        if self._store_path is not None:
+            attach_store_path(self._store_path)
         # each job carries only the evaluation settings, not the whole graph
         # list -- otherwise a G-graph parallel sweep pickles O(G^2) spec data
         settings = replace(sweep, graphs=())
@@ -148,19 +205,33 @@ class ExperimentRunner:
             indexed = [_evaluate_indexed(job) for job in jobs]
         else:
             chunk = self._resolve_chunk_size(len(jobs))
-            with multiprocessing.Pool(processes=self._workers) as pool:
+            initializer = attach_store_path if self._store_path is not None else None
+            initargs = (self._store_path,) if self._store_path is not None else ()
+            with multiprocessing.Pool(
+                processes=self._workers, initializer=initializer, initargs=initargs
+            ) as pool:
                 indexed = pool.map(_evaluate_indexed, jobs, chunksize=chunk)
         indexed.sort(key=lambda pair: pair[0])
         table = ResultTable.from_records([record for _index, record in indexed])
         elapsed = time.perf_counter() - started
+        store = refinement_cache.store
         return RunReport(
             table=table,
             elapsed=elapsed,
             workers=self._workers,
             cache_stats=refinement_cache.stats(),
+            store_stats=store.stats() if store is not None else None,
         )
 
 
-def run_sweep(sweep: SweepSpec, *, workers: int = 1, chunk_size: Optional[int] = None) -> RunReport:
+def run_sweep(
+    sweep: SweepSpec,
+    *,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    store_path: Optional[str] = None,
+) -> RunReport:
     """Convenience wrapper: ``ExperimentRunner(workers=...).run(sweep)``."""
-    return ExperimentRunner(workers=workers, chunk_size=chunk_size).run(sweep)
+    return ExperimentRunner(
+        workers=workers, chunk_size=chunk_size, store_path=store_path
+    ).run(sweep)

@@ -17,6 +17,7 @@ Graph builders are looked up in a registry by ``kind``; every generator of
 
 from __future__ import annotations
 
+import inspect
 import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
@@ -82,6 +83,30 @@ _BUILDERS: Dict[str, Callable[..., PortLabeledGraph]] = {
 def graph_kinds() -> Tuple[str, ...]:
     """The registered graph kinds, sorted (for CLI help and error messages)."""
     return tuple(sorted(_BUILDERS))
+
+
+def sized_graph_kinds() -> Dict[str, str]:
+    """Kinds parameterised by a single size: ``kind -> size parameter name``.
+
+    Derived from the builder registry by signature inspection -- a kind
+    qualifies when its builder has exactly one parameter without a default
+    (e.g. ``n``, ``leaves``, ``dimension``).  This is the single source of
+    truth behind every "generator + size" surface (the CLI's ``indices``
+    subcommand and ``--generator`` sweep option), so registering a new
+    one-parameter generator here makes it available everywhere at once.
+    """
+    sized: Dict[str, str] = {}
+    for kind in sorted(_BUILDERS):
+        required = [
+            name
+            for name, parameter in inspect.signature(_BUILDERS[kind]).parameters.items()
+            if parameter.default is inspect.Parameter.empty
+            and parameter.kind
+            in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+        ]
+        if len(required) == 1:
+            sized[kind] = required[0]
+    return sized
 
 
 def _freeze(value: Any) -> Any:

@@ -1,0 +1,23 @@
+"""Async query service over the election pipeline (``repro serve``).
+
+The serving subsystem added in PR 3 sits at the very top of the layer
+diagram: HTTP in, artifacts out.
+
+* :mod:`repro.service.service` -- :class:`ElectionService`: parses queries,
+  coalesces identical in-flight requests onto one future, runs cold
+  computations on a bounded thread pool off the event loop, and reads/writes
+  through the persistent :mod:`repro.store` via the shared refinement cache.
+* :mod:`repro.service.server` -- :class:`ElectionServer`: a dependency-free
+  asyncio HTTP/1.1 front end exposing ``POST /election``, ``GET /stats``
+  and ``GET /healthz``, plus :func:`run_server`, the blocking entry point
+  behind the ``serve`` CLI subcommand.
+
+The service returns byte-identical indices and advice to the in-process API
+for the same graphs -- every answer is a pure function of the graph, and the
+service is only plumbing around the same cache entries.
+"""
+
+from .server import ElectionServer, run_server
+from .service import ElectionService, ServiceError
+
+__all__ = ["ElectionServer", "ElectionService", "ServiceError", "run_server"]

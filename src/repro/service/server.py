@@ -1,0 +1,206 @@
+"""Minimal asyncio HTTP/1.1 front end for :class:`~repro.service.service.ElectionService`.
+
+Standard library only (``asyncio`` streams; no web framework), because the
+container the reproduction targets has no HTTP dependencies.  The protocol
+surface is deliberately small and JSON-only:
+
+* ``POST /election`` -- submit a graph (adjacency dict or generator spec)
+  and get feasibility / ψ_Z indices / advice back;
+* ``GET /stats`` -- counters of every layer (service, refinement cache,
+  artifact store, joint searches);
+* ``GET /healthz`` -- liveness.
+
+Connections are handled one request at a time and closed after the response
+(``Connection: close``); request bodies are capped; every response is
+``application/json`` with sorted keys, so responses are byte-deterministic
+given deterministic payloads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import Any, Dict, Optional, Tuple
+
+from .service import ElectionService, ServiceError
+
+__all__ = ["ElectionServer", "run_server"]
+
+#: Maximum accepted request body (bytes); adjacency submissions are compact.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+#: Seconds a client may take to deliver one full request.
+REQUEST_TIMEOUT = 60.0
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def _encode_response(status: int, payload: Dict[str, Any]) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, bytes]]:
+    """Parse one request; returns ``(method, path, body)`` or ``None`` on EOF."""
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    try:
+        method, target, _version = request_line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise ServiceError(400, "malformed request line") from None
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _sep, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        content_length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise ServiceError(400, "malformed Content-Length") from None
+    if content_length > MAX_BODY_BYTES:
+        raise ServiceError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(content_length) if content_length else b""
+    path = target.split("?", 1)[0]
+    return method.upper(), path, body
+
+
+class ElectionServer:
+    """Owns the listening socket and routes requests into the service."""
+
+    def __init__(self, service: ElectionService, *, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._service = service
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def service(self) -> ElectionService:
+        return self._service
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is not None and self._server.sockets:
+            return self._server.sockets[0].getsockname()[1]
+        return self._port
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._handle, self._host, self._port)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._service.close()
+
+    # ------------------------------------------------------------------ #
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                request = await asyncio.wait_for(_read_request(reader), REQUEST_TIMEOUT)
+            except ServiceError as error:
+                writer.write(_encode_response(error.status, {"error": error.message}))
+                return
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+                return
+            if request is None:
+                return
+            method, path, body = request
+            self._service.count_request()
+            status, payload = await self._dispatch(method, path, body)
+            writer.write(_encode_response(status, payload))
+        except ConnectionResetError:
+            pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, {"status": "ok"}
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            # off the loop: stats() takes the refinement-cache lock, which a
+            # worker thread may hold while decoding a large store record
+            loop = asyncio.get_running_loop()
+            return 200, await loop.run_in_executor(None, self._service.stats)
+        if path == "/election":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else None
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                return 400, {"error": "request body is not valid JSON"}
+            try:
+                return 200, await self._service.query(payload)
+            except ServiceError as error:
+                return error.status, {"error": error.message}
+            except Exception as error:  # pragma: no cover - defensive
+                return 500, {"error": f"internal error: {type(error).__name__}: {error}"}
+        return 404, {"error": f"unknown path {path!r}"}
+
+
+def run_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    store_path: Optional[str] = None,
+    workers: int = 4,
+    max_states: int = 200_000,
+) -> None:
+    """Blocking entry point behind ``repro-leader-election serve``."""
+    from ..store import ArtifactStore
+
+    store = ArtifactStore(store_path) if store_path is not None else None
+    service = ElectionService(store=store, workers=workers, default_max_states=max_states)
+    server = ElectionServer(service, host=host, port=port)
+
+    async def _main() -> None:
+        await server.start()
+        location = f"http://{host}:{server.port}"
+        store_note = f", store={store.root}" if store is not None else ", no store"
+        print(
+            f"repro-leader-election serve: listening on {location} "
+            f"(workers={workers}{store_note})",
+            file=sys.stderr,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    finally:
+        service.close()

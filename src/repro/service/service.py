@@ -1,0 +1,280 @@
+"""The election-query service: coalesced, bounded, store-backed computation.
+
+:class:`ElectionService` is the transport-agnostic core behind
+``repro-leader-election serve``.  A query names a graph -- either a full
+adjacency (the JSON dict format of :mod:`repro.portgraph.io`) or a generator
+spec from the runner's graph-kind registry -- plus optional task and search
+parameters, and the answer is feasibility, the requested ψ_Z indices and
+(optionally) the bit-exact full-map advice string.  Everything returned is a
+pure function of the graph and parameters, which the service exploits twice:
+
+* **Request coalescing.**  Identical queries in flight share one
+  computation: the first request registers a future keyed by a digest of the
+  canonical request body, duplicates await it, and the ``coalesced`` flag of
+  the response (and the ``/stats`` counter) records the dedup.  Differently
+  labeled isomorphic submissions hash differently, but they still converge
+  in the layers below (refinement cache buckets, store fingerprints).
+* **A bounded worker pool.**  Cold computations run on a fixed-size thread
+  pool via ``run_in_executor``, so the event loop keeps accepting
+  connections and serving ``/stats`` while searches run; at most ``workers``
+  computations are in flight, the rest queue.
+
+With a store attached the service is a thin front end over the durable
+layer: queries warm-start from records persisted by any earlier process and
+write their own results through, so a service restart costs nothing and a
+fleet of service processes shares one artifact set.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from ..core import Task, search_statistics
+from ..portgraph.io import graph_from_dict
+from ..portgraph.validation import PortLabelingError
+from ..runner import GraphSpec, SweepSpec, evaluate_graph, refinement_cache
+from ..store import ArtifactStore
+
+__all__ = ["ElectionService", "ServiceError"]
+
+#: Hard cap on submitted adjacency sizes (nodes); protects the joint
+#: searches and the event loop from accidental monster submissions.
+MAX_SUBMITTED_NODES = 100_000
+
+
+class ServiceError(Exception):
+    """A client error with an HTTP status (bad graph, bad parameters)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ElectionService:
+    """The query front end (see the module docstring).
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`~repro.store.ArtifactStore`; attached to the
+        process-wide refinement cache so queries read and write through it.
+    workers:
+        Size of the bounded compute pool.
+    default_max_states:
+        PPE/CPPE search budget applied when a query does not set one.
+    compute_delay:
+        Artificial seconds added to every computation, off the event loop.
+        Used by the latency benchmark and the coalescing tests to make
+        overlap deterministic; leave at ``0`` in production.
+    """
+
+    def __init__(
+        self,
+        *,
+        store: Optional[ArtifactStore] = None,
+        workers: int = 4,
+        default_max_states: int = 200_000,
+        compute_delay: float = 0.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self._store = store
+        if store is not None:
+            refinement_cache.attach_store(store)
+        self._workers = workers
+        self._default_max_states = default_max_states
+        self._compute_delay = compute_delay
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._counters = {
+            "requests": 0,
+            "queries": 0,
+            "coalesced": 0,
+            "computed": 0,
+            "errors": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    @property
+    def store(self) -> Optional[ArtifactStore]:
+        return self._store
+
+    def count_request(self) -> None:
+        """Tally one HTTP request (any endpoint); called by the server."""
+        self._counters["requests"] += 1
+
+    def close(self) -> None:
+        """Shut the worker pool down and detach this service's store.
+
+        The store attachment lives on the process-wide refinement cache, so
+        leaving it behind would make later, unrelated work in this process
+        silently read from and persist into this service's directory.
+        """
+        self._executor.shutdown(wait=False)
+        if self._store is not None and refinement_cache.store is self._store:
+            refinement_cache.attach_store(None)
+
+    # ------------------------------------------------------------------ #
+    # /election
+    # ------------------------------------------------------------------ #
+    async def query(self, payload: Any) -> Dict[str, Any]:
+        """Answer one election query, coalescing identical in-flight ones."""
+        self._counters["queries"] += 1
+        parsed, key = self._parse(payload)
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self._counters["coalesced"] += 1
+            status, value = await existing
+            if status == "error":
+                raise value
+            return dict(value, coalesced=True)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        try:
+            result = await loop.run_in_executor(self._executor, self._compute, parsed)
+        except Exception as error:
+            self._counters["errors"] += 1
+            future.set_result(("error", error))
+            raise
+        else:
+            future.set_result(("ok", result))
+            return dict(result, coalesced=False)
+        finally:
+            del self._inflight[key]
+
+    def _parse(self, payload: Any) -> Tuple[Dict[str, Any], str]:
+        """Validate a query body; returns (parsed fields, coalescing key).
+
+        Parsing is cheap (no graph is built here): the heavy work -- graph
+        construction, validation, refinement, searches -- happens on the
+        worker pool.  The coalescing key digests the canonical JSON of the
+        fields that determine the answer.
+        """
+        if not isinstance(payload, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        graph_dict = payload.get("graph")
+        spec_dict = payload.get("spec")
+        if (graph_dict is None) == (spec_dict is None):
+            raise ServiceError(400, "provide exactly one of 'graph' or 'spec'")
+        if spec_dict is not None:
+            if not isinstance(spec_dict, dict) or "kind" not in spec_dict:
+                raise ServiceError(400, "'spec' must be an object with a 'kind'")
+        elif not isinstance(graph_dict, dict):
+            raise ServiceError(400, "'graph' must be the adjacency dict format")
+        task_codes = payload.get("tasks")
+        if task_codes is None:
+            tasks = list(Task.ordered())
+        else:
+            try:
+                tasks = [Task(code) for code in task_codes]
+            except (ValueError, TypeError):
+                raise ServiceError(
+                    400,
+                    f"unknown task in {task_codes!r} "
+                    f"(expected codes among {[t.value for t in Task.ordered()]})",
+                ) from None
+        max_depth = payload.get("max_depth")
+        if max_depth is not None and (not isinstance(max_depth, int) or max_depth < 0):
+            raise ServiceError(400, "'max_depth' must be a non-negative integer")
+        max_states = payload.get("max_states", self._default_max_states)
+        if not isinstance(max_states, int) or max_states < 1:
+            raise ServiceError(400, "'max_states' must be a positive integer")
+        include_advice = bool(payload.get("advice", False))
+        parsed = {
+            "graph": graph_dict,
+            "spec": spec_dict,
+            "tasks": tasks,
+            "max_depth": max_depth,
+            "max_states": max_states,
+            "advice": include_advice,
+        }
+        canonical = json.dumps(
+            {
+                "graph": graph_dict,
+                "spec": spec_dict,
+                "tasks": [task.value for task in tasks],
+                "max_depth": max_depth,
+                "max_states": max_states,
+                "advice": include_advice,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        key = hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+        return parsed, key
+
+    def _compute(self, parsed: Dict[str, Any]) -> Dict[str, Any]:
+        """Build the graph and answer the query (runs on the worker pool)."""
+        if self._compute_delay:
+            time.sleep(self._compute_delay)
+        started = time.perf_counter()
+        if parsed["spec"] is not None:
+            spec_dict = parsed["spec"]
+            try:
+                spec = GraphSpec.make(spec_dict["kind"], **spec_dict.get("params", {}))
+                graph = spec.build()
+            except ValueError as error:
+                raise ServiceError(400, str(error)) from None
+            label = spec.label
+        else:
+            try:
+                graph = graph_from_dict(parsed["graph"], validate=True)
+            except (PortLabelingError, KeyError, TypeError, ValueError) as error:
+                raise ServiceError(400, f"invalid graph: {error}") from None
+            label = graph.name or "submitted"
+        if graph.num_nodes > MAX_SUBMITTED_NODES:
+            raise ServiceError(400, f"graph too large (> {MAX_SUBMITTED_NODES} nodes)")
+        sweep = SweepSpec.make(
+            (),
+            tasks=parsed["tasks"],
+            max_depth=parsed["max_depth"],
+            max_states=parsed["max_states"],
+        )
+        record = evaluate_graph(graph, sweep, label=label)
+        self._counters["computed"] += 1
+        indices = {task.value: record[f"psi_{task.value}"] for task in parsed["tasks"]}
+        limited = [code for code in record.get("search_limited", "").split(",") if code]
+        response: Dict[str, Any] = {
+            "graph": label,
+            "fingerprint": graph.fingerprint(),
+            "n": graph.num_nodes,
+            "m": graph.num_edges,
+            "max_degree": graph.max_degree,
+            "feasible": record["feasible"],
+            "indices": indices,
+            "search_limited": limited,
+            "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
+        }
+        if parsed["advice"]:
+            from ..advice.map_advice import encode_map_advice  # lazy import, heavy layer
+
+            response["advice"] = {"map": encode_map_advice(graph)}
+        return response
+
+    # ------------------------------------------------------------------ #
+    # /stats
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """Counters of every layer: service, cache, store, joint searches."""
+        payload: Dict[str, Any] = {
+            "service": dict(
+                self._counters,
+                in_flight=len(self._inflight),
+                workers=self._workers,
+                compute_delay=self._compute_delay,
+            ),
+            "cache": refinement_cache.stats(),
+            "search": search_statistics(),
+        }
+        if self._store is not None:
+            payload["store"] = self._store.stats()
+        return payload

@@ -1,0 +1,31 @@
+"""Persistent, content-addressed artifact store for the election pipeline.
+
+Everything the pipeline computes -- feasibility, the four ψ_Z election
+indices, refinement partitions, advice strings -- is a pure function of the
+port-labeled graph, so it only ever needs to be computed once *anywhere*.
+This package is the durable layer that makes that true across processes:
+
+* :mod:`repro.store.record` -- the versioned compact-binary
+  :class:`ArtifactRecord`: graph + CSR arrays, canonical colour tables per
+  depth up to the refinement fixpoint, ψ_Z outcomes keyed like the runner
+  cache's memo, and bit-exact advice strings.  Encoding is canonical
+  (``encode(decode(b)) == b``), which is what makes content addressing and
+  skip-identical write-through work.
+* :mod:`repro.store.store` -- the :class:`ArtifactStore` directory:
+  fingerprint-addressed objects written atomically (temp file +
+  ``os.replace``), a rebuildable manifest indexed by the shallow
+  ``cache_key`` for refinement-free lookup, and safe concurrent
+  readers/writers across processes.
+
+The runner's :class:`~repro.runner.cache.RefinementCache` reads and writes
+through this store when one is attached (see
+:meth:`~repro.runner.cache.RefinementCache.attach_store`), which is how the
+CLI, the benchmarks and the ``repro-leader-election serve`` service all
+warm-start from disk: a cold process pointed at a populated store replays a
+sweep with zero refinement passes.
+"""
+
+from .record import FORMAT_VERSION, ArtifactRecord
+from .store import ArtifactStore
+
+__all__ = ["ArtifactRecord", "ArtifactStore", "FORMAT_VERSION"]

@@ -1,0 +1,351 @@
+"""Content-addressed on-disk store of :class:`~repro.store.record.ArtifactRecord`.
+
+Layout under one root directory::
+
+    <root>/
+      manifest.json            # index + per-record metadata (rebuildable)
+      manifest.lock            # flock'd during manifest read-modify-write
+      objects/<fp[:2]>/<fp>.rple   # one record, named by its fingerprint
+
+Consistency model
+-----------------
+* **Records are immutable values.**  A record's path is derived from the
+  graph fingerprint, and its bytes are a pure function of the graph and the
+  (deterministic) results it carries, so concurrent writers of the same
+  fingerprint race only between identical byte strings.
+* **Writes are atomic.**  Every write goes to a unique temp file in the same
+  directory followed by ``os.replace``; a reader either sees a complete
+  record or no record, never a torn one.  Re-putting unchanged content is
+  detected by byte comparison and skipped.
+* **The manifest is an index, not a source of truth.**  It maps fingerprints
+  to metadata (graph label, sizes, the shallow ``cache_key`` used for
+  read-through lookups, observed compute cost) and is rewritten atomically
+  under an ``flock``; if it is lost or stale it can be rebuilt from the
+  objects directory with :meth:`ArtifactStore.rebuild_manifest`.  Readers
+  never need it to resolve a known fingerprint.
+
+Read-through by graph (not by fingerprint) is the hot path of the runner
+cache: computing a fingerprint requires refining the graph, which is exactly
+the work a warm start wants to avoid.  :meth:`ArtifactStore.load_for_graph`
+therefore looks up candidates by the O(n + m) shallow
+:meth:`~repro.portgraph.graph.PortLabeledGraph.cache_key` recorded in the
+manifest and resolves collisions by exact labeled-graph equality, so a cold
+process finds its record without a single refinement pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..portgraph.graph import PortLabeledGraph
+from .record import FORMAT_VERSION, ArtifactRecord
+
+__all__ = ["ArtifactStore"]
+
+_MANIFEST_NAME = "manifest.json"
+_LOCK_NAME = "manifest.lock"
+_OBJECT_SUFFIX = ".rple"
+
+
+class ArtifactStore:
+    """A directory of persisted artifacts, safe for concurrent processes."""
+
+    def __init__(self, root: str, *, create: bool = True) -> None:
+        self._root = os.path.abspath(root)
+        self._objects = os.path.join(self._root, "objects")
+        self._manifest_path = os.path.join(self._root, _MANIFEST_NAME)
+        self._lock_path = os.path.join(self._root, _LOCK_NAME)
+        if create:
+            os.makedirs(self._objects, exist_ok=True)
+        elif not os.path.isdir(self._objects):
+            raise FileNotFoundError(f"no artifact store at {self._root}")
+        self._counter_lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._put_skips = 0
+        self._put_conflicts = 0
+        self._bytes_read = 0
+        self._bytes_written = 0
+        # manifest cache: (mtime_ns, manifest dict, cache_key -> [fingerprints])
+        self._manifest_cache: Optional[Tuple[int, dict, Dict[str, List[str]]]] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> str:
+        return self._root
+
+    def _object_path(self, fingerprint: str) -> str:
+        return os.path.join(self._objects, fingerprint[:2], fingerprint + _OBJECT_SUFFIX)
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def contains(self, fingerprint: str) -> bool:
+        return os.path.exists(self._object_path(fingerprint))
+
+    def get_bytes(self, fingerprint: str) -> Optional[bytes]:
+        try:
+            with open(self._object_path(fingerprint), "rb") as handle:
+                payload = handle.read()
+        except FileNotFoundError:
+            with self._counter_lock:
+                self._misses += 1
+            return None
+        with self._counter_lock:
+            self._hits += 1
+            self._bytes_read += len(payload)
+        return payload
+
+    def get(self, fingerprint: str) -> Optional[ArtifactRecord]:
+        """The record stored for ``fingerprint``, or ``None``.
+
+        The decoded record's fingerprint is checked against the requested
+        one, so a corrupted or misplaced object surfaces as an error rather
+        than as silently wrong results.
+        """
+        payload = self.get_bytes(fingerprint)
+        if payload is None:
+            return None
+        record = ArtifactRecord.from_bytes(payload)
+        if record.fingerprint != fingerprint:
+            raise ValueError(
+                f"store corruption: object {fingerprint} decodes to "
+                f"fingerprint {record.fingerprint}"
+            )
+        return record
+
+    def load_for_graph(self, graph: PortLabeledGraph) -> Optional[ArtifactRecord]:
+        """The record of an exactly equal labeled graph, found without refining.
+
+        This is the warm-start hot path, so it degrades to a miss rather
+        than an error: a candidate object that is corrupt, written by an
+        unsupported format version, or misfiled is skipped -- the caller
+        recomputes (and its write-through replaces the bad object), instead
+        of every lookup of that graph failing forever.
+        """
+        candidates = self._index().get(graph.cache_key(), ())
+        for fingerprint in candidates:
+            try:
+                record = self.get(fingerprint)
+            except ValueError:
+                continue
+            if record is not None and record.graph == graph:
+                return record
+        return None
+
+    def fingerprints(self) -> List[str]:
+        """All stored fingerprints, from the objects directory (not the manifest)."""
+        found: List[str] = []
+        if not os.path.isdir(self._objects):
+            return found
+        for shard in sorted(os.listdir(self._objects)):
+            shard_dir = os.path.join(self._objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(_OBJECT_SUFFIX):
+                    found.append(name[: -len(_OBJECT_SUFFIX)])
+        return found
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def put(self, record: ArtifactRecord, *, cost: Optional[Dict[str, float]] = None) -> bool:
+        """Persist ``record`` atomically; returns whether bytes were written.
+
+        Unchanged content is never rewritten (records are values), but the
+        manifest entry is still ensured, so a rebuilt or lagging index heals
+        on the next write-through.  ``cost`` is optional volatile metadata
+        (e.g. cold compute seconds) recorded in the manifest only.
+
+        The fingerprint is relabeling-invariant, so two differently labeled
+        copies of one graph address the same object while encoding to
+        different bytes.  The store keeps **one labeling per fingerprint**
+        (first writer wins): a put whose fingerprint is already occupied by
+        a *different* labeled graph is refused rather than allowed to churn
+        the object back and forth, and readers of the losing labeling simply
+        miss (``load_for_graph`` resolves by exact equality) and recompute.
+        """
+        payload = record.to_bytes()
+        path = self._object_path(record.fingerprint)
+        wrote = False
+        try:
+            with open(path, "rb") as handle:
+                existing = handle.read()
+        except FileNotFoundError:
+            existing = None
+        if existing is not None and existing != payload:
+            try:
+                incumbent = ArtifactRecord.from_bytes(existing)
+            except ValueError:
+                incumbent = None  # corrupt incumbent: replace it
+            if incumbent is not None and incumbent.graph != record.graph:
+                with self._counter_lock:
+                    self._put_conflicts += 1
+                return False
+        if existing != payload:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp_path = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+            with open(tmp_path, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_path, path)
+            wrote = True
+            with self._counter_lock:
+                self._puts += 1
+                self._bytes_written += len(payload)
+        else:
+            with self._counter_lock:
+                self._put_skips += 1
+        meta = {
+            "cache_key": record.cache_key,
+            "name": record.graph.name,
+            "n": record.graph.num_nodes,
+            "m": record.graph.num_edges,
+            "bytes": len(payload),
+            "stable_depth": record.stable_depth,
+            "psi_entries": len(record.psi),
+        }
+        if cost:
+            meta["cost"] = cost
+        self._ensure_manifest_entry(record.fingerprint, meta, force=wrote)
+        return wrote
+
+    # ------------------------------------------------------------------ #
+    # manifest
+    # ------------------------------------------------------------------ #
+    def _empty_manifest(self) -> dict:
+        return {"format_version": FORMAT_VERSION, "records": {}}
+
+    def _read_manifest(self) -> dict:
+        try:
+            with open(self._manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return self._empty_manifest()
+        if not isinstance(manifest.get("records"), dict):
+            return self._empty_manifest()
+        return manifest
+
+    def manifest(self) -> dict:
+        """The current manifest, cached by file mtime.  Treat as read-only."""
+        try:
+            mtime = os.stat(self._manifest_path).st_mtime_ns
+        except FileNotFoundError:
+            mtime = -1
+        cached = self._manifest_cache
+        if cached is not None and cached[0] == mtime:
+            return cached[1]
+        manifest = self._read_manifest()
+        index: Dict[str, List[str]] = {}
+        for fingerprint, meta in manifest["records"].items():
+            cache_key = meta.get("cache_key")
+            if cache_key:
+                index.setdefault(cache_key, []).append(fingerprint)
+        self._manifest_cache = (mtime, manifest, index)
+        return manifest
+
+    def _index(self) -> Dict[str, List[str]]:
+        self.manifest()
+        cached = self._manifest_cache
+        return cached[2] if cached is not None else {}
+
+    def _write_manifest(self, manifest: dict) -> None:
+        tmp_path = f"{self._manifest_path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, self._manifest_path)
+        self._manifest_cache = None
+
+    def _ensure_manifest_entry(self, fingerprint: str, meta: dict, *, force: bool) -> None:
+        if not force:
+            existing = self.manifest()["records"].get(fingerprint)
+            if existing is not None and existing.get("bytes") == meta.get("bytes"):
+                return
+        with self._manifest_lock():
+            manifest = self._read_manifest()
+            manifest["records"][fingerprint] = meta
+            self._write_manifest(manifest)
+
+    def _manifest_lock(self, timeout: float = 10.0):
+        """An exclusive cross-process lock around manifest read-modify-write."""
+        return _FileLock(self._lock_path, timeout=timeout)
+
+    def rebuild_manifest(self) -> int:
+        """Regenerate the manifest by decoding every object; returns the count."""
+        records = {}
+        for fingerprint in self.fingerprints():
+            payload = self.get_bytes(fingerprint)
+            if payload is None:
+                continue
+            record = ArtifactRecord.from_bytes(payload)
+            records[fingerprint] = {
+                "cache_key": record.cache_key,
+                "name": record.graph.name,
+                "n": record.graph.num_nodes,
+                "m": record.graph.num_edges,
+                "bytes": len(payload),
+                "stable_depth": record.stable_depth,
+                "psi_entries": len(record.psi),
+            }
+        with self._manifest_lock():
+            manifest = self._empty_manifest()
+            manifest["records"] = records
+            self._write_manifest(manifest)
+        return len(records)
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """Counters of this handle plus the on-disk record count."""
+        with self._counter_lock:
+            snapshot = {
+                "records": len(self.manifest()["records"]),
+                "hits": self._hits,
+                "misses": self._misses,
+                "puts": self._puts,
+                "put_skips": self._put_skips,
+                "put_conflicts": self._put_conflicts,
+                "bytes_read": self._bytes_read,
+                "bytes_written": self._bytes_written,
+            }
+        return snapshot
+
+
+class _FileLock:
+    """A small blocking ``flock`` wrapper with a timeout (POSIX; no-op elsewhere)."""
+
+    def __init__(self, path: str, *, timeout: float) -> None:
+        self._path = path
+        self._timeout = timeout
+        self._handle = None
+
+    def __enter__(self) -> "_FileLock":
+        try:
+            import fcntl
+        except ImportError:  # non-POSIX: fall back to atomic-replace-only safety
+            return self
+        handle = open(self._path, "a+b")
+        deadline = time.monotonic() + self._timeout
+        while True:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                self._handle = handle
+                return self
+            except OSError:
+                if time.monotonic() >= deadline:
+                    handle.close()
+                    raise TimeoutError(f"could not lock {self._path} within {self._timeout}s")
+                time.sleep(0.01)
+
+    def __exit__(self, *exc_info) -> None:
+        if self._handle is not None:
+            import fcntl
+
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            self._handle.close()
+            self._handle = None

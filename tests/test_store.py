@@ -1,0 +1,347 @@
+"""Tests for the persistent artifact store (binary records, disk layout, cache integration)."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.families import build_gdk_member
+from repro.portgraph import generators
+from repro.portgraph.io import graph_from_bytes, graph_to_bytes
+from repro.runner import (
+    GraphSpec,
+    RefinementCache,
+    SweepSpec,
+    evaluate_graph,
+    refinement_cache,
+)
+from repro.store import ArtifactRecord, ArtifactStore
+
+
+@pytest.fixture(autouse=True)
+def _detached_process_cache():
+    """Keep the process-wide cache store-free and empty around every test."""
+    refinement_cache.attach_store(None)
+    refinement_cache.clear()
+    yield
+    refinement_cache.attach_store(None)
+    refinement_cache.clear()
+
+
+def _sample_graphs():
+    return [
+        generators.three_node_line(),
+        generators.asymmetric_cycle(7),
+        generators.star_graph(5),
+        generators.hypercube_graph(3),
+        generators.random_connected_graph(9, extra_edges=4, seed=2),
+        build_gdk_member(4, 1, 2).graph,
+    ]
+
+
+def _computed_record(graph, *, tasks=("S", "PE")):
+    """A record carrying real ψ memo entries, produced the way the runner does."""
+    from repro.core import Task
+
+    sweep = SweepSpec.make((), tasks=[Task(code) for code in tasks])
+    evaluate_graph(graph, sweep)
+    entry = refinement_cache.entry(graph)
+    return ArtifactRecord.from_computed(graph, memo=entry.memo)
+
+
+class TestBinaryGraphEncoding:
+    def test_round_trip_exact_and_byte_identical(self):
+        for graph in _sample_graphs():
+            payload = graph_to_bytes(graph)
+            decoded, consumed = graph_from_bytes(payload)
+            assert consumed == len(payload)
+            assert decoded == graph
+            assert decoded.name == graph.name
+            assert graph_to_bytes(decoded) == payload
+
+    def test_embedded_offset_parsing(self):
+        graph = generators.asymmetric_cycle(6)
+        payload = b"prefix" + graph_to_bytes(graph) + b"suffix"
+        decoded, consumed = graph_from_bytes(payload, offset=6)
+        assert decoded == graph
+        assert payload[consumed:] == b"suffix"
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        extra=st.integers(min_value=0, max_value=6),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_round_trip_property(self, n, extra, seed):
+        graph = generators.random_connected_graph(n, extra_edges=extra, seed=seed)
+        decoded, _ = graph_from_bytes(graph_to_bytes(graph))
+        assert decoded == graph
+
+
+class TestArtifactRecord:
+    def test_encode_decode_byte_identical(self):
+        for graph in _sample_graphs():
+            record = _computed_record(graph)
+            payload = record.to_bytes()
+            decoded = ArtifactRecord.from_bytes(payload)
+            assert decoded.to_bytes() == payload
+            assert decoded.graph == graph
+            assert decoded.fingerprint == graph.fingerprint()
+            assert decoded.cache_key == graph.cache_key()
+            assert decoded.psi == record.psi
+            assert decoded.advice == record.advice
+            refinement_cache.clear()
+
+    def test_decoded_graph_is_warm(self):
+        graph = generators.asymmetric_cycle(7)
+        record = _computed_record(graph, tasks=("S", "PE", "PPE", "CPPE"))
+        decoded = ArtifactRecord.from_bytes(record.to_bytes())
+        engine = decoded.graph.refinement_engine()
+        # every depth query (and the fingerprint) is served from the stored
+        # tables: zero refinement passes on the restored instance
+        assert decoded.graph.fingerprint() == graph.fingerprint()
+        stable = engine.ensure_stable()
+        original = graph.refinement_engine()
+        for depth in range(stable + 1):
+            assert list(engine.colors_at(depth)) == list(original.colors_at(depth))
+        assert engine.passes == 0
+
+    def test_memo_entries_round_trip(self):
+        graph = generators.asymmetric_cycle(7)
+        record = _computed_record(graph, tasks=("S", "PPE"))
+        memo = ArtifactRecord.from_bytes(record.to_bytes()).memo_entries()
+        assert memo[("feasible",)] is True
+        assert memo[("psi", "S", None, 200_000)] == ("ok", 1)
+        assert memo[("psi", "PPE", None, 200_000)] == ("ok", 3)
+
+    def test_merged_with_unions_psi_entries(self):
+        graph = generators.asymmetric_cycle(7)
+        first = _computed_record(graph, tasks=("S",))
+        refinement_cache.clear()
+        second = _computed_record(graph, tasks=("PE",))
+        merged = first.merged_with(second)
+        codes = {entry[0] for entry in merged.psi}
+        assert codes == {"S", "PE"}
+
+    def test_merge_rejects_different_graphs(self):
+        records = [_computed_record(g) for g in (_sample_graphs()[0], _sample_graphs()[1])]
+        with pytest.raises(ValueError):
+            records[0].merged_with(records[1])
+
+    def test_advice_is_bit_exact(self):
+        from repro.advice.map_advice import encode_map_advice
+
+        graph = generators.star_graph(4)
+        record = _computed_record(graph)
+        decoded = ArtifactRecord.from_bytes(record.to_bytes())
+        assert decoded.advice_bits("map") == encode_map_advice(graph)
+
+
+class TestArtifactStore:
+    def test_put_get_and_skip_identical(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        record = _computed_record(generators.asymmetric_cycle(7))
+        assert store.put(record) is True
+        assert store.put(record) is False  # unchanged content is never rewritten
+        loaded = store.get(record.fingerprint)
+        assert loaded is not None and loaded.graph == record.graph
+        assert store.get("ff" * 32) is None
+        stats = store.stats()
+        assert stats["records"] == 1
+        assert stats["puts"] == 1 and stats["put_skips"] == 1
+
+    def test_load_for_graph_without_refining(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put(_computed_record(generators.asymmetric_cycle(7)))
+        fresh = generators.asymmetric_cycle(7)
+        record = store.load_for_graph(fresh)
+        assert record is not None
+        record.adopt_onto(fresh)
+        assert fresh.refinement_engine().passes == 0
+        assert store.load_for_graph(generators.star_graph(3)) is None
+
+    def test_atomic_objects_and_manifest_rebuild(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        fingerprints = set()
+        for graph in _sample_graphs()[:3]:
+            record = _computed_record(graph)
+            store.put(record)
+            fingerprints.add(record.fingerprint)
+            refinement_cache.clear()
+        assert set(store.fingerprints()) == fingerprints
+        os.remove(os.path.join(str(tmp_path), "manifest.json"))
+        fresh_handle = ArtifactStore(str(tmp_path))
+        assert fresh_handle.stats()["records"] == 0
+        assert fresh_handle.rebuild_manifest() == 3
+        assert fresh_handle.stats()["records"] == 3
+        # read-through works again after the rebuild
+        assert fresh_handle.load_for_graph(generators.three_node_line()) is not None
+
+    def test_relabeled_copy_does_not_evict_or_poison_the_incumbent(self, tmp_path):
+        """Fingerprints are relabeling-invariant; labelings must not mix.
+
+        The store keeps one labeling per fingerprint (first writer wins):
+        the relabeled copy's put is refused, its lookups miss (so callers
+        recompute), and the incumbent's record stays byte-for-byte intact.
+        """
+        store = ArtifactStore(str(tmp_path))
+        graph = generators.asymmetric_cycle(7)
+        record = _computed_record(graph)
+        store.put(record)
+        incumbent_bytes = store.get_bytes(record.fingerprint)
+
+        relabeled = graph.relabeled(list(range(graph.num_nodes))[::-1])
+        assert relabeled.fingerprint() == graph.fingerprint()
+        refinement_cache.clear()
+        other = _computed_record(relabeled)
+        assert store.put(other) is False
+        assert store.stats()["put_conflicts"] == 1
+        assert store.get_bytes(record.fingerprint) == incumbent_bytes
+        assert store.load_for_graph(relabeled) is None
+        loaded = store.load_for_graph(generators.asymmetric_cycle(7))
+        assert loaded is not None and loaded.graph == graph
+        with pytest.raises(ValueError):
+            record.merged_with(other)
+
+    def test_read_through_survives_a_corrupt_object(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        record = _computed_record(generators.asymmetric_cycle(7))
+        store.put(record)
+        path = os.path.join(str(tmp_path), "objects", record.fingerprint[:2],
+                            record.fingerprint + ".rple")
+        with open(path, "wb") as handle:
+            handle.write(b"garbage")
+        # the warm-start path degrades to a miss, so the cache recomputes...
+        cache = RefinementCache()
+        cache.attach_store(store)
+        entry = cache.entry(generators.asymmetric_cycle(7))
+        assert entry.refinement.ensure_stable() >= 0
+        assert cache.stats()["store_misses"] == 1
+        # ...and the write-through replaces the corrupt incumbent
+        assert cache.persist(entry.graph) is True
+        assert store.get(record.fingerprint) is not None
+
+    def test_corrupt_object_is_detected(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        record = _computed_record(generators.star_graph(3))
+        store.put(record)
+        path = os.path.join(str(tmp_path), "objects", record.fingerprint[:2],
+                            record.fingerprint + ".rple")
+        with open(path, "wb") as handle:
+            handle.write(b"garbage")
+        with pytest.raises(ValueError):
+            store.get(record.fingerprint)
+
+    def test_concurrent_readers_and_writers(self, tmp_path):
+        """Torn reads must be impossible: writers replace atomically."""
+        store = ArtifactStore(str(tmp_path))
+        records = [_computed_record(g) for g in _sample_graphs()[:4]]
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            try:
+                for _ in range(10):
+                    for record in records:
+                        # independent handles, as separate processes would use
+                        ArtifactStore(str(tmp_path)).put(record)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    handle = ArtifactStore(str(tmp_path))
+                    for record in records:
+                        loaded = handle.get(record.fingerprint)
+                        if loaded is not None:
+                            assert loaded.graph == record.graph
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        writers = [threading.Thread(target=writer) for _ in range(2)]
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert not errors
+        assert ArtifactStore(str(tmp_path)).stats()["records"] == 4
+
+
+class TestCacheStoreIntegration:
+    def test_cold_process_warm_starts_from_store(self, tmp_path):
+        """The acceptance property: populated store => zero refinement passes."""
+        from repro.core import Task
+
+        sweep = SweepSpec.make(
+            [GraphSpec.make("asymmetric-cycle", n=7), GraphSpec.make("star", leaves=4)],
+            tasks=Task.ordered(),
+            profile_depths=(1,),
+        )
+        store = ArtifactStore(str(tmp_path))
+        warm_cache = RefinementCache()
+        warm_cache.attach_store(store)
+        for spec in sweep.graphs:
+            graph = spec.build()
+            warm_cache.entry(graph)
+            evaluate_graph(graph, sweep)  # populates the process-wide memo
+            # copy the memoised outcomes onto the cache under test and persist
+            warm_cache.entry(graph).memo.update(refinement_cache.entry(graph).memo)
+            warm_cache.persist(graph)
+        assert store.stats()["records"] == 2
+
+        # a "cold process": a brand-new cache and brand-new graph instances
+        cold_cache = RefinementCache()
+        cold_cache.attach_store(store)
+        for spec in sweep.graphs:
+            graph = spec.build()
+            entry = cold_cache.entry(graph)
+            assert entry.memo[("feasible",)] is True
+            assert entry.refinement.passes == 0
+            assert graph.refinement_engine().passes == 0
+        stats = cold_cache.stats()
+        assert stats["refinement_passes"] == 0
+        assert stats["store_hits"] == 2 and stats["store_misses"] == 0
+
+    def test_write_through_merges_with_existing_record(self, tmp_path):
+        from repro.core import Task
+
+        store = ArtifactStore(str(tmp_path))
+        refinement_cache.attach_store(store)
+        graph = generators.asymmetric_cycle(7)
+        evaluate_graph(graph, SweepSpec.make((), tasks=[Task("S")]))
+        first = store.get(graph.fingerprint())
+        refinement_cache.clear()
+        fresh = generators.asymmetric_cycle(7)
+        evaluate_graph(fresh, SweepSpec.make((), tasks=[Task("PE")]))
+        merged = store.get(fresh.fingerprint())
+        assert {entry[0] for entry in first.psi} == {"S"}
+        assert {entry[0] for entry in merged.psi} == {"S", "PE"}
+
+    def test_eviction_accounts_kernel_bytes(self):
+        cache = RefinementCache(maxsize=2)
+        graphs = [
+            generators.asymmetric_cycle(6),
+            generators.asymmetric_cycle(7),
+            generators.asymmetric_cycle(8),
+        ]
+        for graph in graphs:
+            entry = cache.entry(graph)
+            entry.refinement.ensure_stable()
+            entry.kernel.block_cut_tree()  # kernel state must be accounted too
+            entry.kernel.distances_from(0)
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["evicted_bytes"] > 0
+        assert stats["live_bytes"] > 0
+        # an entry's estimate covers refinement + kernel, so the evicted
+        # bytes are at least the CSR arrays of the evicted graph
+        assert stats["evicted_bytes"] >= graphs[0].csr().nbytes()
