@@ -21,8 +21,8 @@ Usage::
 
 from __future__ import annotations
 
-import asyncio
 import json
+import os
 import shutil
 import statistics
 import sys
@@ -31,12 +31,16 @@ import threading
 import time
 import urllib.request
 
-from repro.core import Task, reset_search_statistics
-from repro.portgraph import generators
-from repro.portgraph.io import graph_to_dict
-from repro.runner import ExperimentRunner, GraphSpec, SweepSpec, refinement_cache
-from repro.service import ElectionServer, ElectionService
-from repro.store import ArtifactStore
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from service_harness import ThreadedElectionServer  # noqa: E402
+
+from repro.core import Task, reset_search_statistics  # noqa: E402
+from repro.portgraph import generators  # noqa: E402
+from repro.portgraph.io import graph_to_dict  # noqa: E402
+from repro.runner import ExperimentRunner, GraphSpec, SweepSpec, refinement_cache  # noqa: E402
+from repro.service import ElectionService  # noqa: E402
+from repro.store import ArtifactStore  # noqa: E402
 
 #: The E2/E6/E13-style mixed sweep (families + generators + joint searches).
 E16_SWEEP = SweepSpec.make(
@@ -91,22 +95,6 @@ def run_store_warm_sweep(store_dir: str) -> dict:
 
 def run_service_latency(store_dir: str) -> dict:
     refinement_cache.clear()
-    service = ElectionService(store=ArtifactStore(store_dir), workers=4)
-    server = ElectionServer(service, port=0)
-    loop = asyncio.new_event_loop()
-    started = threading.Event()
-
-    def _drive() -> None:
-        asyncio.set_event_loop(loop)
-        loop.run_until_complete(server.start())
-        started.set()
-        loop.run_forever()
-
-    thread = threading.Thread(target=_drive, daemon=True)
-    thread.start()
-    if not started.wait(10):
-        raise RuntimeError("service failed to start")
-    base = f"http://127.0.0.1:{server.port}"
     payloads = [
         json.dumps({"spec": spec.to_dict()}).encode("utf-8")
         for spec in E16_SWEEP.graphs[:4]
@@ -117,40 +105,37 @@ def run_service_latency(store_dir: str) -> dict:
     latencies_lock = threading.Lock()
     errors: list = []
 
-    def client(worker: int) -> None:
-        for i in range(REQUESTS_PER_CLIENT):
-            body = payloads[(worker + i) % len(payloads)]
-            request = urllib.request.Request(
-                f"{base}/election", data=body, headers={"Content-Type": "application/json"}
-            )
-            begin = time.perf_counter()
-            try:
-                with urllib.request.urlopen(request, timeout=30) as response:
-                    response.read()
-            except Exception as error:  # pragma: no cover - failure path
-                errors.append(error)
-                return
-            elapsed = time.perf_counter() - begin
-            with latencies_lock:
-                latencies.append(elapsed)
+    with ThreadedElectionServer(
+        ElectionService(store=ArtifactStore(store_dir), workers=4)
+    ) as running:
 
-    workers = [threading.Thread(target=client, args=(w,)) for w in range(CLIENTS)]
-    begin = time.perf_counter()
-    for worker in workers:
-        worker.start()
-    for worker in workers:
-        worker.join()
-    total = time.perf_counter() - begin
-    with urllib.request.urlopen(f"{base}/stats") as response:
-        stats = json.loads(response.read())
+        def client(worker: int) -> None:
+            for i in range(REQUESTS_PER_CLIENT):
+                body = payloads[(worker + i) % len(payloads)]
+                request = urllib.request.Request(
+                    f"{running.base}/election",
+                    data=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                begin = time.perf_counter()
+                try:
+                    with urllib.request.urlopen(request, timeout=30) as response:
+                        response.read()
+                except Exception as error:  # pragma: no cover - failure path
+                    errors.append(error)
+                    return
+                elapsed = time.perf_counter() - begin
+                with latencies_lock:
+                    latencies.append(elapsed)
 
-    async def _shutdown() -> None:
-        await server.close()
-        await asyncio.sleep(0.05)
-
-    asyncio.run_coroutine_threadsafe(_shutdown(), loop).result(10)
-    loop.call_soon_threadsafe(loop.stop)
-    thread.join(10)
+        workers = [threading.Thread(target=client, args=(w,)) for w in range(CLIENTS)]
+        begin = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        total = time.perf_counter() - begin
+        stats = running.get("/stats")
     if errors:
         raise RuntimeError(f"{len(errors)} client requests failed: {errors[0]}")
     ordered = sorted(latencies)

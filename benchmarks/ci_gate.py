@@ -13,6 +13,13 @@ cold child process (``--replay``) pointed at it.  The child must answer the
 same sweep with **zero refinement passes and zero fresh search states**,
 served entirely from store records, and produce a byte-identical table.
 
+Since PR 4 the gate additionally certifies the *batch/streaming* layer over
+the wire: a 200-graph mixed-corpus sweep streamed through ``POST
+/elections`` must be byte-identical, item by item, to sequential ``POST
+/election`` calls (modulo the declared volatile timing fields, which the
+stream omits), and a store-warm replay of the same batch by a fresh service
+must perform **zero refinement passes**.
+
 Usage (as in ``.github/workflows/ci.yml``)::
 
     PYTHONPATH=src python benchmarks/ci_gate.py [output.json]
@@ -115,6 +122,80 @@ def _store_warm_replay() -> dict:
         shutil.rmtree(store_dir, ignore_errors=True)
 
 
+#: The acceptance batch: a 200-graph mixed-corpus sweep (every scenario
+#: family, feasible and infeasible alike), expanded server-side.
+BATCH_SWEEP = {"corpus": "mixed", "count": 200, "seed": 4}
+
+
+def _batch_gate(failures) -> dict:
+    """Certify the batch endpoint: byte-identity and store-warm zero-refinement."""
+    from repro.service import ElectionService, deterministic_response
+    from repro.service.batch import expand_sweep
+    from repro.store import ArtifactStore
+    from service_harness import ThreadedElectionServer
+
+    store_dir = tempfile.mkdtemp(prefix="repro-gate-batch-")
+    refinement_cache.clear()
+    reset_search_statistics()
+    result: dict = {"items": BATCH_SWEEP["count"]}
+    try:
+        # cold: stream the whole corpus through POST /elections, store-backed
+        with ThreadedElectionServer(
+            ElectionService(store=ArtifactStore(store_dir), workers=4)
+        ) as running:
+            started = time.perf_counter()
+            lines, _gaps, _wall = running.post_batch({"sweep": BATCH_SWEEP})
+            result["cold_stream_s"] = round(time.perf_counter() - started, 6)
+            items = lines[1:-1]
+            trailer = lines[-1]
+            if trailer.get("ok") != BATCH_SWEEP["count"] or trailer.get("errors"):
+                failures.append(f"batch gate: unexpected trailer {trailer}")
+            # byte-identity: every streamed item vs a sequential single call
+            mismatches = 0
+            for payload, line in zip(expand_sweep(BATCH_SWEEP), items):
+                single = deterministic_response(running.post("/election", payload))
+                streamed = {
+                    key: value
+                    for key, value in line.items()
+                    if key not in ("index", "status")
+                }
+                if json.dumps(streamed, sort_keys=True) != json.dumps(single, sort_keys=True):
+                    mismatches += 1
+            result["byte_mismatches"] = mismatches
+            if mismatches:
+                failures.append(
+                    f"batch gate: {mismatches} streamed items differ from sequential calls"
+                )
+        # store-warm replay: a fresh service (cold cache, same store) must
+        # answer the identical batch without a single refinement pass
+        refinement_cache.clear()
+        reset_search_statistics()
+        with ThreadedElectionServer(
+            ElectionService(store=ArtifactStore(store_dir), workers=4)
+        ) as running:
+            started = time.perf_counter()
+            replay_lines, _gaps, _wall = running.post_batch({"sweep": BATCH_SWEEP})
+            result["warm_stream_s"] = round(time.perf_counter() - started, 6)
+            stats = running.get("/stats")
+        replay_trailer = replay_lines[-1]
+        result["warm_refinement_passes"] = stats["cache"]["refinement_passes"]
+        result["warm_store_hits"] = stats["cache"]["store_hits"]
+        if replay_trailer.get("ok") != BATCH_SWEEP["count"]:
+            failures.append(f"batch gate: warm replay trailer {replay_trailer}")
+        if result["warm_refinement_passes"] != 0:
+            failures.append(
+                f"batch gate: store-warm batch replay performed "
+                f"{result['warm_refinement_passes']} refinement passes (expected 0)"
+            )
+        if [line for line in replay_lines[1:-1]] != items:
+            failures.append("batch gate: warm replay stream differs from the cold stream")
+    finally:
+        refinement_cache.attach_store(None)
+        refinement_cache.clear()
+        shutil.rmtree(store_dir, ignore_errors=True)
+    return result
+
+
 def main(argv) -> int:
     if len(argv) > 2 and argv[1] == "--replay":
         return _replay(argv[2])
@@ -125,7 +206,10 @@ def main(argv) -> int:
     cold_report, cold = _measure(runner)
     warm_report, warm = _measure(runner)
     store_warm = _store_warm_replay()
+    failures = []
+    batch = _batch_gate(failures)
     payload = {
+        "batch": batch,
         "sweep_graphs": [spec.label for spec in GATE_SWEEP.graphs],
         "cold": cold,
         "warm": warm,
@@ -144,7 +228,6 @@ def main(argv) -> int:
         handle.write("\n")
     print(json.dumps(payload, indent=2, sort_keys=True))
 
-    failures = []
     if warm["refinement_passes"] != 0:
         failures.append(
             f"warm replay performed {warm['refinement_passes']} refinement passes (expected 0)"

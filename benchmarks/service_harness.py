@@ -1,0 +1,91 @@
+"""Shared in-process service harness for benchmarks and the CI gate.
+
+Runs an :class:`~repro.service.ElectionServer` on an ephemeral port, driven
+by a background event-loop thread, and provides tiny blocking HTTP helpers
+(single query, NDJSON batch stream, stats) so benchmark scripts and
+``ci_gate.py`` exercise the real wire protocol without duplicating the
+server plumbing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service import ElectionServer, ElectionService
+
+__all__ = ["ThreadedElectionServer"]
+
+
+class ThreadedElectionServer:
+    """Context manager: a live server on ``127.0.0.1:<ephemeral>``."""
+
+    def __init__(self, service: ElectionService) -> None:
+        self.service = service
+        self.server = ElectionServer(service, port=0)
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self.base = ""
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.server.start())
+        self._started.set()
+        self._loop.run_forever()
+
+    def __enter__(self) -> "ThreadedElectionServer":
+        self._thread.start()
+        if not self._started.wait(10):
+            raise RuntimeError("service failed to start")
+        self.base = f"http://127.0.0.1:{self.server.port}"
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        async def _shutdown() -> None:
+            await self.server.close()
+            await asyncio.sleep(0.05)
+
+        asyncio.run_coroutine_threadsafe(_shutdown(), self._loop).result(10)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(10)
+
+    # ------------------------------------------------------------------ #
+    def get(self, path: str) -> Dict[str, Any]:
+        with urllib.request.urlopen(f"{self.base}{path}", timeout=60) as response:
+            return json.loads(response.read())
+
+    def post(self, path: str, payload: Any) -> Dict[str, Any]:
+        request = urllib.request.Request(
+            f"{self.base}{path}",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=600) as response:
+            return json.loads(response.read())
+
+    def post_batch(
+        self, payload: Any
+    ) -> Tuple[List[Dict[str, Any]], List[float], float]:
+        """POST a batch; returns (parsed NDJSON lines, per-line arrival gaps, wall s)."""
+        request = urllib.request.Request(
+            f"{self.base}/elections",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        lines: List[Dict[str, Any]] = []
+        gaps: List[float] = []
+        begin = time.perf_counter()
+        previous: Optional[float] = None
+        with urllib.request.urlopen(request, timeout=600) as response:
+            for raw_line in response:
+                now = time.perf_counter()
+                if previous is not None:
+                    gaps.append(now - previous)
+                previous = now
+                lines.append(json.loads(raw_line))
+        return lines, gaps, time.perf_counter() - begin

@@ -25,12 +25,23 @@ optional persistent artifact store)::
         --tasks S,PE --workers 4 --format csv --output results.csv
     repro-leader-election bench --spec sweep.json --repeat 2 --cache-stats
     repro-leader-election bench --generator complete --sizes 5,6,7 --store artifacts/
+    repro-leader-election bench --generator random-regular --sizes 6,8,10 --batch
+
+Run a seeded scenario-corpus sweep, streaming NDJSON records as they
+complete (locally through the runner fan-out, or against a running batch
+service with ``--url``)::
+
+    repro-leader-election sweep --corpus mixed --count 200 --seed 7 --workers 4
+    repro-leader-election sweep --corpus mixed --count 200 --seed 7 \
+        --url http://localhost:8765
 
 Serve the election pipeline over HTTP (asyncio, request coalescing, warm
-starts from the artifact store)::
+starts from the artifact store, batch/streaming sweeps)::
 
     repro-leader-election serve --port 8765 --store artifacts/
     curl -s localhost:8765/stats
+    curl -sN localhost:8765/elections \
+        -d '{"sweep": {"corpus": "mixed", "count": 50, "seed": 7}}'
 """
 
 from __future__ import annotations
@@ -140,6 +151,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persistent artifact store: warm-start from DIR and write results through",
     )
+    bench.add_argument(
+        "--batch",
+        action="store_true",
+        help="stream NDJSON records as graphs complete instead of a final table",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="stream a seeded scenario-corpus sweep as NDJSON (locally or via --url)",
+    )
+    sweep.add_argument(
+        "--corpus",
+        default="mixed",
+        help="named scenario corpus to expand (see repro.scenarios)",
+    )
+    sweep.add_argument("--count", type=int, default=50, help="number of corpus graphs")
+    sweep.add_argument("--seed", type=int, default=0, help="corpus expansion seed")
+    sweep.add_argument("--spec", metavar="FILE", help="load a SweepSpec JSON instead of a corpus")
+    sweep.add_argument("--tasks", default="S,PE,PPE,CPPE", help="comma-separated task codes")
+    sweep.add_argument("--max-depth", type=int, default=None)
+    sweep.add_argument("--max-states", type=int, default=200_000)
+    sweep.add_argument("--workers", type=int, default=1, help="worker processes (local mode)")
+    sweep.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="artifact store to warm-start from and write through (local mode)",
+    )
+    sweep.add_argument(
+        "--url",
+        default=None,
+        metavar="BASE",
+        help="POST the sweep to a running service (e.g. http://localhost:8765) "
+        "and stream its NDJSON response instead of computing locally",
+    )
+    sweep.add_argument(
+        "--window", type=int, default=None, help="service in-flight window (--url mode)"
+    )
+    sweep.add_argument("--output", default="-", help="write NDJSON here ('-' = stdout)")
 
     serve = sub.add_parser(
         "serve",
@@ -274,6 +324,14 @@ def _command_bench(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"bench: {error}", file=sys.stderr)
         return 2
+    if args.batch:
+        try:
+            written = _stream_ndjson(runner, sweep, args.output)
+        except ValueError as error:
+            print(f"bench: {error}", file=sys.stderr)
+            return 2
+        print(f"bench --batch: streamed {written} records", file=sys.stderr)
+        return 0
     report = None
     for run_number in range(1, args.repeat + 1):
         before = refinement_cache.stats()
@@ -306,6 +364,123 @@ def _command_bench(args: argparse.Namespace) -> int:
     else:
         with open(args.output, "w", encoding="utf-8", newline="") as handle:
             handle.write(rendered)
+    return 0
+
+
+def _stream_ndjson(runner, sweep, output: str) -> int:
+    """Stream a sweep through the runner as NDJSON lines; returns the line count."""
+    handle = sys.stdout if output == "-" else open(output, "w", encoding="utf-8")
+    written = 0
+    try:
+        for index, status, payload in runner.stream(sweep):
+            line = {"index": index, "status": status}
+            if status == "ok":
+                line.update(payload)
+            else:
+                line["error"] = payload
+            handle.write(json.dumps(line, sort_keys=True) + "\n")
+            handle.flush()
+            written += 1
+    finally:
+        if handle is not sys.stdout:
+            handle.close()
+    return written
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from .core import Task
+
+    try:
+        tasks = [Task(code.strip()) for code in args.tasks.split(",") if code.strip()]
+    except ValueError as error:
+        print(f"sweep: {error}", file=sys.stderr)
+        return 2
+    if args.url is not None:
+        return _sweep_remote(args, [task.value for task in tasks])
+    from .runner import ExperimentRunner, SweepSpec
+    from .scenarios import corpus_specs
+
+    try:
+        if args.spec:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                sweep = SweepSpec.from_json(handle.read())
+        else:
+            sweep = SweepSpec.make(
+                corpus_specs(args.count, seed=args.seed, corpus=args.corpus),
+                tasks=tasks,
+                max_depth=args.max_depth,
+                max_states=args.max_states,
+            )
+        runner = ExperimentRunner(workers=args.workers, store_path=args.store)
+        written = _stream_ndjson(runner, sweep, args.output)
+    except (ValueError, OSError) as error:
+        print(f"sweep: {error}", file=sys.stderr)
+        return 2
+    print(f"sweep: streamed {written} records", file=sys.stderr)
+    return 0
+
+
+def _sweep_remote(args: argparse.Namespace, task_codes: List[str]) -> int:
+    """POST the sweep to a running batch service and relay its NDJSON stream."""
+    import urllib.error
+    import urllib.request
+
+    if args.spec:
+        from .runner import SweepSpec
+
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                sweep = SweepSpec.from_json(handle.read())
+        except (ValueError, OSError) as error:
+            print(f"sweep: {error}", file=sys.stderr)
+            return 2
+        body = {
+            "items": [
+                {
+                    "spec": spec.to_dict(),
+                    "tasks": [task.value for task in sweep.tasks],
+                    "max_depth": sweep.max_depth,
+                    "max_states": sweep.max_states,
+                }
+                for spec in sweep.graphs
+            ]
+        }
+    else:
+        declarative = {
+            "corpus": args.corpus,
+            "count": args.count,
+            "seed": args.seed,
+            "tasks": task_codes,
+            "max_states": args.max_states,
+        }
+        if args.max_depth is not None:
+            declarative["max_depth"] = args.max_depth
+        body = {"sweep": declarative}
+    if args.window is not None:
+        body["window"] = args.window
+    request = urllib.request.Request(
+        f"{args.url.rstrip('/')}/elections",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    handle = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
+    written = 0
+    try:
+        with urllib.request.urlopen(request) as response:
+            for raw_line in response:
+                handle.write(raw_line.decode("utf-8"))
+                handle.flush()
+                written += 1
+    except urllib.error.HTTPError as error:
+        print(f"sweep: service rejected the batch: {error.read().decode()}", file=sys.stderr)
+        return 2
+    except (urllib.error.URLError, OSError) as error:
+        print(f"sweep: {error}", file=sys.stderr)
+        return 2
+    finally:
+        if handle is not sys.stdout:
+            handle.close()
+    print(f"sweep: relayed {written} stream lines from {args.url}", file=sys.stderr)
     return 0
 
 
@@ -347,6 +522,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_counts(args)
     if args.command == "bench":
         return _command_bench(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     if args.command == "serve":
         return _command_serve(args)
     parser.error(f"unknown command {args.command!r}")

@@ -9,8 +9,9 @@ seeded random connected graph generator for property-based testing.
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .builder import GraphBuilder
 from .graph import PortLabeledGraph
@@ -31,6 +32,12 @@ __all__ = [
     "caterpillar_graph",
     "random_connected_graph",
     "random_tree",
+    "random_regular_graph",
+    "erdos_renyi_graph",
+    "circulant_graph",
+    "torus_graph",
+    "twisted_torus_graph",
+    "de_bruijn_like_graph",
 ]
 
 
@@ -337,3 +344,236 @@ def random_connected_graph(
         adj[u][pu] = (v, pv)
         adj[v][pv] = (u, pu)
     return PortLabeledGraph(adj, name=name or f"random-{n}-{seed}")
+
+
+# --------------------------------------------------------------------------- #
+# seeded scenario-corpus families (see repro.scenarios)
+# --------------------------------------------------------------------------- #
+def _edge_set_connected(n: int, edges: Set[Tuple[int, int]]) -> bool:
+    """Whether the simple graph given by ``edges`` on ``0..n-1`` is connected."""
+    neighbours: List[List[int]] = [[] for _ in range(n)]
+    for u, v in edges:
+        neighbours[u].append(v)
+        neighbours[v].append(u)
+    seen = [False] * n
+    seen[0] = True
+    stack = [0]
+    while stack:
+        x = stack.pop()
+        for y in neighbours[x]:
+            if not seen[y]:
+                seen[y] = True
+                stack.append(y)
+    return all(seen)
+
+
+def _randomly_ported(
+    n: int, edges: Set[Tuple[int, int]], rng: random.Random, name: str
+) -> PortLabeledGraph:
+    """Freeze an edge set into a graph whose ports are a seeded permutation.
+
+    Neighbours are enumerated in sorted edge order and each node draws a
+    random permutation of ``0..d-1`` for its ports, so the labeling (like the
+    edge set) is a deterministic function of the ``rng`` state.
+    """
+    incident: List[List[int]] = [[] for _ in range(n)]
+    for u, v in sorted(edges):
+        incident[u].append(v)
+        incident[v].append(u)
+    port_of: List[Dict[int, int]] = []
+    for v in range(n):
+        ports = list(range(len(incident[v])))
+        rng.shuffle(ports)
+        port_of.append({u: ports[i] for i, u in enumerate(incident[v])})
+    adj: List[Dict[int, Tuple[int, int]]] = [dict() for _ in range(n)]
+    for u, v in edges:
+        pu, pv = port_of[u][v], port_of[v][u]
+        adj[u][pu] = (v, pv)
+        adj[v][pv] = (u, pu)
+    return PortLabeledGraph(adj, name=name)
+
+
+def random_regular_graph(
+    n: int, degree: int = 3, *, seed: int = 0, name: str = ""
+) -> PortLabeledGraph:
+    """A seeded random ``degree``-regular simple connected graph on ``n`` nodes.
+
+    Sampled by the pairing (configuration) model: stubs are shuffled and
+    paired, and the attempt is rejected (deterministically retried) on
+    self-loops, parallel edges or disconnectedness.  Ports at each node are a
+    seeded random permutation of ``0..degree-1``, so the graph is a pure
+    function of ``(n, degree, seed)``.
+    """
+    if n < 3:
+        raise ValueError("need at least three nodes")
+    if degree < 2 or degree >= n:
+        raise ValueError("degree must be between 2 and n-1")
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even")
+    rng = random.Random(f"regular:{n}:{degree}:{seed}")
+    for _attempt in range(500):
+        stubs = [v for v in range(n) for _ in range(degree)]
+        rng.shuffle(stubs)
+        edges: Set[Tuple[int, int]] = set()
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v or (min(u, v), max(u, v)) in edges:
+                ok = False
+                break
+            edges.add((min(u, v), max(u, v)))
+        if ok and _edge_set_connected(n, edges):
+            return _randomly_ported(n, edges, rng, name or f"regular-{n}-{degree}-{seed}")
+    raise ValueError(
+        f"could not sample a connected {degree}-regular simple graph on {n} nodes"
+    )
+
+
+def erdos_renyi_graph(
+    n: int, p: Optional[float] = None, *, seed: int = 0, name: str = ""
+) -> PortLabeledGraph:
+    """A seeded *connected* Erdős–Rényi graph G(n, p) with random ports.
+
+    ``p`` defaults to a value safely above the ``ln n / n`` connectivity
+    threshold.  Samples are redrawn (deterministically) until connected, so
+    the result is a pure function of ``(n, p, seed)``.
+    """
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    if p is None:
+        p = min(1.0, 2.5 * math.log(max(n, 2)) / n)
+    if not 0.0 < p <= 1.0:
+        raise ValueError("p must be in (0, 1]")
+    rng = random.Random(f"gnp:{n}:{p!r}:{seed}")
+    for _attempt in range(1000):
+        edges = {
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if rng.random() < p
+        }
+        if edges and _edge_set_connected(n, edges):
+            return _randomly_ported(n, edges, rng, name or f"gnp-{n}-{seed}")
+    raise ValueError(f"G({n}, {p}) never came out connected; raise p")
+
+
+def circulant_graph(
+    n: int, steps: Sequence[int] = (1, 2), *, name: str = ""
+) -> PortLabeledGraph:
+    """The circulant graph C_n(steps) with a rotation-symmetric port labeling.
+
+    Node ``i`` is adjacent to ``i ± s (mod n)`` for every step ``s``; the edge
+    towards ``i + s`` carries port ``2t`` and the edge towards ``i - s`` port
+    ``2t + 1`` (``t`` the index of ``s``), identically at every node.  The
+    rotation ``i -> i + 1`` is then a port-preserving automorphism, so all
+    views coincide: the whole family is infeasible for leader election -- a
+    rich generalisation of the symmetric cycle.
+    """
+    if n < 3:
+        raise ValueError("need at least three nodes")
+    step_list = tuple(sorted({int(s) for s in steps}))
+    if not step_list or step_list[0] < 1 or step_list[-1] > n // 2:
+        raise ValueError(f"steps must be distinct integers in 1..{n // 2}")
+    divisor = n
+    for s in step_list:
+        divisor = math.gcd(divisor, s)
+    if divisor != 1:
+        raise ValueError(f"C_{n}({step_list}) is disconnected (gcd {divisor})")
+    adj: List[Dict[int, Tuple[int, int]]] = [dict() for _ in range(n)]
+    for t, s in enumerate(step_list):
+        if 2 * s == n:
+            # antipodal chord: one edge, labeled 2t at both endpoints
+            for i in range(s):
+                adj[i][2 * t] = (i + s, 2 * t)
+                adj[i + s][2 * t] = (i, 2 * t)
+        else:
+            for i in range(n):
+                j = (i + s) % n
+                adj[i][2 * t] = (j, 2 * t + 1)
+                adj[j][2 * t + 1] = (i, 2 * t)
+    label = ",".join(str(s) for s in step_list)
+    return PortLabeledGraph(adj, name=name or f"circulant-{n}({label})")
+
+
+def torus_graph(rows: int, cols: int, *, name: str = "") -> PortLabeledGraph:
+    """The ``rows x cols`` torus (wrap-around grid), ports (up, down, left, right).
+
+    Every node uses port 0 up, 1 down, 2 left, 3 right, so all translations
+    are port-preserving automorphisms: the torus is vertex-transitive as a
+    port-labeled graph and leader election is infeasible.
+    """
+    return _torus(rows, cols, 0, name or f"torus-{rows}x{cols}")
+
+
+def twisted_torus_graph(
+    rows: int, cols: int, twist: int = 1, *, name: str = ""
+) -> PortLabeledGraph:
+    """A torus whose horizontal wrap-around shifts by ``twist`` rows.
+
+    The edge leaving column ``cols - 1`` to the right re-enters column 0
+    ``twist`` rows down, turning the ``cols``-cycles of rightward edges into
+    longer helical cycles.  All translations remain port-preserving
+    automorphisms, so every view still coincides (infeasible, like the plain
+    torus) -- which makes the pair a deliberate stressor: a twisted torus
+    and the same-size plain torus are *different* graphs with *identical*
+    refinement fingerprints, exactly the collision the cache buckets and the
+    store resolve by exact labeled equality.
+    """
+    return _torus(rows, cols, twist % rows, name or f"twisted-torus-{rows}x{cols}+{twist % rows}")
+
+
+def _torus(rows: int, cols: int, twist: int, name: str) -> PortLabeledGraph:
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs rows >= 3 and cols >= 3 (smaller wraps double edges)")
+    up, down, left, right = 0, 1, 2, 3
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    adj: List[Dict[int, Tuple[int, int]]] = [dict() for _ in range(rows * cols)]
+    for r in range(rows):
+        for c in range(cols):
+            v = node(r, c)
+            adj[v][down] = (node((r + 1) % rows, c), up)
+            adj[node((r + 1) % rows, c)][up] = (v, down)
+            if c + 1 < cols:
+                u = node(r, c + 1)
+            else:
+                u = node((r + twist) % rows, 0)
+            adj[v][right] = (u, left)
+            adj[u][left] = (v, right)
+    return PortLabeledGraph(adj, name=name)
+
+
+def de_bruijn_like_graph(
+    dimension: int, base: int = 2, *, name: str = ""
+) -> PortLabeledGraph:
+    """The simple undirected graph underlying the de Bruijn graph B(base, dimension).
+
+    Nodes are ``0 .. base**dimension - 1``; ``u`` and ``v`` are adjacent when
+    one is a shift-and-append successor of the other (``v = u*base + c mod
+    n``), with self-loops dropped and parallel arcs collapsed.  Ports are
+    assigned in increasing neighbour order.  The collapsed self-loops and
+    two-cycles make the degrees uneven, so unlike the hypercube this
+    port-labeled family is asymmetric (and typically feasible).
+    """
+    if base < 2:
+        raise ValueError("base must be at least 2")
+    if dimension < 2:
+        raise ValueError("dimension must be at least 2")
+    n = base ** dimension
+    neighbour_sets: List[Set[int]] = [set() for _ in range(n)]
+    for u in range(n):
+        for c in range(base):
+            v = (u * base + c) % n
+            if v != u:
+                neighbour_sets[u].add(v)
+                neighbour_sets[v].add(u)
+    port_of: List[Dict[int, int]] = [
+        {u: i for i, u in enumerate(sorted(neighbour_sets[v]))} for v in range(n)
+    ]
+    adj: List[Dict[int, Tuple[int, int]]] = [dict() for _ in range(n)]
+    for u in range(n):
+        for v in neighbour_sets[u]:
+            adj[u][port_of[u][v]] = (v, port_of[v][u])
+    return PortLabeledGraph(adj, name=name or f"debruijn-{base}^{dimension}")

@@ -257,14 +257,15 @@ class RefinementCache:
         record = ArtifactRecord.from_computed(
             entry.graph, memo=entry.memo, include_advice=include_advice
         )
-        existing = store.get_bytes(record.fingerprint)
+        # merge with what the store holds for this *exact labeled graph* --
+        # resolved through the same lookup the warm-start path uses, so a
+        # labeling spilled behind a colliding fingerprint merges with its
+        # own record, never with the primary owner's
+        existing = store.load_for_graph(entry.graph)
         if existing is not None:
             try:
-                record = record.merged_with(ArtifactRecord.from_bytes(existing))
-            except ValueError:
-                # corrupt incumbent (put replaces it) or a different labeling
-                # behind the same relabeling-invariant fingerprint (put
-                # refuses the conflict; this labeling stays in-memory only)
+                record = record.merged_with(existing)
+            except ValueError:  # pragma: no cover - defensive
                 pass
         return store.put(record)
 

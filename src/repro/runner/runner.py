@@ -21,7 +21,7 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..core.election_index import SearchLimitExceeded, election_index
 from ..core.feasibility import is_feasible
@@ -126,6 +126,22 @@ def _evaluate_indexed(job: Tuple[int, GraphSpec, SweepSpec]) -> Tuple[int, Dict[
     return index, evaluate_graph_spec(spec, sweep)
 
 
+def _evaluate_guarded(
+    job: Tuple[int, GraphSpec, SweepSpec]
+) -> Tuple[int, str, Any]:
+    """Streaming job wrapper: a bad graph fails its *item*, not the sweep.
+
+    Batch sweeps mix arbitrary client-supplied specs, where one invalid
+    parameter set (caught as ``ValueError`` by the builders) must surface as
+    a per-item error record while the rest of the stream proceeds.
+    """
+    index, spec, sweep = job
+    try:
+        return index, "ok", evaluate_graph_spec(spec, sweep)
+    except ValueError as error:
+        return index, "error", f"{spec.label}: {error}"
+
+
 @dataclass(frozen=True)
 class RunReport:
     """A finished sweep: the table plus execution metadata.
@@ -222,6 +238,35 @@ class ExperimentRunner:
             cache_stats=refinement_cache.stats(),
             store_stats=store.stats() if store is not None else None,
         )
+
+    def stream(self, sweep: SweepSpec) -> Iterator[Tuple[int, str, Any]]:
+        """Evaluate the sweep lazily, yielding ``(index, status, payload)``.
+
+        Items arrive in spec order as they complete -- serially one by one,
+        with ``workers > 1`` through ``pool.imap`` (order-preserving, so the
+        stream is deterministic either way).  ``status`` is ``"ok"`` with the
+        flat result record, or ``"error"`` with a message for a graph whose
+        construction failed; unlike :meth:`run`, a bad item does not abort
+        the sweep.  Store write-through works exactly as in :meth:`run`.
+        This is the fan-out behind the batch service's declarative sweeps
+        and the ``sweep`` / ``bench --batch`` CLI streaming modes.
+        """
+        if self._store_path is not None:
+            attach_store_path(self._store_path)
+        settings = replace(sweep, graphs=())
+        jobs = [(index, spec, settings) for index, spec in enumerate(sweep.graphs)]
+        if self._workers == 1 or len(jobs) <= 1:
+            for job in jobs:
+                yield _evaluate_guarded(job)
+            return
+        chunk = self._resolve_chunk_size(len(jobs))
+        initializer = attach_store_path if self._store_path is not None else None
+        initargs = (self._store_path,) if self._store_path is not None else ()
+        with multiprocessing.Pool(
+            processes=self._workers, initializer=initializer, initargs=initargs
+        ) as pool:
+            for item in pool.imap(_evaluate_guarded, jobs, chunksize=chunk):
+                yield item
 
 
 def run_sweep(

@@ -79,6 +79,14 @@ _BUILDERS: Dict[str, Callable[..., PortLabeledGraph]] = {
     "jmuk-template": lambda mu, k: build_jmuk_template(mu, k).graph,
 }
 
+# the seeded scenario-corpus families (random-regular, connected
+# Erdős–Rényi, circulant, torus / twisted-torus, de Bruijn-like) register
+# here too, so specs, the CLI, the batch service and the benchmarks all see
+# them; their single-size kinds surface in sized_graph_kinds() automatically
+from ..scenarios.corpus import SCENARIO_BUILDERS as _SCENARIO_BUILDERS  # noqa: E402
+
+_BUILDERS.update(_SCENARIO_BUILDERS)
+
 
 def graph_kinds() -> Tuple[str, ...]:
     """The registered graph kinds, sorted (for CLI help and error messages)."""

@@ -1,0 +1,26 @@
+"""Seeded scenario corpus: the graph space behind batch sweeps.
+
+The four election tasks (S ⊆ PE ⊆ PPE ⊆ CPPE) and their indices ψ_Z are only
+meaningful across *many* networks; this package supplies that breadth as
+data.  :mod:`repro.scenarios.corpus` registers the scenario generator
+families (random-regular, connected Erdős–Rényi, circulant, torus /
+twisted-torus, de Bruijn-like) with the runner's graph-kind registry and
+expands *named corpora* -- deterministic, prefix-stable mixes of families
+reproducible from ``(name, count, seed)`` -- into
+:class:`~repro.runner.spec.GraphSpec` lists consumed by the CLI, the batch
+service, the conformance tests and the benchmarks alike.
+"""
+
+from .corpus import (
+    SCENARIO_BUILDERS,
+    corpus_names,
+    corpus_specs,
+    scenario_kinds,
+)
+
+__all__ = [
+    "SCENARIO_BUILDERS",
+    "corpus_names",
+    "corpus_specs",
+    "scenario_kinds",
+]

@@ -1,0 +1,167 @@
+"""The seeded scenario corpus: deterministic graph mixes at any scale.
+
+Two layers:
+
+* **Scenario builders.**  :data:`SCENARIO_BUILDERS` maps the new generator
+  kinds (random-regular, connected Erdős–Rényi, circulant, torus,
+  twisted-torus, de Bruijn-like) to the :mod:`repro.portgraph.generators`
+  functions behind them.  The runner's spec registry merges this table, so
+  every surface that speaks ``(kind, params)`` -- ``GraphSpec``, the CLI's
+  ``bench`` / ``sweep`` / ``indices`` subcommands, the election service, the
+  benchmarks -- sees the scenario families without further wiring, and the
+  single-size kinds appear in ``spec.sized_graph_kinds()`` automatically.
+
+* **Named corpora.**  :func:`corpus_specs` expands a corpus name plus
+  ``(count, seed)`` into a list of :class:`~repro.runner.spec.GraphSpec`.
+  Expansion is a pure function of its arguments and *prefix-stable*: the
+  first ``k`` specs of ``corpus_specs(name, n, seed)`` equal
+  ``corpus_specs(name, k, seed)`` for ``k <= n``, which is what makes a
+  partially-consumed batch resumable by simply re-requesting the same spec.
+
+Every scenario graph is reproducible from ``(kind, params, seed)`` alone:
+the seeded generators derive their RNG from those values, never from global
+state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Tuple
+
+from ..portgraph import generators
+from ..portgraph.graph import PortLabeledGraph
+
+__all__ = ["SCENARIO_BUILDERS", "corpus_names", "corpus_specs", "scenario_kinds"]
+
+#: kind -> builder(**params) -> PortLabeledGraph, merged into the runner's
+#: graph-kind registry (single-required-parameter kinds become "sized" kinds
+#: usable as ``--generator NAME --sizes ...``).
+SCENARIO_BUILDERS: Dict[str, Callable[..., PortLabeledGraph]] = {
+    "random-regular": lambda n, degree=3, seed=0: generators.random_regular_graph(
+        n, degree, seed=seed
+    ),
+    "erdos-renyi": lambda n, p=None, seed=0: generators.erdos_renyi_graph(n, p, seed=seed),
+    "circulant": lambda n, steps=(1, 2): generators.circulant_graph(n, steps),
+    "torus": lambda rows, cols: generators.torus_graph(rows, cols),
+    "twisted-torus": lambda rows, cols, twist=1: generators.twisted_torus_graph(
+        rows, cols, twist
+    ),
+    "de-bruijn": lambda dimension, base=2: generators.de_bruijn_like_graph(dimension, base),
+}
+
+
+def scenario_kinds() -> Tuple[str, ...]:
+    """The scenario generator kinds, sorted."""
+    return tuple(sorted(SCENARIO_BUILDERS))
+
+
+# --------------------------------------------------------------------------- #
+# named corpora
+# --------------------------------------------------------------------------- #
+# Each template draws one (kind, params) from the corpus RNG.  Templates are
+# cycled in fixed order, one draw per item, so expansion is prefix-stable.
+_Template = Callable[[random.Random], Tuple[str, Dict[str, Any]]]
+
+
+def _t_random_regular(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
+    n = 2 * rng.randint(3, 5)  # even, 6..10: 3-regular needs n*degree even
+    return "random-regular", {"n": n, "degree": 3, "seed": rng.randint(0, 9999)}
+
+
+def _t_erdos_renyi(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
+    return "erdos-renyi", {"n": rng.randint(5, 10), "seed": rng.randint(0, 9999)}
+
+
+def _t_circulant(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
+    n = rng.randint(6, 12)
+    steps = rng.choice([(1, 2), (1, 3)])
+    return "circulant", {"n": n, "steps": list(steps)}
+
+
+def _t_torus(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
+    return "torus", {"rows": 3, "cols": rng.randint(3, 4)}
+
+
+def _t_twisted_torus(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
+    rows = rng.randint(3, 4)
+    return "twisted-torus", {"rows": rows, "cols": 3, "twist": rng.randint(1, rows - 1)}
+
+
+def _t_de_bruijn(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
+    return "de-bruijn", {"dimension": rng.choice([2, 3]), "base": rng.choice([2, 3])}
+
+
+def _t_asymmetric_cycle(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
+    return "asymmetric-cycle", {"n": rng.randint(5, 11)}
+
+
+def _t_random_tree(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
+    return "random-tree", {"n": rng.randint(5, 10), "seed": rng.randint(0, 9999)}
+
+
+def _t_random_graph(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
+    n = rng.randint(6, 10)
+    return "random", {"n": n, "extra_edges": rng.randint(1, 4), "seed": rng.randint(0, 9999)}
+
+
+def _t_symmetric_cycle(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
+    return "cycle", {"n": rng.randint(4, 10)}
+
+
+def _t_caterpillar(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
+    return "caterpillar", {"spine": rng.randint(2, 4), "legs": rng.randint(1, 3)}
+
+
+#: corpus name -> template cycle.  ``mixed`` interleaves every family --
+#: feasible and infeasible, regular and irregular -- which is the default
+#: sweep corpus of the batch endpoint, the conformance suite and E17.
+_CORPORA: Dict[str, Tuple[_Template, ...]] = {
+    "mixed": (
+        _t_random_regular,
+        _t_erdos_renyi,
+        _t_circulant,
+        _t_asymmetric_cycle,
+        _t_torus,
+        _t_de_bruijn,
+        _t_random_tree,
+        _t_twisted_torus,
+        _t_random_graph,
+        _t_symmetric_cycle,
+        _t_caterpillar,
+    ),
+    # random families only: the property-based conformance corpus
+    "random": (_t_random_regular, _t_erdos_renyi, _t_random_tree, _t_random_graph),
+    # vertex-transitive labelings: every graph infeasible by construction
+    "symmetric": (_t_circulant, _t_torus, _t_symmetric_cycle),
+}
+
+
+def corpus_names() -> Tuple[str, ...]:
+    """The registered corpus names, sorted."""
+    return tuple(sorted(_CORPORA))
+
+
+def corpus_specs(count: int, *, seed: int = 0, corpus: str = "mixed") -> List["GraphSpec"]:
+    """Expand ``corpus`` into ``count`` graph specs, deterministic in ``seed``.
+
+    Templates are cycled in fixed order and consume the shared corpus RNG as
+    they go, so the expansion is a pure, prefix-stable function of
+    ``(corpus, count, seed)``: the first ``k`` items never depend on ``count``.  Duplicate
+    specs are possible (and harmless: the refinement cache and the store
+    coalesce them); they keep small corpora honest about collision handling.
+    """
+    from ..runner.spec import GraphSpec  # lazy: the spec registry imports us
+
+    templates = _CORPORA.get(corpus)
+    if templates is None:
+        raise ValueError(
+            f"unknown corpus {corpus!r}; known: {', '.join(corpus_names())}"
+        )
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    rng = random.Random(f"corpus:{corpus}:{seed}")
+    specs: List[GraphSpec] = []
+    for index in range(count):
+        kind, params = templates[index % len(templates)](rng)
+        specs.append(GraphSpec.make(kind, **params))
+    return specs

@@ -6,14 +6,21 @@ surface is deliberately small and JSON-only:
 
 * ``POST /election`` -- submit a graph (adjacency dict or generator spec)
   and get feasibility / ψ_Z indices / advice back;
-* ``GET /stats`` -- counters of every layer (service, refinement cache,
-  artifact store, joint searches);
+* ``POST /elections`` -- submit a *batch* (item list, NDJSON lines or a
+  declarative sweep spec) and stream per-item results back as NDJSON with a
+  bounded in-flight window (see :mod:`repro.service.batch`);
+* ``GET /sweeps`` / ``GET /sweeps/<id>`` -- progress/resume records of
+  batches, persisted alongside the artifact store;
+* ``GET /stats`` -- counters of every layer (service, batch coordinator,
+  refinement cache, artifact store, joint searches);
 * ``GET /healthz`` -- liveness.
 
 Connections are handled one request at a time and closed after the response
-(``Connection: close``); request bodies are capped; every response is
-``application/json`` with sorted keys, so responses are byte-deterministic
-given deterministic payloads.
+(``Connection: close``); request bodies are capped; single-query responses
+are ``application/json`` with sorted keys and batch responses are
+``application/x-ndjson`` terminated by connection close, so both are
+byte-deterministic given deterministic payloads (batches modulo the
+documented volatile fields, which the stream omits).
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import json
 import sys
 from typing import Any, Dict, Optional, Tuple
 
+from .batch import BatchCoordinator
 from .service import ElectionService, ServiceError
 
 __all__ = ["ElectionServer", "run_server"]
@@ -91,10 +99,15 @@ class ElectionServer:
         self._host = host
         self._port = port
         self._server: Optional[asyncio.AbstractServer] = None
+        self._batch = BatchCoordinator(service)
 
     @property
     def service(self) -> ElectionService:
         return self._service
+
+    @property
+    def batch(self) -> BatchCoordinator:
+        return self._batch
 
     @property
     def port(self) -> int:
@@ -134,6 +147,9 @@ class ElectionServer:
                 return
             method, path, body = request
             self._service.count_request()
+            if path == "/elections" and method == "POST":
+                await self._handle_batch(writer, body)
+                return
             status, payload = await self._dispatch(method, path, body)
             writer.write(_encode_response(status, payload))
         except ConnectionResetError:
@@ -146,6 +162,36 @@ class ElectionServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    async def _handle_batch(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+        """Stream one batch as NDJSON (body length unknown; ends at close).
+
+        Parsing happens before the status line goes out, so request-level
+        problems (oversized sweep, unknown corpus, malformed envelope) are
+        ordinary JSON 400 responses; only a valid batch switches the
+        connection into streaming mode.  A client that stops reading stalls
+        the emit (bounded window); one that disconnects cancels the sweep.
+        """
+        try:
+            request = self._batch.prepare(body)
+        except ServiceError as error:
+            writer.write(_encode_response(error.status, {"error": error.message}))
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+        )
+
+        async def emit(line: Dict[str, Any]) -> None:
+            writer.write((json.dumps(line, sort_keys=True) + "\n").encode("utf-8"))
+            await writer.drain()
+
+        try:
+            await self._batch.stream(request, emit)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; the coordinator already marked the sweep cancelled
+
     async def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, Dict[str, Any]]:
         if path == "/healthz":
             if method != "GET":
@@ -157,7 +203,23 @@ class ElectionServer:
             # off the loop: stats() takes the refinement-cache lock, which a
             # worker thread may hold while decoding a large store record
             loop = asyncio.get_running_loop()
-            return 200, await loop.run_in_executor(None, self._service.stats)
+            payload = await loop.run_in_executor(None, self._service.stats)
+            payload["batch"] = self._batch.stats()
+            return 200, payload
+        if path == "/sweeps":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, {"sweeps": self._batch.sweep_ids()}
+        if path.startswith("/sweeps/"):
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            sweep_id = path[len("/sweeps/"):]
+            status = self._batch.sweep_status(sweep_id)
+            if status is None:
+                return 404, {"error": f"unknown sweep {sweep_id!r}"}
+            return 200, status
+        if path == "/elections":
+            return 405, {"error": "use POST"}
         if path == "/election":
             if method != "POST":
                 return 405, {"error": "use POST"}

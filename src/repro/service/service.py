@@ -40,11 +40,23 @@ from ..portgraph.validation import PortLabelingError
 from ..runner import GraphSpec, SweepSpec, evaluate_graph, refinement_cache
 from ..store import ArtifactStore
 
-__all__ = ["ElectionService", "ServiceError"]
+__all__ = ["ElectionService", "ServiceError", "deterministic_response"]
 
 #: Hard cap on submitted adjacency sizes (nodes); protects the joint
 #: searches and the event loop from accidental monster submissions.
 MAX_SUBMITTED_NODES = 100_000
+
+#: Response fields that legitimately vary between otherwise identical
+#: queries (wall time, whether this request drafted behind another).  The
+#: batch endpoint strips them so streamed items are byte-identical to what
+#: sequential ``POST /election`` calls return minus exactly this set, and
+#: the CI gate compares through the same helper.
+VOLATILE_RESPONSE_FIELDS = frozenset({"elapsed_ms", "coalesced"})
+
+
+def deterministic_response(response: Dict[str, Any]) -> Dict[str, Any]:
+    """``response`` without the volatile fields: the pure-function-of-the-graph part."""
+    return {key: value for key, value in response.items() if key not in VOLATILE_RESPONSE_FIELDS}
 
 
 class ServiceError(Exception):
@@ -107,6 +119,10 @@ class ElectionService:
     def store(self) -> Optional[ArtifactStore]:
         return self._store
 
+    @property
+    def workers(self) -> int:
+        return self._workers
+
     def count_request(self) -> None:
         """Tally one HTTP request (any endpoint); called by the server."""
         self._counters["requests"] += 1
@@ -144,6 +160,14 @@ class ElectionService:
         except Exception as error:
             self._counters["errors"] += 1
             future.set_result(("error", error))
+            raise
+        except BaseException:
+            # cancellation (e.g. a batch item whose client disconnected):
+            # resolve the coalescing future so drafting waiters get a clean
+            # error instead of hanging on a future nobody will complete
+            future.set_result(
+                ("error", ServiceError(503, "computation cancelled"))
+            )
             raise
         else:
             future.set_result(("ok", result))

@@ -17,12 +17,22 @@ Consistency model
   directory followed by ``os.replace``; a reader either sees a complete
   record or no record, never a torn one.  Re-putting unchanged content is
   detected by byte comparison and skipped.
-* **The manifest is an index, not a source of truth.**  It maps fingerprints
+* **The manifest is an index, not a source of truth.**  It maps storage keys
   to metadata (graph label, sizes, the shallow ``cache_key`` used for
   read-through lookups, observed compute cost) and is rewritten atomically
   under an ``flock``; if it is lost or stale it can be rebuilt from the
   objects directory with :meth:`ArtifactStore.rebuild_manifest`.  Readers
   never need it to resolve a known fingerprint.
+* **Colliding labelings spill.**  The fingerprint is relabeling-invariant
+  and only as discriminating as colour refinement, so two *different*
+  labeled graphs can share one fingerprint (relabeled copies; or genuinely
+  different view-symmetric graphs, e.g. a torus and a twisted torus of the
+  same size).  The first writer owns the primary object
+  ``<fp>.rple``; a later put of a different labeled graph behind the same
+  fingerprint goes to a spill object ``<fp>~<labeling-digest>.rple``
+  (deterministic, so concurrent writers of the same labeling still race
+  only between identical bytes).  ``load_for_graph`` resolves by exact
+  labeled equality over all candidates, so every labeling warm-starts.
 
 Read-through by graph (not by fingerprint) is the hot path of the runner
 cache: computing a fingerprint requires refining the graph, which is exactly
@@ -35,6 +45,7 @@ process finds its record without a single refinement pass.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import threading
@@ -42,6 +53,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from ..portgraph.graph import PortLabeledGraph
+from ..portgraph.io import graph_to_bytes
 from .record import FORMAT_VERSION, ArtifactRecord
 
 __all__ = ["ArtifactStore"]
@@ -49,6 +61,9 @@ __all__ = ["ArtifactStore"]
 _MANIFEST_NAME = "manifest.json"
 _LOCK_NAME = "manifest.lock"
 _OBJECT_SUFFIX = ".rple"
+#: Separates the fingerprint from the labeling digest in a spill key
+#: (not a hex character, so primary and spill keys cannot collide).
+_SPILL_SEPARATOR = "~"
 
 
 class ArtifactStore:
@@ -68,7 +83,7 @@ class ArtifactStore:
         self._misses = 0
         self._puts = 0
         self._put_skips = 0
-        self._put_conflicts = 0
+        self._put_spills = 0
         self._bytes_read = 0
         self._bytes_written = 0
         # manifest cache: (mtime_ns, manifest dict, cache_key -> [fingerprints])
@@ -101,20 +116,20 @@ class ArtifactStore:
             self._bytes_read += len(payload)
         return payload
 
-    def get(self, fingerprint: str) -> Optional[ArtifactRecord]:
-        """The record stored for ``fingerprint``, or ``None``.
+    def get(self, key: str) -> Optional[ArtifactRecord]:
+        """The record stored under ``key`` (a fingerprint or spill key), or ``None``.
 
-        The decoded record's fingerprint is checked against the requested
-        one, so a corrupted or misplaced object surfaces as an error rather
-        than as silently wrong results.
+        The decoded record's fingerprint is checked against the key's
+        fingerprint part, so a corrupted or misplaced object surfaces as an
+        error rather than as silently wrong results.
         """
-        payload = self.get_bytes(fingerprint)
+        payload = self.get_bytes(key)
         if payload is None:
             return None
         record = ArtifactRecord.from_bytes(payload)
-        if record.fingerprint != fingerprint:
+        if record.fingerprint != key.partition(_SPILL_SEPARATOR)[0]:
             raise ValueError(
-                f"store corruption: object {fingerprint} decodes to "
+                f"store corruption: object {key} decodes to "
                 f"fingerprint {record.fingerprint}"
             )
         return record
@@ -139,7 +154,8 @@ class ArtifactStore:
         return None
 
     def fingerprints(self) -> List[str]:
-        """All stored fingerprints, from the objects directory (not the manifest)."""
+        """All stored object keys (fingerprints, plus ``fp~digest`` spill keys),
+        from the objects directory (not the manifest)."""
         found: List[str] = []
         if not os.path.isdir(self._objects):
             return found
@@ -155,6 +171,12 @@ class ArtifactStore:
     # ------------------------------------------------------------------ #
     # writes
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _spill_key(record: ArtifactRecord) -> str:
+        """The deterministic secondary key of a colliding labeling."""
+        digest = hashlib.blake2b(graph_to_bytes(record.graph), digest_size=8).hexdigest()
+        return f"{record.fingerprint}{_SPILL_SEPARATOR}{digest}"
+
     def put(self, record: ArtifactRecord, *, cost: Optional[Dict[str, float]] = None) -> bool:
         """Persist ``record`` atomically; returns whether bytes were written.
 
@@ -163,16 +185,17 @@ class ArtifactStore:
         on the next write-through.  ``cost`` is optional volatile metadata
         (e.g. cold compute seconds) recorded in the manifest only.
 
-        The fingerprint is relabeling-invariant, so two differently labeled
-        copies of one graph address the same object while encoding to
-        different bytes.  The store keeps **one labeling per fingerprint**
-        (first writer wins): a put whose fingerprint is already occupied by
-        a *different* labeled graph is refused rather than allowed to churn
-        the object back and forth, and readers of the losing labeling simply
-        miss (``load_for_graph`` resolves by exact equality) and recompute.
+        The fingerprint is relabeling-invariant, so two *different* labeled
+        graphs can address the same primary object.  The first writer owns
+        it; a later put of a different labeled graph spills to the key of
+        :meth:`_spill_key`, which is a pure function of the labeled graph --
+        so the primary never churns, every labeling has exactly one home,
+        and concurrent writers of one labeling still race only between
+        identical byte strings.
         """
         payload = record.to_bytes()
-        path = self._object_path(record.fingerprint)
+        key = record.fingerprint
+        path = self._object_path(key)
         wrote = False
         try:
             with open(path, "rb") as handle:
@@ -185,9 +208,15 @@ class ArtifactStore:
             except ValueError:
                 incumbent = None  # corrupt incumbent: replace it
             if incumbent is not None and incumbent.graph != record.graph:
+                key = self._spill_key(record)
+                path = self._object_path(key)
+                try:
+                    with open(path, "rb") as handle:
+                        existing = handle.read()
+                except FileNotFoundError:
+                    existing = None
                 with self._counter_lock:
-                    self._put_conflicts += 1
-                return False
+                    self._put_spills += 1
         if existing != payload:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             tmp_path = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
@@ -212,7 +241,7 @@ class ArtifactStore:
         }
         if cost:
             meta["cost"] = cost
-        self._ensure_manifest_entry(record.fingerprint, meta, force=wrote)
+        self._ensure_manifest_entry(key, meta, force=wrote)
         return wrote
 
     # ------------------------------------------------------------------ #
@@ -309,7 +338,7 @@ class ArtifactStore:
                 "misses": self._misses,
                 "puts": self._puts,
                 "put_skips": self._put_skips,
-                "put_conflicts": self._put_conflicts,
+                "put_spills": self._put_spills,
                 "bytes_read": self._bytes_read,
                 "bytes_written": self._bytes_written,
             }

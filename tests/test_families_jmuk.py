@@ -6,8 +6,6 @@ at µ=2, k=4), so the member is built once per module and shared.
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
 from repro.algorithms import JmukCppeAlgorithm, jmuk_leader, weaken_outputs
@@ -32,10 +30,10 @@ MU, K = 2, 4
 
 
 @pytest.fixture(scope="module")
-def member():
+def member(corpus_rng_factory):
     z = jmuk_border_count(MU, K)
-    random.seed(7)
-    y = tuple(random.randint(0, 1) for _ in range(2 ** (z - 1)))
+    rng = corpus_rng_factory("jmuk-member", seed=7)
+    y = tuple(rng.randint(0, 1) for _ in range(2 ** (z - 1)))
     return build_jmuk_member(MU, K, y)
 
 
@@ -127,13 +125,13 @@ class TestLemmas46and47:
 
 @pytest.mark.slow
 class TestLemma48Algorithm:
-    def test_cppe_outputs_validate_on_sampled_nodes(self, member):
+    def test_cppe_outputs_validate_on_sampled_nodes(self, member, corpus_rng_factory):
         algorithm = JmukCppeAlgorithm(member)
-        random.seed(3)
+        rng = corpus_rng_factory("jmuk-samples", seed=3)
         sampled_gadgets = [0, 1, 2, 3, 255, 256, 511, 512, 513, 1022, 1023]
         nodes = []
         for gadget in sampled_gadgets:
-            nodes.extend(random.sample(member.gadget_nodes(gadget), 6))
+            nodes.extend(rng.sample(member.gadget_nodes(gadget), 6))
         nodes.append(member.rho(0))
         nodes.extend(member.rho(i) for i in (1, 512, 1023))
         outputs = {v: algorithm.output(v) for v in nodes}

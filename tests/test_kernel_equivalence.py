@@ -23,6 +23,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import (
     complete_port_path_election_index,
+    is_feasible,
     port_election_index,
     port_path_election_index,
     selection_index,
@@ -303,6 +304,63 @@ class TestRandomizedEquivalence:
         )
     )
     @settings(max_examples=15, deadline=None)
+    def test_path_election_indices_match_legacy(self, graph):
+        refinement = ViewRefinement(graph)
+        assert port_path_election_index(graph, refinement=refinement) == legacy_path_index(
+            graph, complete=False
+        )
+        assert complete_port_path_election_index(
+            graph, refinement=refinement
+        ) == legacy_path_index(graph, complete=True)
+
+
+# --------------------------------------------------------------------------- #
+# the seeded scenario corpus: differential conformance
+# --------------------------------------------------------------------------- #
+def _corpus_graph(index: int, seed: int):
+    """The ``index``-th graph of the mixed corpus at ``seed`` (prefix-stable)."""
+    from repro.scenarios import corpus_specs
+
+    return corpus_specs(index + 1, seed=seed, corpus="mixed")[index].build()
+
+
+#: Random draws over the whole mixed corpus -- every scenario family
+#: (random-regular, connected Erdős–Rényi, circulant, torus, twisted torus,
+#: de Bruijn-like) plus the classic generators, at every corpus seed.
+corpus_strategy = st.builds(
+    _corpus_graph,
+    st.integers(min_value=0, max_value=21),
+    st.integers(min_value=0, max_value=2_000),
+)
+
+
+class TestCorpusConformance:
+    """The kernel path must agree with the legacy ``views/`` path on the corpus.
+
+    The randomized-equivalence suite above draws from one generator family;
+    the scenario corpus deliberately mixes regular, heavy-edged, symmetric
+    and shift-structured graphs, which exercise different refinement
+    splitting orders, block-cut shapes and joint-search prunings.
+    """
+
+    @given(graph=corpus_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_partitions_identical_at_every_depth(self, graph):
+        assert_partitions_identical(graph)
+
+    @given(graph=corpus_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_feasibility_and_polynomial_indices_match_legacy(self, graph):
+        refinement = ViewRefinement(graph)
+        legacy_psi_s = legacy_selection_index(graph)
+        assert is_feasible(graph, refinement=refinement) == (legacy_psi_s is not None)
+        assert selection_index(graph, refinement=refinement) == legacy_psi_s
+        assert port_election_index(graph, refinement=refinement) == legacy_port_election_index(
+            graph
+        )
+
+    @given(graph=corpus_strategy)
+    @settings(max_examples=12, deadline=None)
     def test_path_election_indices_match_legacy(self, graph):
         refinement = ViewRefinement(graph)
         assert port_path_election_index(graph, refinement=refinement) == legacy_path_index(

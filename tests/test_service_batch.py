@@ -1,0 +1,251 @@
+"""Integration tests for the batch/streaming endpoint (``POST /elections``).
+
+Error paths, backpressure and consistency: malformed NDJSON items fail per
+item while the stream continues; envelope problems and oversized sweeps are
+clean 400s; a mid-stream client disconnect cancels the sweep without hurting
+the server; coalescing holds across batch items and single queries with
+byte-identical results; the in-flight window genuinely bounds concurrency.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+from test_service import _RunningServer
+
+from repro.runner import refinement_cache
+from repro.service import ElectionService, deterministic_response
+from repro.service.batch import MAX_BATCH_ITEMS, expand_sweep
+from repro.store import ArtifactStore
+
+
+@pytest.fixture(autouse=True)
+def _detached_process_cache():
+    refinement_cache.attach_store(None)
+    refinement_cache.clear()
+    yield
+    refinement_cache.attach_store(None)
+    refinement_cache.clear()
+
+
+def _post_stream(running, payload) -> list:
+    """POST a batch and return the parsed NDJSON lines."""
+    body = payload if isinstance(payload, bytes) else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(f"{running.base}/elections", data=body)
+    with urllib.request.urlopen(request) as response:
+        assert response.headers["Content-Type"] == "application/x-ndjson"
+        return [json.loads(line) for line in response.read().splitlines()]
+
+
+def _post_expecting_status(running, payload, status: int) -> dict:
+    try:
+        _post_stream(running, payload)
+    except urllib.error.HTTPError as error:
+        assert error.code == status
+        return json.loads(error.read())
+    raise AssertionError(f"expected HTTP {status}")
+
+
+# --------------------------------------------------------------------------- #
+# consistency
+# --------------------------------------------------------------------------- #
+def test_corpus_sweep_items_byte_identical_to_sequential_singles():
+    sweep = {"corpus": "mixed", "count": 11, "seed": 13}
+    with _RunningServer(ElectionService(workers=4)) as running:
+        lines = _post_stream(running, {"sweep": sweep, "window": 4})
+        header, items, trailer = lines[0], lines[1:-1], lines[-1]
+        assert header["items"] == 11
+        assert trailer == {
+            "sweep": header["sweep"], "status": "done", "ok": 11, "errors": 0
+        }
+        assert [line["index"] for line in items] == list(range(11))
+        for payload, line in zip(expand_sweep(sweep), items):
+            single = deterministic_response(running.post("/election", payload))
+            streamed = {k: v for k, v in line.items() if k not in ("index", "status")}
+            assert json.dumps(streamed, sort_keys=True) == json.dumps(single, sort_keys=True)
+
+
+def test_duplicate_inflight_batch_items_coalesce_with_identical_results():
+    item = {"spec": {"kind": "asymmetric-cycle", "params": {"n": 9}}}
+    with _RunningServer(ElectionService(workers=4, compute_delay=0.25)) as running:
+        lines = _post_stream(running, {"items": [item, item, item], "window": 3})
+        stats = running.get("/stats")
+    results = [json.dumps(line, sort_keys=True) for line in lines[1:-1]]
+    assert len(set(r.replace(f'"index": {i}', '"index": 0') for i, r in enumerate(results))) == 1
+    assert stats["service"]["computed"] == 1
+    assert stats["service"]["coalesced"] == 2
+    assert stats["batch"]["batches"] == 1 and stats["batch"]["batch_items"] == 3
+
+
+# --------------------------------------------------------------------------- #
+# error paths
+# --------------------------------------------------------------------------- #
+def test_malformed_ndjson_items_fail_per_item_not_per_request():
+    body = (
+        b'{"spec": {"kind": "star", "params": {"leaves": 3}}}\n'
+        b"{definitely not json\n"
+        b"[1, 2, 3]\n"
+        b'{"spec": {"kind": "erdos-renyi", "params": {"n": 6, "seed": 1}}}\n'
+    )
+    with _RunningServer(ElectionService(workers=2)) as running:
+        lines = _post_stream(running, body)
+    statuses = [line["status"] for line in lines[1:-1]]
+    assert statuses == ["ok", "error", "error", "ok"]
+    assert "malformed NDJSON line" in lines[2]["error"]
+    assert "must be a JSON object" in lines[3]["error"]
+    assert lines[-1] == {"sweep": lines[0]["sweep"], "status": "done", "ok": 2, "errors": 2}
+
+
+def test_single_line_ndjson_body_is_a_one_item_batch():
+    # one NDJSON line parses as a plain JSON object; the contract says it is
+    # still a batch of one item, not a malformed envelope
+    body = b'{"spec": {"kind": "star", "params": {"leaves": 3}}}\n'
+    with _RunningServer(ElectionService(workers=1)) as running:
+        lines = _post_stream(running, body)
+    assert lines[0]["items"] == 1
+    assert lines[1]["status"] == "ok" and lines[1]["graph"] == "star(leaves=3)"
+    assert lines[-1] == {"sweep": lines[0]["sweep"], "status": "done", "ok": 1, "errors": 0}
+
+
+def test_item_level_query_errors_do_not_abort_the_stream():
+    items = [
+        {"spec": {"kind": "no-such-kind"}},
+        {"spec": {"kind": "star", "params": {"leaves": 3}}, "tasks": ["X"]},
+        {"graph": {"num_nodes": 2, "edges": [[0, 0, 1, 5]]}},
+        {"spec": {"kind": "star", "params": {"leaves": 4}}},
+    ]
+    with _RunningServer(ElectionService(workers=2)) as running:
+        lines = _post_stream(running, {"items": items})
+    assert [line["status"] for line in lines[1:-1]] == ["error", "error", "error", "ok"]
+    assert "unknown graph kind" in lines[1]["error"]
+    assert "unknown task" in lines[2]["error"]
+    assert lines[4]["graph"] == "star(leaves=4)"
+
+
+def test_envelope_errors_are_400s():
+    with _RunningServer(ElectionService(workers=1)) as running:
+        for payload, fragment in [
+            ({"items": [], "sweep": {"corpus": "mixed"}}, "exactly one"),
+            ({}, "exactly one"),
+            ({"items": "nope"}, "must be a list"),
+            ({"items": [{"spec": {"kind": "star"}}], "window": 0}, "window"),
+            ({"sweep": {"corpus": "no-such-corpus", "count": 1}}, "unknown corpus"),
+            ({"sweep": {"grid": [{"kind": "torus", "sizes": [5]}]}}, "not a single-size"),
+            ({"sweep": {"grid": [{"kind": "no-such", "sizes": [5]}]}}, "unknown graph kind"),
+            (b"", "empty batch"),
+            (b"\n\n", "empty batch"),
+        ]:
+            assert fragment in _post_expecting_status(running, payload, 400)["error"]
+        # wrong method on the batch path
+        try:
+            running.get("/elections")
+            raise AssertionError("expected 405")
+        except urllib.error.HTTPError as error:
+            assert error.code == 405
+
+
+def test_oversized_sweep_rejected_with_clear_error():
+    with _RunningServer(ElectionService(workers=1)) as running:
+        body = _post_expecting_status(
+            running,
+            {"sweep": {"corpus": "mixed", "count": MAX_BATCH_ITEMS + 1}},
+            400,
+        )
+        assert "oversized sweep" in body["error"]
+        items = [{"spec": {"kind": "star", "params": {"leaves": 3}}}] * (MAX_BATCH_ITEMS + 1)
+        assert "oversized sweep" in _post_expecting_status(running, {"items": items}, 400)["error"]
+
+
+# --------------------------------------------------------------------------- #
+# backpressure and disconnect
+# --------------------------------------------------------------------------- #
+def test_window_bounds_in_flight_computations():
+    # distinct sizes (no coalescing), plenty of workers: only the window
+    # may limit concurrency
+    items = [
+        {"spec": {"kind": "asymmetric-cycle", "params": {"n": n}}} for n in range(5, 17)
+    ]
+    with _RunningServer(ElectionService(workers=8, compute_delay=0.05)) as running:
+        lines = _post_stream(running, {"items": items, "window": 2})
+        status = running.get(f"/sweeps/{lines[0]['sweep']}")
+    assert status["state"] == "done"
+    assert status["completed"] == len(items)
+    assert status["max_in_flight"] == 2, "window must cap concurrent computations"
+
+
+def test_mid_stream_disconnect_cancels_the_sweep_and_server_survives():
+    items = [
+        {"spec": {"kind": "asymmetric-cycle", "params": {"n": n}}} for n in range(5, 25)
+    ]
+    body = json.dumps({"items": items, "window": 2}).encode("utf-8")
+    with _RunningServer(ElectionService(workers=2, compute_delay=0.1)) as running:
+        host, port = "127.0.0.1", running.server.port
+        with socket.create_connection((host, port), timeout=10) as raw:
+            raw.sendall(
+                (
+                    f"POST /elections HTTP/1.1\r\nHost: {host}\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n"
+                ).encode("ascii")
+                + body
+            )
+            reader = raw.makefile("rb")
+            reader.readline()  # status line
+            while reader.readline() not in (b"\r\n", b""):
+                pass  # headers
+            header = json.loads(reader.readline())
+            sweep_id = header["sweep"]
+            reader.readline()  # one item, then hang up mid-stream
+            reader.close()  # makefile holds the fd; close it so the socket really dies
+        deadline = time.time() + 10
+        state = None
+        while time.time() < deadline:
+            state = running.get(f"/sweeps/{sweep_id}")["state"]
+            if state == "cancelled":
+                break
+            time.sleep(0.1)
+        assert state == "cancelled"
+        # the server is still fully alive for other clients
+        assert running.get("/healthz") == {"status": "ok"}
+        follow_up = _post_stream(
+            running, {"items": [{"spec": {"kind": "star", "params": {"leaves": 3}}}]}
+        )
+        assert follow_up[-1]["status"] == "done"
+
+
+# --------------------------------------------------------------------------- #
+# sweeps registry
+# --------------------------------------------------------------------------- #
+def test_sweep_status_listing_and_unknown_id():
+    with _RunningServer(ElectionService(workers=1)) as running:
+        lines = _post_stream(running, {"sweep": {"corpus": "mixed", "count": 3, "seed": 1}})
+        sweep_id = lines[0]["sweep"]
+        assert sweep_id in running.get("/sweeps")["sweeps"]
+        status = running.get(f"/sweeps/{sweep_id}")
+        assert status["state"] == "done" and status["items"] == "+++"
+        try:
+            running.get("/sweeps/ffffffffffffffffffffffff")
+            raise AssertionError("expected 404")
+        except urllib.error.HTTPError as error:
+            assert error.code == 404
+
+
+def test_sweep_status_persists_across_service_restart(tmp_path):
+    payload = {"sweep": {"corpus": "mixed", "count": 4, "seed": 2}}
+    with _RunningServer(ElectionService(store=ArtifactStore(str(tmp_path)), workers=1)) as running:
+        sweep_id = _post_stream(running, payload)[0]["sweep"]
+    refinement_cache.clear()
+    with _RunningServer(ElectionService(store=ArtifactStore(str(tmp_path)), workers=1)) as running:
+        status = running.get(f"/sweeps/{sweep_id}")
+        assert status["state"] == "done" and status["total"] == 4
+        assert sweep_id in running.get("/sweeps")["sweeps"]
+        # resume: the same batch replays store-warm, without a refinement pass
+        replay = _post_stream(running, payload)
+        assert replay[-1]["ok"] == 4
+        stats = running.get("/stats")
+    assert stats["cache"]["refinement_passes"] == 0
+    assert stats["cache"]["store_hits"] == 4

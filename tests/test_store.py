@@ -181,12 +181,14 @@ class TestArtifactStore:
         # read-through works again after the rebuild
         assert fresh_handle.load_for_graph(generators.three_node_line()) is not None
 
-    def test_relabeled_copy_does_not_evict_or_poison_the_incumbent(self, tmp_path):
+    def test_relabeled_copy_spills_without_poisoning_the_incumbent(self, tmp_path):
         """Fingerprints are relabeling-invariant; labelings must not mix.
 
-        The store keeps one labeling per fingerprint (first writer wins):
-        the relabeled copy's put is refused, its lookups miss (so callers
-        recompute), and the incumbent's record stays byte-for-byte intact.
+        The first writer owns the primary object; a different labeled graph
+        behind the same fingerprint spills to its own deterministic key, so
+        the incumbent's record stays byte-for-byte intact while *both*
+        labelings resolve through ``load_for_graph`` -- and re-putting the
+        spilled labeling is a skip, exactly like the primary path.
         """
         store = ArtifactStore(str(tmp_path))
         graph = generators.asymmetric_cycle(7)
@@ -198,14 +200,40 @@ class TestArtifactStore:
         assert relabeled.fingerprint() == graph.fingerprint()
         refinement_cache.clear()
         other = _computed_record(relabeled)
-        assert store.put(other) is False
-        assert store.stats()["put_conflicts"] == 1
+        assert store.put(other) is True
+        assert store.stats()["put_spills"] == 1
         assert store.get_bytes(record.fingerprint) == incumbent_bytes
-        assert store.load_for_graph(relabeled) is None
+        spilled = store.load_for_graph(relabeled)
+        assert spilled is not None and spilled.graph == relabeled
         loaded = store.load_for_graph(generators.asymmetric_cycle(7))
         assert loaded is not None and loaded.graph == graph
+        # idempotent: same labeling, same spill key, no rewrite
+        assert store.put(other) is False
+        assert store.stats()["put_skips"] >= 1
+        assert store.stats()["records"] == 2
+        # the two records remain unmergeable (different labeled graphs)
         with pytest.raises(ValueError):
             record.merged_with(other)
+
+    def test_colliding_distinct_graphs_both_warm_start(self, tmp_path):
+        """A torus and a twisted torus of one size share a fingerprint but
+        are different graphs; both must survive the store round trip."""
+        store = ArtifactStore(str(tmp_path))
+        plain = generators.torus_graph(3, 4)
+        twisted = generators.twisted_torus_graph(3, 4, 1)
+        assert plain.fingerprint() == twisted.fingerprint()
+        assert plain != twisted
+        refinement_cache.clear()
+        store.put(_computed_record(plain))
+        refinement_cache.clear()
+        store.put(_computed_record(twisted))
+        assert store.stats()["records"] == 2
+        for original in (generators.torus_graph(3, 4), generators.twisted_torus_graph(3, 4, 1)):
+            found = store.load_for_graph(original)
+            assert found is not None and found.graph == original
+        # the rebuilt manifest resolves both labelings too
+        assert store.rebuild_manifest() == 2
+        assert store.load_for_graph(generators.twisted_torus_graph(3, 4, 1)) is not None
 
     def test_read_through_survives_a_corrupt_object(self, tmp_path):
         store = ArtifactStore(str(tmp_path))
