@@ -12,7 +12,12 @@ Two measurements, written to ``BENCH_PR3.json``:
 * **Service latency under concurrent clients.**  An in-process
   :class:`~repro.service.ElectionServer` on an ephemeral port is hammered by
   concurrent threads cycling through a few distinct payloads; per-request
-  wall times give p50/p99, and the /stats counters record coalescing.
+  wall times give p50/p99, and the /stats counters record coalescing.  The
+  measurement runs twice -- once on the GIL-bound **thread** backend and
+  once on the sharded **process** backend (PR 5) -- so the record shows the
+  thread-vs-process p50/p99 and throughput side by side (the process
+  backend only pulls ahead on multi-core hardware with cold, distinct
+  payloads; warm or coalesced traffic is parent-bound either way).
 
 Usage::
 
@@ -93,7 +98,7 @@ def run_store_warm_sweep(store_dir: str) -> dict:
     return result
 
 
-def run_service_latency(store_dir: str) -> dict:
+def run_service_latency(store_dir: str, *, backend: str = "thread", shards: int = 4) -> dict:
     refinement_cache.clear()
     payloads = [
         json.dumps({"spec": spec.to_dict()}).encode("utf-8")
@@ -106,7 +111,9 @@ def run_service_latency(store_dir: str) -> dict:
     errors: list = []
 
     with ThreadedElectionServer(
-        ElectionService(store=ArtifactStore(store_dir), workers=4)
+        ElectionService(
+            store=ArtifactStore(store_dir), workers=4, backend=backend, shards=shards
+        )
     ) as running:
 
         def client(worker: int) -> None:
@@ -140,6 +147,8 @@ def run_service_latency(store_dir: str) -> dict:
         raise RuntimeError(f"{len(errors)} client requests failed: {errors[0]}")
     ordered = sorted(latencies)
     return {
+        "backend": stats["service"]["backend"],
+        "concurrency": stats["service"]["concurrency"],
         "clients": CLIENTS,
         "requests": len(latencies),
         "total_wall_s": round(total, 6),
@@ -157,7 +166,10 @@ def bench_serving_subsystem(table_printer, tmp_path):
     store_dir = str(tmp_path / "store")
     try:
         sweep = run_store_warm_sweep(store_dir)
-        service = run_service_latency(store_dir)
+        services = [
+            run_service_latency(store_dir),
+            run_service_latency(store_dir, backend="process"),
+        ]
     finally:
         refinement_cache.attach_store(None)
         refinement_cache.clear()
@@ -173,19 +185,25 @@ def bench_serving_subsystem(table_printer, tmp_path):
         ]],
     )
     table_printer(
-        "E16: service latency under concurrent clients",
-        ["clients", "requests", "p50 ms", "p99 ms", "coalesced"],
-        [[
-            service["clients"],
-            service["requests"],
-            service["p50_ms"],
-            service["p99_ms"],
-            service["coalesced"],
-        ]],
+        "E16: service latency under concurrent clients (thread vs process backend)",
+        ["backend", "clients", "requests", "p50 ms", "p99 ms", "coalesced"],
+        [
+            [
+                service["backend"],
+                service["clients"],
+                service["requests"],
+                service["p50_ms"],
+                service["p99_ms"],
+                service["coalesced"],
+            ]
+            for service in services
+        ],
     )
     assert sweep["store_warm"]["refinement_passes"] == 0
     assert sweep["tables_identical"]
-    assert service["requests"] == CLIENTS * REQUESTS_PER_CLIENT
+    for service in services:
+        assert service["requests"] == CLIENTS * REQUESTS_PER_CLIENT
+    assert services[1]["backend"] == "process"
 
 
 def main(argv) -> int:
@@ -195,6 +213,7 @@ def main(argv) -> int:
         payload = {
             "sweep": run_store_warm_sweep(store_dir),
             "service": run_service_latency(store_dir),
+            "service_process": run_service_latency(store_dir, backend="process"),
         }
     finally:
         refinement_cache.attach_store(None)

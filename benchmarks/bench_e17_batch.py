@@ -17,6 +17,12 @@ Three measurements over a seeded mixed-corpus sweep, written to
 * **Store-warm batch replay.**  The same batch re-posted to a fresh service
   over the populated store: must perform zero refinement passes (the same
   contract ``ci_gate.py`` enforces) and shows the replay speedup.
+* **Thread vs process backend (PR 5).**  The same cold corpus through a
+  sharded process-backend service (fresh store): records cold-batch
+  throughput, stream-gap p50/p99 and the process-vs-thread speedup.  On
+  multi-core hardware with ≥4 shards the cold mixed-corpus batch should
+  approach a shard-count speedup; on a single core the record simply shows
+  the IPC overhead (the number is reported, not asserted).
 
 Usage::
 
@@ -44,6 +50,9 @@ from repro.store import ArtifactStore  # noqa: E402
 
 #: The E17 sweep: a seeded slice of the mixed scenario corpus.
 E17_SWEEP = {"corpus": "mixed", "count": 60, "seed": 17}
+
+#: Shard count of the process-backend leg.
+PROCESS_SHARDS = 4
 
 
 def _percentile(ordered, fraction):
@@ -83,6 +92,39 @@ def run_batch_vs_sequential(batch_store: str, sequential_store: str) -> dict:
     }
 
 
+def run_process_backend_batch(process_store: str, thread_wall_s: float) -> dict:
+    """Cold mixed-corpus batch through the sharded process backend (fresh store)."""
+    refinement_cache.clear()
+    with ThreadedElectionServer(
+        ElectionService(
+            store=ArtifactStore(process_store),
+            workers=4,
+            backend="process",
+            shards=PROCESS_SHARDS,
+        )
+    ) as running:
+        lines, gaps, process_wall = running.post_batch({"sweep": E17_SWEEP})
+        stats = running.get("/stats")
+    assert lines[-1]["ok"] == E17_SWEEP["count"], lines[-1]
+    assert stats["service"]["backend"] == "process", "process backend fell back"
+    ordered = sorted(gaps)
+    return {
+        "backend": "process",
+        "shards": PROCESS_SHARDS,
+        "items": E17_SWEEP["count"],
+        "batch_wall_s": round(process_wall, 6),
+        "batch_items_per_s": round(E17_SWEEP["count"] / process_wall, 1),
+        # >1 means the sharded workers beat the GIL-bound thread pool on the
+        # same cold corpus; expect ~shards× on multi-core hardware, <1 on a
+        # single core where the record just prices the IPC overhead
+        "speedup_vs_thread": round(thread_wall_s / max(process_wall, 1e-9), 2),
+        "stream_gap_p50_ms": round(1000 * statistics.median(ordered), 3),
+        "stream_gap_p99_ms": round(1000 * _percentile(ordered, 0.99), 3),
+        "worker_crashes": stats["shards"]["crashes"],
+        "worker_spawns": stats["shards"]["spawns"],
+    }
+
+
 def run_store_warm_replay(batch_store: str) -> dict:
     refinement_cache.clear()
     with ThreadedElectionServer(
@@ -103,9 +145,11 @@ def bench_batch_subsystem(table_printer, tmp_path):
     """E17 under the pytest harness: one pass of both measurements."""
     batch_store = str(tmp_path / "batch-store")
     sequential_store = str(tmp_path / "sequential-store")
+    process_store = str(tmp_path / "process-store")
     try:
         throughput = run_batch_vs_sequential(batch_store, sequential_store)
         replay = run_store_warm_replay(batch_store)
+        process = run_process_backend_batch(process_store, throughput["batch_wall_s"])
     finally:
         refinement_cache.attach_store(None)
         refinement_cache.clear()
@@ -126,28 +170,49 @@ def bench_batch_subsystem(table_printer, tmp_path):
         ["warm s", "refinement passes (expected 0)", "store hits"],
         [[replay["warm_wall_s"], replay["refinement_passes"], replay["store_hits"]]],
     )
+    table_printer(
+        "E17: cold batch, thread vs process backend",
+        ["backend", "shards", "batch s", "items/s", "speedup vs thread", "crashes"],
+        [
+            ["thread", "-", throughput["batch_wall_s"], throughput["batch_items_per_s"], 1.0, 0],
+            [
+                "process",
+                process["shards"],
+                process["batch_wall_s"],
+                process["batch_items_per_s"],
+                process["speedup_vs_thread"],
+                process["worker_crashes"],
+            ],
+        ],
+    )
     # GIL-bound compute: the stream cannot beat sequential on wall time, but
     # a real regression (per-item overhead in the coordinator) would show as
     # a clear loss rather than noise
     assert throughput["speedup"] >= 0.7, "batch streaming overhead regressed"
     assert replay["refinement_passes"] == 0
+    assert process["worker_crashes"] == 0
 
 
 def main(argv) -> int:
     output_path = argv[1] if len(argv) > 1 else "BENCH_PR4.json"
     batch_store = tempfile.mkdtemp(prefix="repro-e17-batch-")
     sequential_store = tempfile.mkdtemp(prefix="repro-e17-seq-")
+    process_store = tempfile.mkdtemp(prefix="repro-e17-proc-")
     try:
         payload = {
             "sweep": E17_SWEEP,
             "throughput": run_batch_vs_sequential(batch_store, sequential_store),
         }
         payload["store_warm_replay"] = run_store_warm_replay(batch_store)
+        payload["process_backend"] = run_process_backend_batch(
+            process_store, payload["throughput"]["batch_wall_s"]
+        )
     finally:
         refinement_cache.attach_store(None)
         refinement_cache.clear()
         shutil.rmtree(batch_store, ignore_errors=True)
         shutil.rmtree(sequential_store, ignore_errors=True)
+        shutil.rmtree(process_store, ignore_errors=True)
     with open(output_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -126,9 +126,20 @@ def _store_warm_replay() -> dict:
 #: family, feasible and infeasible alike), expanded server-side.
 BATCH_SWEEP = {"corpus": "mixed", "count": 200, "seed": 4}
 
+#: Shards of the process-backend leg (matches the CI runner's cores).
+PROCESS_SHARDS = 4
+
 
 def _batch_gate(failures) -> dict:
-    """Certify the batch endpoint: byte-identity and store-warm zero-refinement."""
+    """Certify the batch endpoint: byte-identity and store-warm zero-refinement.
+
+    Three legs over one artifact store: a cold thread-backend stream whose
+    items must match sequential ``POST /election`` calls; a store-warm
+    thread-backend replay with zero refinement passes; and a store-warm
+    replay through the sharded **process** backend, which must return the
+    byte-identical NDJSON stream and report zero refinement passes across
+    all shard workers (aggregated ``/stats``).
+    """
     from repro.service import ElectionService, deterministic_response
     from repro.service.batch import expand_sweep
     from repro.store import ArtifactStore
@@ -189,6 +200,43 @@ def _batch_gate(failures) -> dict:
             )
         if [line for line in replay_lines[1:-1]] != items:
             failures.append("batch gate: warm replay stream differs from the cold stream")
+        # process-backend replay: the same batch through the sharded worker
+        # processes must be byte-identical and refinement-free (store-warm)
+        refinement_cache.clear()
+        reset_search_statistics()
+        with ThreadedElectionServer(
+            ElectionService(
+                store=ArtifactStore(store_dir),
+                workers=4,
+                backend="process",
+                shards=PROCESS_SHARDS,
+            )
+        ) as running:
+            started = time.perf_counter()
+            process_lines, _gaps, _wall = running.post_batch({"sweep": BATCH_SWEEP})
+            result["process_stream_s"] = round(time.perf_counter() - started, 6)
+            stats = running.get("/stats")
+        result["process_shards"] = PROCESS_SHARDS
+        result["process_refinement_passes"] = stats["cache"]["refinement_passes"]
+        result["process_store_hits"] = stats["cache"]["store_hits"]
+        if stats["service"]["backend"] != "process":
+            # no "shards" section exists after a fallback; report and move on
+            failures.append("batch gate: process backend fell back to thread")
+        elif stats["shards"]["crashes"]:
+            failures.append(
+                f"batch gate: {stats['shards']['crashes']} shard worker crashes"
+            )
+        if process_lines[-1].get("ok") != BATCH_SWEEP["count"]:
+            failures.append(f"batch gate: process replay trailer {process_lines[-1]}")
+        if [line for line in process_lines[1:-1]] != items:
+            failures.append(
+                "batch gate: process-backend stream differs from the thread-backend stream"
+            )
+        if result["process_refinement_passes"] != 0:
+            failures.append(
+                f"batch gate: store-warm process-backend replay performed "
+                f"{result['process_refinement_passes']} refinement passes (expected 0)"
+            )
     finally:
         refinement_cache.attach_store(None)
         refinement_cache.clear()

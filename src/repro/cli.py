@@ -39,6 +39,7 @@ Serve the election pipeline over HTTP (asyncio, request coalescing, warm
 starts from the artifact store, batch/streaming sweeps)::
 
     repro-leader-election serve --port 8765 --store artifacts/
+    repro-leader-election serve --backend process --shards 4 --store artifacts/
     curl -s localhost:8765/stats
     curl -sN localhost:8765/elections \
         -d '{"sweep": {"corpus": "mixed", "count": 50, "seed": 7}}'
@@ -211,6 +212,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=200_000,
         help="default PPE/CPPE search budget for queries that do not set one",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=["thread", "process"],
+        default="thread",
+        help="compute backend: GIL-bound thread pool, or hash-sharded "
+        "persistent worker processes (one core each)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="process-backend worker count (defaults to --workers)",
+    )
+    serve.add_argument(
+        "--recycle-after",
+        type=int,
+        default=None,
+        help="process-backend: retire a shard worker after this many tasks",
     )
 
     return parser
@@ -494,6 +514,9 @@ def _command_serve(args: argparse.Namespace) -> int:
             store_path=args.store,
             workers=args.workers,
             max_states=args.max_states,
+            backend=args.backend,
+            shards=args.shards,
+            recycle_after=args.recycle_after,
         )
     except ValueError as error:
         print(f"serve: {error}", file=sys.stderr)

@@ -11,12 +11,16 @@ This subsystem turns the ad-hoc loops of the benchmark scripts into data:
 * :mod:`repro.runner.runner` -- the :class:`ExperimentRunner` that fans a
   sweep out over ``multiprocessing`` workers with chunked scheduling and
   deterministic result ordering;
-* :mod:`repro.runner.results` -- byte-deterministic JSON/CSV/text tables.
+* :mod:`repro.runner.results` -- byte-deterministic JSON/CSV/text tables;
+* :mod:`repro.runner.bootstrap` -- the worker-process initializer
+  (:func:`attach_store_path`) shared by the runner's ``multiprocessing``
+  pool and the election service's sharded process backend.
 
 See the "runner" section of ``DESIGN.md`` for the data flow and the
 ``bench`` subcommand of :mod:`repro.cli` for the command-line entry point.
 """
 
+from .bootstrap import attach_store_path, bootstrap_worker
 from .cache import (
     CacheEntry,
     RefinementCache,
@@ -28,7 +32,6 @@ from .results import ResultTable
 from .runner import (
     ExperimentRunner,
     RunReport,
-    attach_store_path,
     evaluate_graph,
     evaluate_graph_spec,
     run_sweep,
@@ -49,6 +52,7 @@ __all__ = [
     "ExperimentRunner",
     "RunReport",
     "attach_store_path",
+    "bootstrap_worker",
     "evaluate_graph",
     "evaluate_graph_spec",
     "run_sweep",

@@ -18,13 +18,13 @@ serial runs of the same spec produce byte-identical tables.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import time
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..core.election_index import SearchLimitExceeded, election_index
 from ..core.feasibility import is_feasible
+from .bootstrap import attach_store_path
 from .cache import refinement_cache
 from .results import ResultTable
 from .spec import GraphSpec, SweepSpec
@@ -37,23 +37,6 @@ __all__ = [
     "evaluate_graph_spec",
     "run_sweep",
 ]
-
-
-def attach_store_path(store_path: str) -> None:
-    """Back the process-wide refinement cache with the store at ``store_path``.
-
-    Idempotent per path; a different path replaces the attached store.  Also
-    used as the ``multiprocessing`` pool initializer so every worker process
-    reads and writes through the same on-disk store -- which is what lets
-    the fan-out ship fingerprint-addressed *results* between processes
-    instead of recomputing them in each.
-    """
-    from ..store import ArtifactStore  # lazy: keep the serial path import-light
-
-    current = refinement_cache.store
-    resolved = os.path.abspath(store_path)
-    if current is None or current.root != resolved:
-        refinement_cache.attach_store(ArtifactStore(resolved))
 
 
 def evaluate_graph(graph, sweep: SweepSpec, *, label: Optional[str] = None) -> Dict[str, Any]:

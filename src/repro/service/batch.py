@@ -217,8 +217,10 @@ class BatchCoordinator:
     ) -> None:
         self._service = service
         self._max_items = max_items
+        # sized to the backend's genuine overlap: thread-pool width, or the
+        # shard count when the service runs the process backend
         self._default_window = default_window or min(
-            MAX_WINDOW, max(DEFAULT_WINDOW, 2 * service.workers)
+            MAX_WINDOW, max(DEFAULT_WINDOW, 2 * service.concurrency)
         )
         self._sweeps: "OrderedDict[str, SweepStatus]" = OrderedDict()
         self._lock = threading.Lock()
@@ -333,14 +335,20 @@ class BatchCoordinator:
                 deterministic_response(result), index=item.index, status="ok"
             )
 
-        await emit(
-            {"sweep": request.sweep_id, "items": len(request.items), "window": request.window}
-        )
-        tasks = [asyncio.ensure_future(compute(item)) for item in request.items]
+        tasks: List[asyncio.Future] = []
+        emitted = 0
         try:
+            # the header emit is *inside* the try: a client that disconnects
+            # before reading anything must still leave the sweep record
+            # "cancelled", not stuck in its streaming state forever
+            await emit(
+                {"sweep": request.sweep_id, "items": len(request.items), "window": request.window}
+            )
+            tasks = [asyncio.ensure_future(compute(item)) for item in request.items]
             for task in tasks:
                 line = await task
                 await emit(line)
+                emitted += 1
                 in_flight -= 1
                 gate.release()
                 status.completed += 1
@@ -359,13 +367,22 @@ class BatchCoordinator:
                     "errors": status.errors,
                 }
             )
-        except BaseException:
-            status.state = "cancelled"
-            self._counters["cancelled"] += 1
-            for task in tasks:
-                task.cancel()
-            raise
         finally:
+            if status.state != "done":
+                # any non-completion (failed emit, cancellation, worker
+                # error) is a cancelled sweep; previously only exceptions
+                # raised after the header left the loop marked this
+                status.state = "cancelled"
+                self._counters["cancelled"] += 1
+                for task in tasks:
+                    task.cancel()
+                # release the window slots of tasks whose computations
+                # finished but whose lines were never emitted, so nothing
+                # still blocked on the gate waits on a slot that cannot free
+                for task in tasks[emitted:]:
+                    if task.done() and not task.cancelled():
+                        in_flight -= 1
+                        gate.release()
             self._persist(status)
 
     # ------------------------------------------------------------------ #

@@ -47,6 +47,7 @@ _STATUS_TEXT = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -78,12 +79,18 @@ async def _read_request(
         line = await reader.readline()
         if line in (b"\r\n", b"\n", b""):
             break
-        name, _sep, value = line.decode("latin-1").partition(":")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep or not name.strip():
+            # a header line without a colon used to be stored silently as an
+            # empty-valued header under the whole line; reject it instead
+            raise ServiceError(400, "malformed header line (expected 'Name: value')")
         headers[name.strip().lower()] = value.strip()
-    try:
-        content_length = int(headers.get("content-length", "0") or "0")
-    except ValueError:
-        raise ServiceError(400, "malformed Content-Length") from None
+    raw_length = headers.get("content-length", "").strip() or "0"
+    # strict digits only: int() would also accept '-5', '+5' and '1_0',
+    # letting a negative or garbage length reach readexactly() as a 500
+    if not (raw_length.isascii() and raw_length.isdigit()):
+        raise ServiceError(400, "malformed Content-Length")
+    content_length = int(raw_length)
     if content_length > MAX_BODY_BYTES:
         raise ServiceError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
     body = await reader.readexactly(content_length) if content_length else b""
@@ -243,21 +250,35 @@ def run_server(
     store_path: Optional[str] = None,
     workers: int = 4,
     max_states: int = 200_000,
+    backend: str = "thread",
+    shards: Optional[int] = None,
+    recycle_after: Optional[int] = None,
 ) -> None:
     """Blocking entry point behind ``repro-leader-election serve``."""
     from ..store import ArtifactStore
 
     store = ArtifactStore(store_path) if store_path is not None else None
-    service = ElectionService(store=store, workers=workers, default_max_states=max_states)
+    service = ElectionService(
+        store=store,
+        workers=workers,
+        default_max_states=max_states,
+        backend=backend,
+        shards=shards,
+        recycle_after=recycle_after,
+    )
     server = ElectionServer(service, host=host, port=port)
 
     async def _main() -> None:
         await server.start()
         location = f"http://{host}:{server.port}"
         store_note = f", store={store.root}" if store is not None else ", no store"
+        if service.backend == "process":
+            backend_note = f"backend=process, shards={service.concurrency}"
+        else:
+            backend_note = f"backend=thread, workers={workers}"
         print(
             f"repro-leader-election serve: listening on {location} "
-            f"(workers={workers}{store_note})",
+            f"({backend_note}{store_note})",
             file=sys.stderr,
         )
         await server.serve_forever()

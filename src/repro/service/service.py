@@ -14,10 +14,14 @@ pure function of the graph and parameters, which the service exploits twice:
   the response (and the ``/stats`` counter) records the dedup.  Differently
   labeled isomorphic submissions hash differently, but they still converge
   in the layers below (refinement cache buckets, store fingerprints).
-* **A bounded worker pool.**  Cold computations run on a fixed-size thread
-  pool via ``run_in_executor``, so the event loop keeps accepting
-  connections and serving ``/stats`` while searches run; at most ``workers``
-  computations are in flight, the rest queue.
+* **A bounded worker backend.**  Cold computations run off the event loop
+  on one of two interchangeable backends (:mod:`repro.service.workers`):
+  the default fixed-size *thread* pool, or a *process* backend that
+  hash-shards queries across persistent worker processes so refinement and
+  the ψ searches escape the GIL (``repro serve --backend process
+  --shards N``).  Either way the event loop keeps accepting connections and
+  serving ``/stats`` while searches run, and at most ``workers`` (or one
+  per shard) computations are in flight, the rest queue.
 
 With a store attached the service is a thin front end over the durable
 layer: queries warm-start from records persisted by any earlier process and
@@ -30,17 +34,22 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import sys
 import time
-from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Tuple
 
-from ..core import Task, search_statistics
+from ..core import Task
 from ..portgraph.io import graph_from_dict
 from ..portgraph.validation import PortLabelingError
 from ..runner import GraphSpec, SweepSpec, evaluate_graph, refinement_cache
 from ..store import ArtifactStore
 
-__all__ = ["ElectionService", "ServiceError", "deterministic_response"]
+__all__ = [
+    "ElectionService",
+    "ServiceError",
+    "compute_election",
+    "deterministic_response",
+]
 
 #: Hard cap on submitted adjacency sizes (nodes); protects the joint
 #: searches and the event loop from accidental monster submissions.
@@ -68,6 +77,61 @@ class ServiceError(Exception):
         self.message = message
 
 
+def compute_election(parsed: Dict[str, Any], *, compute_delay: float = 0.0) -> Dict[str, Any]:
+    """Build the graph of a parsed query and answer it (pure worker-side code).
+
+    Runs on whichever backend the service uses -- a thread of the bounded
+    pool or a shard worker process -- and touches only process-wide state
+    (the refinement cache and, through it, the attached store), never the
+    service instance, so thread and process backends execute the very same
+    code and return byte-identical responses.
+    """
+    if compute_delay:
+        time.sleep(compute_delay)
+    started = time.perf_counter()
+    if parsed["spec"] is not None:
+        spec_dict = parsed["spec"]
+        try:
+            spec = GraphSpec.make(spec_dict["kind"], **spec_dict.get("params", {}))
+            graph = spec.build()
+        except ValueError as error:
+            raise ServiceError(400, str(error)) from None
+        label = spec.label
+    else:
+        try:
+            graph = graph_from_dict(parsed["graph"], validate=True)
+        except (PortLabelingError, KeyError, TypeError, ValueError) as error:
+            raise ServiceError(400, f"invalid graph: {error}") from None
+        label = graph.name or "submitted"
+    if graph.num_nodes > MAX_SUBMITTED_NODES:
+        raise ServiceError(400, f"graph too large (> {MAX_SUBMITTED_NODES} nodes)")
+    sweep = SweepSpec.make(
+        (),
+        tasks=parsed["tasks"],
+        max_depth=parsed["max_depth"],
+        max_states=parsed["max_states"],
+    )
+    record = evaluate_graph(graph, sweep, label=label)
+    indices = {task.value: record[f"psi_{task.value}"] for task in parsed["tasks"]}
+    limited = [code for code in record.get("search_limited", "").split(",") if code]
+    response: Dict[str, Any] = {
+        "graph": label,
+        "fingerprint": graph.fingerprint(),
+        "n": graph.num_nodes,
+        "m": graph.num_edges,
+        "max_degree": graph.max_degree,
+        "feasible": record["feasible"],
+        "indices": indices,
+        "search_limited": limited,
+        "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
+    }
+    if parsed["advice"]:
+        from ..advice.map_advice import encode_map_advice  # lazy import, heavy layer
+
+        response["advice"] = {"map": encode_map_advice(graph)}
+    return response
+
+
 class ElectionService:
     """The query front end (see the module docstring).
 
@@ -75,15 +139,28 @@ class ElectionService:
     ----------
     store:
         Optional :class:`~repro.store.ArtifactStore`; attached to the
-        process-wide refinement cache so queries read and write through it.
+        process-wide refinement cache (thread backend) or to every shard
+        worker's cache (process backend) so queries read and write through
+        it.
     workers:
-        Size of the bounded compute pool.
+        Size of the bounded compute pool (thread backend); also the default
+        shard count of the process backend when ``shards`` is not given.
     default_max_states:
         PPE/CPPE search budget applied when a query does not set one.
     compute_delay:
         Artificial seconds added to every computation, off the event loop.
         Used by the latency benchmark and the coalescing tests to make
         overlap deterministic; leave at ``0`` in production.
+    backend:
+        ``"thread"`` (default) or ``"process"`` -- see
+        :mod:`repro.service.workers`.  If the process backend cannot be set
+        up on this platform the service falls back to the thread backend
+        with a warning rather than failing to start.
+    shards:
+        Process-backend worker count (defaults to ``workers``).
+    recycle_after:
+        Process-backend: retire a shard worker after this many tasks
+        (defaults to :data:`repro.service.workers.DEFAULT_RECYCLE_AFTER`).
     """
 
     def __init__(
@@ -93,18 +170,49 @@ class ElectionService:
         workers: int = 4,
         default_max_states: int = 200_000,
         compute_delay: float = 0.0,
+        backend: str = "thread",
+        shards: Optional[int] = None,
+        recycle_after: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown backend {backend!r} (choose 'thread' or 'process')")
+        from . import workers as worker_backends  # deferred: workers.py imports this module
+
         self._store = store
-        if store is not None:
-            refinement_cache.attach_store(store)
         self._workers = workers
         self._default_max_states = default_max_states
         self._compute_delay = compute_delay
-        self._executor = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-serve"
-        )
+        self._closed = False
+        self._backend: worker_backends.ComputeBackend
+        if backend == "process":
+            try:
+                self._backend = worker_backends.ProcessShardBackend(
+                    shards=shards if shards is not None else workers,
+                    store_path=store.root if store is not None else None,
+                    compute_delay=compute_delay,
+                    recycle_after=recycle_after,
+                )
+            except (ImportError, NotImplementedError, OSError) as error:
+                # e.g. a platform without working multiprocessing primitives;
+                # degrade to the GIL-bound thread pool instead of not serving
+                print(
+                    f"repro serve: process backend unavailable ({error}); "
+                    f"falling back to the thread backend",
+                    file=sys.stderr,
+                )
+                self._backend = worker_backends.ThreadBackend(
+                    workers=workers, compute_delay=compute_delay
+                )
+        else:
+            self._backend = worker_backends.ThreadBackend(
+                workers=workers, compute_delay=compute_delay
+            )
+        if store is not None and self._backend.name == "thread":
+            # thread backend computes in this process: back the process-wide
+            # cache; shard workers attach their own cache in bootstrap instead
+            refinement_cache.attach_store(store)
         self._inflight: Dict[str, asyncio.Future] = {}
         self._counters = {
             "requests": 0,
@@ -123,18 +231,35 @@ class ElectionService:
     def workers(self) -> int:
         return self._workers
 
+    @property
+    def backend(self) -> str:
+        """The active compute backend name (``"thread"`` or ``"process"``)."""
+        return self._backend.name
+
+    @property
+    def concurrency(self) -> int:
+        """How many computations can genuinely overlap on the backend."""
+        return self._backend.concurrency
+
     def count_request(self) -> None:
         """Tally one HTTP request (any endpoint); called by the server."""
         self._counters["requests"] += 1
 
     def close(self) -> None:
-        """Shut the worker pool down and detach this service's store.
+        """Shut the compute backend down and detach this service's store.
 
-        The store attachment lives on the process-wide refinement cache, so
-        leaving it behind would make later, unrelated work in this process
-        silently read from and persist into this service's directory.
+        Idempotent and deterministic: the thread pool is joined (queued
+        work cancelled), shard worker processes are asked to exit and then
+        joined/terminated, so ``repro serve`` exits without lingering
+        non-daemon threads or zombie workers.  The store attachment lives on
+        the process-wide refinement cache, so leaving it behind would make
+        later, unrelated work in this process silently read from and
+        persist into this service's directory.
         """
-        self._executor.shutdown(wait=False)
+        if self._closed:
+            return
+        self._closed = True
+        self._backend.close()
         if self._store is not None and refinement_cache.store is self._store:
             refinement_cache.attach_store(None)
 
@@ -144,7 +269,7 @@ class ElectionService:
     async def query(self, payload: Any) -> Dict[str, Any]:
         """Answer one election query, coalescing identical in-flight ones."""
         self._counters["queries"] += 1
-        parsed, key = self._parse(payload)
+        parsed, key, route_key = self._parse(payload)
         existing = self._inflight.get(key)
         if existing is not None:
             self._counters["coalesced"] += 1
@@ -156,7 +281,7 @@ class ElectionService:
         future: asyncio.Future = loop.create_future()
         self._inflight[key] = future
         try:
-            result = await loop.run_in_executor(self._executor, self._compute, parsed)
+            result = await self._backend.submit(route_key, parsed)
         except Exception as error:
             self._counters["errors"] += 1
             future.set_result(("error", error))
@@ -170,18 +295,23 @@ class ElectionService:
             )
             raise
         else:
+            self._counters["computed"] += 1
             future.set_result(("ok", result))
             return dict(result, coalesced=False)
         finally:
             del self._inflight[key]
 
-    def _parse(self, payload: Any) -> Tuple[Dict[str, Any], str]:
-        """Validate a query body; returns (parsed fields, coalescing key).
+    def _parse(self, payload: Any) -> Tuple[Dict[str, Any], str, str]:
+        """Validate a query body; returns (parsed fields, coalescing key, route key).
 
         Parsing is cheap (no graph is built here): the heavy work -- graph
         construction, validation, refinement, searches -- happens on the
-        worker pool.  The coalescing key digests the canonical JSON of the
-        fields that determine the answer.
+        compute backend.  The coalescing key digests the canonical JSON of
+        every field that determines the answer; the route key digests only
+        the graph-identifying part (``graph``/``spec``), so the process
+        backend sends *all* queries about one submitted graph -- whatever
+        their task/budget parameters -- to the same shard, whose cache
+        already holds that graph's refinement.
         """
         if not isinstance(payload, dict):
             raise ServiceError(400, "request body must be a JSON object")
@@ -234,71 +364,43 @@ class ElectionService:
             separators=(",", ":"),
         )
         key = hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
-        return parsed, key
-
-    def _compute(self, parsed: Dict[str, Any]) -> Dict[str, Any]:
-        """Build the graph and answer the query (runs on the worker pool)."""
-        if self._compute_delay:
-            time.sleep(self._compute_delay)
-        started = time.perf_counter()
-        if parsed["spec"] is not None:
-            spec_dict = parsed["spec"]
-            try:
-                spec = GraphSpec.make(spec_dict["kind"], **spec_dict.get("params", {}))
-                graph = spec.build()
-            except ValueError as error:
-                raise ServiceError(400, str(error)) from None
-            label = spec.label
-        else:
-            try:
-                graph = graph_from_dict(parsed["graph"], validate=True)
-            except (PortLabelingError, KeyError, TypeError, ValueError) as error:
-                raise ServiceError(400, f"invalid graph: {error}") from None
-            label = graph.name or "submitted"
-        if graph.num_nodes > MAX_SUBMITTED_NODES:
-            raise ServiceError(400, f"graph too large (> {MAX_SUBMITTED_NODES} nodes)")
-        sweep = SweepSpec.make(
-            (),
-            tasks=parsed["tasks"],
-            max_depth=parsed["max_depth"],
-            max_states=parsed["max_states"],
+        route_canonical = json.dumps(
+            {"graph": graph_dict, "spec": spec_dict},
+            sort_keys=True,
+            separators=(",", ":"),
         )
-        record = evaluate_graph(graph, sweep, label=label)
-        self._counters["computed"] += 1
-        indices = {task.value: record[f"psi_{task.value}"] for task in parsed["tasks"]}
-        limited = [code for code in record.get("search_limited", "").split(",") if code]
-        response: Dict[str, Any] = {
-            "graph": label,
-            "fingerprint": graph.fingerprint(),
-            "n": graph.num_nodes,
-            "m": graph.num_edges,
-            "max_degree": graph.max_degree,
-            "feasible": record["feasible"],
-            "indices": indices,
-            "search_limited": limited,
-            "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
-        }
-        if parsed["advice"]:
-            from ..advice.map_advice import encode_map_advice  # lazy import, heavy layer
-
-            response["advice"] = {"map": encode_map_advice(graph)}
-        return response
+        route_key = hashlib.blake2b(
+            route_canonical.encode("utf-8"), digest_size=16
+        ).hexdigest()
+        return parsed, key, route_key
 
     # ------------------------------------------------------------------ #
     # /stats
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, Any]:
-        """Counters of every layer: service, cache, store, joint searches."""
+        """Counters of every layer: service, backend, cache, store, searches.
+
+        ``cache`` and ``search`` come from wherever the computing actually
+        happens: the calling process for the thread backend, the aggregated
+        (summed) shard workers for the process backend -- so invariants like
+        "a store-warm replay performs zero refinement passes" are checked
+        against the same numbers regardless of backend.
+        """
+        backend_stats = self._backend.stats()
         payload: Dict[str, Any] = {
             "service": dict(
                 self._counters,
                 in_flight=len(self._inflight),
                 workers=self._workers,
+                backend=self._backend.name,
+                concurrency=self._backend.concurrency,
                 compute_delay=self._compute_delay,
             ),
-            "cache": refinement_cache.stats(),
-            "search": search_statistics(),
+            "cache": backend_stats["cache"],
+            "search": backend_stats["search"],
         }
+        if "shards" in backend_stats:
+            payload["shards"] = backend_stats["shards"]
         if self._store is not None:
             payload["store"] = self._store.stats()
         return payload

@@ -28,6 +28,23 @@ TEST_CORPUS_SEED = 20260728
 CORPUS_SAMPLE_COUNT = 33
 
 
+@pytest.fixture
+def isolated_refinement_cache():
+    """A detached, empty process-wide refinement cache around one test.
+
+    The service suites opt in with a per-file autouse wrapper; the logic
+    lives here so cache-detachment semantics cannot silently diverge
+    between files.
+    """
+    from repro.runner import refinement_cache
+
+    refinement_cache.attach_store(None)
+    refinement_cache.clear()
+    yield refinement_cache
+    refinement_cache.attach_store(None)
+    refinement_cache.clear()
+
+
 @pytest.fixture(scope="session")
 def corpus_rng_factory():
     """``factory(name, seed=None) -> random.Random``: isolated, reproducible streams.

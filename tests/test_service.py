@@ -1,9 +1,17 @@
-"""Integration tests for the asyncio election-query service."""
+"""Integration tests for the asyncio election-query service.
+
+The whole suite runs against either compute backend: set
+``REPRO_SERVICE_BACKEND=process`` to drive every service through the
+sharded worker-process pool instead of the default thread pool (this is
+what the CI backend matrix does).  Behaviour, responses and the aggregated
+``/stats`` invariants are backend-independent by contract.
+"""
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 import urllib.error
 import urllib.request
@@ -18,14 +26,25 @@ from repro.runner import refinement_cache
 from repro.service import ElectionServer, ElectionService
 from repro.store import ArtifactStore
 
+#: Which compute backend the service tests exercise (CI runs both).
+SERVICE_BACKEND = os.environ.get("REPRO_SERVICE_BACKEND", "thread")
+
+
+def make_service(**kwargs) -> ElectionService:
+    """An :class:`ElectionService` on the suite's backend (default thread).
+
+    Under the process backend the shard count is capped so tests do not pay
+    for worker spawns they never use.
+    """
+    kwargs.setdefault("backend", SERVICE_BACKEND)
+    if kwargs["backend"] == "process":
+        kwargs.setdefault("shards", min(kwargs.get("workers", 4), 2))
+    return ElectionService(**kwargs)
+
 
 @pytest.fixture(autouse=True)
-def _detached_process_cache():
-    refinement_cache.attach_store(None)
-    refinement_cache.clear()
+def _detached_process_cache(isolated_refinement_cache):
     yield
-    refinement_cache.attach_store(None)
-    refinement_cache.clear()
 
 
 class _RunningServer:
@@ -83,7 +102,7 @@ class _RunningServer:
 
 def test_submit_matches_in_process_api_byte_exactly():
     graph = generators.asymmetric_cycle(7)
-    with _RunningServer(ElectionService(workers=2)) as running:
+    with _RunningServer(make_service(workers=2)) as running:
         result = running.post("/election", {"graph": graph_to_dict(graph), "advice": True})
     direct = all_election_indices(graph)
     assert result["indices"] == {task.value: direct[task] for task in Task.ordered()}
@@ -94,7 +113,7 @@ def test_submit_matches_in_process_api_byte_exactly():
 
 
 def test_generator_spec_submission_and_task_subset():
-    with _RunningServer(ElectionService(workers=1)) as running:
+    with _RunningServer(make_service(workers=1)) as running:
         result = running.post(
             "/election",
             {"spec": {"kind": "star", "params": {"leaves": 4}}, "tasks": ["S", "PE"]},
@@ -109,7 +128,7 @@ def test_identical_inflight_requests_coalesce():
     payload = {"graph": graph_to_dict(graph)}
     # the artificial delay keeps the first computation in flight while the
     # duplicates arrive, making the coalescing deterministic
-    with _RunningServer(ElectionService(workers=2, compute_delay=0.3)) as running:
+    with _RunningServer(make_service(workers=2, compute_delay=0.3)) as running:
         results = [None] * 4
         errors = []
 
@@ -137,13 +156,13 @@ def test_store_backed_service_answers_cold_with_zero_refinement(tmp_path):
     graph = generators.asymmetric_cycle(7)
     payload = {"graph": graph_to_dict(graph), "advice": True}
     store = ArtifactStore(str(tmp_path))
-    with _RunningServer(ElectionService(store=store, workers=1)) as running:
+    with _RunningServer(make_service(store=store, workers=1)) as running:
         warm = running.post("/election", payload)
     assert store.stats()["records"] == 1
 
     # simulate a service restart: fresh process-wide cache, same store
     refinement_cache.clear()
-    with _RunningServer(ElectionService(store=ArtifactStore(str(tmp_path)), workers=1)) as running:
+    with _RunningServer(make_service(store=ArtifactStore(str(tmp_path)), workers=1)) as running:
         cold = running.post("/election", payload)
         stats = running.get("/stats")
     assert cold["indices"] == warm["indices"]
@@ -154,7 +173,7 @@ def test_store_backed_service_answers_cold_with_zero_refinement(tmp_path):
 
 
 def test_stats_surfaces_every_layer(tmp_path):
-    service = ElectionService(store=ArtifactStore(str(tmp_path)), workers=3)
+    service = make_service(store=ArtifactStore(str(tmp_path)), workers=3)
     with _RunningServer(service) as running:
         running.post("/election", {"spec": {"kind": "asymmetric-cycle", "params": {"n": 6}}})
         stats = running.get("/stats")
@@ -166,12 +185,12 @@ def test_stats_surfaces_every_layer(tmp_path):
 
 
 def test_healthz():
-    with _RunningServer(ElectionService(workers=1)) as running:
+    with _RunningServer(make_service(workers=1)) as running:
         assert running.get("/healthz") == {"status": "ok"}
 
 
 def test_client_errors():
-    with _RunningServer(ElectionService(workers=1)) as running:
+    with _RunningServer(make_service(workers=1)) as running:
         code, body = running.post_expecting_error("/election", {"spec": {"kind": "no-such"}})
         assert code == 400 and "unknown graph kind" in body["error"]
         code, _ = running.post_expecting_error(

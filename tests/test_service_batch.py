@@ -16,21 +16,17 @@ import urllib.error
 import urllib.request
 
 import pytest
-from test_service import _RunningServer
+from test_service import _RunningServer, make_service
 
 from repro.runner import refinement_cache
-from repro.service import ElectionService, deterministic_response
+from repro.service import deterministic_response
 from repro.service.batch import MAX_BATCH_ITEMS, expand_sweep
 from repro.store import ArtifactStore
 
 
 @pytest.fixture(autouse=True)
-def _detached_process_cache():
-    refinement_cache.attach_store(None)
-    refinement_cache.clear()
+def _detached_process_cache(isolated_refinement_cache):
     yield
-    refinement_cache.attach_store(None)
-    refinement_cache.clear()
 
 
 def _post_stream(running, payload) -> list:
@@ -56,7 +52,7 @@ def _post_expecting_status(running, payload, status: int) -> dict:
 # --------------------------------------------------------------------------- #
 def test_corpus_sweep_items_byte_identical_to_sequential_singles():
     sweep = {"corpus": "mixed", "count": 11, "seed": 13}
-    with _RunningServer(ElectionService(workers=4)) as running:
+    with _RunningServer(make_service(workers=4)) as running:
         lines = _post_stream(running, {"sweep": sweep, "window": 4})
         header, items, trailer = lines[0], lines[1:-1], lines[-1]
         assert header["items"] == 11
@@ -72,7 +68,7 @@ def test_corpus_sweep_items_byte_identical_to_sequential_singles():
 
 def test_duplicate_inflight_batch_items_coalesce_with_identical_results():
     item = {"spec": {"kind": "asymmetric-cycle", "params": {"n": 9}}}
-    with _RunningServer(ElectionService(workers=4, compute_delay=0.25)) as running:
+    with _RunningServer(make_service(workers=4, compute_delay=0.25)) as running:
         lines = _post_stream(running, {"items": [item, item, item], "window": 3})
         stats = running.get("/stats")
     results = [json.dumps(line, sort_keys=True) for line in lines[1:-1]]
@@ -92,7 +88,7 @@ def test_malformed_ndjson_items_fail_per_item_not_per_request():
         b"[1, 2, 3]\n"
         b'{"spec": {"kind": "erdos-renyi", "params": {"n": 6, "seed": 1}}}\n'
     )
-    with _RunningServer(ElectionService(workers=2)) as running:
+    with _RunningServer(make_service(workers=2)) as running:
         lines = _post_stream(running, body)
     statuses = [line["status"] for line in lines[1:-1]]
     assert statuses == ["ok", "error", "error", "ok"]
@@ -105,7 +101,7 @@ def test_single_line_ndjson_body_is_a_one_item_batch():
     # one NDJSON line parses as a plain JSON object; the contract says it is
     # still a batch of one item, not a malformed envelope
     body = b'{"spec": {"kind": "star", "params": {"leaves": 3}}}\n'
-    with _RunningServer(ElectionService(workers=1)) as running:
+    with _RunningServer(make_service(workers=1)) as running:
         lines = _post_stream(running, body)
     assert lines[0]["items"] == 1
     assert lines[1]["status"] == "ok" and lines[1]["graph"] == "star(leaves=3)"
@@ -119,7 +115,7 @@ def test_item_level_query_errors_do_not_abort_the_stream():
         {"graph": {"num_nodes": 2, "edges": [[0, 0, 1, 5]]}},
         {"spec": {"kind": "star", "params": {"leaves": 4}}},
     ]
-    with _RunningServer(ElectionService(workers=2)) as running:
+    with _RunningServer(make_service(workers=2)) as running:
         lines = _post_stream(running, {"items": items})
     assert [line["status"] for line in lines[1:-1]] == ["error", "error", "error", "ok"]
     assert "unknown graph kind" in lines[1]["error"]
@@ -128,7 +124,7 @@ def test_item_level_query_errors_do_not_abort_the_stream():
 
 
 def test_envelope_errors_are_400s():
-    with _RunningServer(ElectionService(workers=1)) as running:
+    with _RunningServer(make_service(workers=1)) as running:
         for payload, fragment in [
             ({"items": [], "sweep": {"corpus": "mixed"}}, "exactly one"),
             ({}, "exactly one"),
@@ -150,7 +146,7 @@ def test_envelope_errors_are_400s():
 
 
 def test_oversized_sweep_rejected_with_clear_error():
-    with _RunningServer(ElectionService(workers=1)) as running:
+    with _RunningServer(make_service(workers=1)) as running:
         body = _post_expecting_status(
             running,
             {"sweep": {"corpus": "mixed", "count": MAX_BATCH_ITEMS + 1}},
@@ -170,7 +166,7 @@ def test_window_bounds_in_flight_computations():
     items = [
         {"spec": {"kind": "asymmetric-cycle", "params": {"n": n}}} for n in range(5, 17)
     ]
-    with _RunningServer(ElectionService(workers=8, compute_delay=0.05)) as running:
+    with _RunningServer(make_service(workers=8, compute_delay=0.05)) as running:
         lines = _post_stream(running, {"items": items, "window": 2})
         status = running.get(f"/sweeps/{lines[0]['sweep']}")
     assert status["state"] == "done"
@@ -183,7 +179,7 @@ def test_mid_stream_disconnect_cancels_the_sweep_and_server_survives():
         {"spec": {"kind": "asymmetric-cycle", "params": {"n": n}}} for n in range(5, 25)
     ]
     body = json.dumps({"items": items, "window": 2}).encode("utf-8")
-    with _RunningServer(ElectionService(workers=2, compute_delay=0.1)) as running:
+    with _RunningServer(make_service(workers=2, compute_delay=0.1)) as running:
         host, port = "127.0.0.1", running.server.port
         with socket.create_connection((host, port), timeout=10) as raw:
             raw.sendall(
@@ -221,7 +217,7 @@ def test_mid_stream_disconnect_cancels_the_sweep_and_server_survives():
 # sweeps registry
 # --------------------------------------------------------------------------- #
 def test_sweep_status_listing_and_unknown_id():
-    with _RunningServer(ElectionService(workers=1)) as running:
+    with _RunningServer(make_service(workers=1)) as running:
         lines = _post_stream(running, {"sweep": {"corpus": "mixed", "count": 3, "seed": 1}})
         sweep_id = lines[0]["sweep"]
         assert sweep_id in running.get("/sweeps")["sweeps"]
@@ -236,10 +232,10 @@ def test_sweep_status_listing_and_unknown_id():
 
 def test_sweep_status_persists_across_service_restart(tmp_path):
     payload = {"sweep": {"corpus": "mixed", "count": 4, "seed": 2}}
-    with _RunningServer(ElectionService(store=ArtifactStore(str(tmp_path)), workers=1)) as running:
+    with _RunningServer(make_service(store=ArtifactStore(str(tmp_path)), workers=1)) as running:
         sweep_id = _post_stream(running, payload)[0]["sweep"]
     refinement_cache.clear()
-    with _RunningServer(ElectionService(store=ArtifactStore(str(tmp_path)), workers=1)) as running:
+    with _RunningServer(make_service(store=ArtifactStore(str(tmp_path)), workers=1)) as running:
         status = running.get(f"/sweeps/{sweep_id}")
         assert status["state"] == "done" and status["total"] == 4
         assert sweep_id in running.get("/sweeps")["sweeps"]
