@@ -145,6 +145,13 @@ def _batch_gate(failures) -> dict:
     from repro.store import ArtifactStore
     from service_harness import ThreadedElectionServer
 
+    def strip_trace(lines):
+        # trace ids are per-request by design; byte-identity claims exclude them
+        return [
+            {key: value for key, value in line.items() if key != "trace"}
+            for line in lines
+        ]
+
     store_dir = tempfile.mkdtemp(prefix="repro-gate-batch-")
     refinement_cache.clear()
     reset_search_statistics()
@@ -157,7 +164,7 @@ def _batch_gate(failures) -> dict:
             started = time.perf_counter()
             lines, _gaps, _wall = running.post_batch({"sweep": BATCH_SWEEP})
             result["cold_stream_s"] = round(time.perf_counter() - started, 6)
-            items = lines[1:-1]
+            items = strip_trace(lines[1:-1])
             trailer = lines[-1]
             if trailer.get("ok") != BATCH_SWEEP["count"] or trailer.get("errors"):
                 failures.append(f"batch gate: unexpected trailer {trailer}")
@@ -168,7 +175,7 @@ def _batch_gate(failures) -> dict:
                 streamed = {
                     key: value
                     for key, value in line.items()
-                    if key not in ("index", "status")
+                    if key not in ("index", "status", "trace")
                 }
                 if json.dumps(streamed, sort_keys=True) != json.dumps(single, sort_keys=True):
                     mismatches += 1
@@ -198,7 +205,7 @@ def _batch_gate(failures) -> dict:
                 f"batch gate: store-warm batch replay performed "
                 f"{result['warm_refinement_passes']} refinement passes (expected 0)"
             )
-        if [line for line in replay_lines[1:-1]] != items:
+        if strip_trace(replay_lines[1:-1]) != items:
             failures.append("batch gate: warm replay stream differs from the cold stream")
         # process-backend replay: the same batch through the sharded worker
         # processes must be byte-identical and refinement-free (store-warm)
@@ -228,7 +235,7 @@ def _batch_gate(failures) -> dict:
             )
         if process_lines[-1].get("ok") != BATCH_SWEEP["count"]:
             failures.append(f"batch gate: process replay trailer {process_lines[-1]}")
-        if [line for line in process_lines[1:-1]] != items:
+        if strip_trace(process_lines[1:-1]) != items:
             failures.append(
                 "batch gate: process-backend stream differs from the thread-backend stream"
             )

@@ -40,9 +40,18 @@ starts from the artifact store, batch/streaming sweeps)::
 
     repro-leader-election serve --port 8765 --store artifacts/
     repro-leader-election serve --backend process --shards 4 --store artifacts/
+    repro-leader-election serve --port 0 --port-file /tmp/repro.port
     curl -s localhost:8765/stats
+    curl -s localhost:8765/metrics
     curl -sN localhost:8765/elections \
         -d '{"sweep": {"corpus": "mixed", "count": 50, "seed": 7}}'
+
+Model-check the service's concurrency protocols (exhaustive within the
+bounds; fails if any invariant breaks, any run can deadlock, or the
+seeded known-bad mutants go undetected)::
+
+    repro-leader-election verify --all
+    repro-leader-election verify --protocol batch --items 6 --window 3 --json
 """
 
 from __future__ import annotations
@@ -231,6 +240,61 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="process-backend: retire a shard worker after this many tasks",
+    )
+    serve.add_argument(
+        "--port-file",
+        metavar="FILE",
+        default=None,
+        help="write the bound port here once listening (use with --port 0 "
+        "for a kernel-assigned, collision-free port)",
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help="model-check the service's concurrency protocols exhaustively",
+    )
+    verify.add_argument(
+        "--all",
+        action="store_true",
+        help="check every protocol plus the seeded known-bad mutants "
+        "(the default when no --protocol is given)",
+    )
+    verify.add_argument(
+        "--protocol",
+        action="append",
+        default=[],
+        choices=["batch", "worker"],
+        help="check only this protocol (repeatable; skips the mutant gate)",
+    )
+    verify.add_argument(
+        "--max-states",
+        type=int,
+        default=200_000,
+        help="state-space exploration bound (a hit bound fails the run)",
+    )
+    verify.add_argument(
+        "--max-depth",
+        type=int,
+        default=10_000,
+        help="exploration depth bound (a hit bound fails the run)",
+    )
+    verify.add_argument(
+        "--items", type=int, default=4, help="batch model: items per sweep"
+    )
+    verify.add_argument(
+        "--window", type=int, default=2, help="batch model: in-flight window"
+    )
+    verify.add_argument(
+        "--jobs", type=int, default=3, help="worker model: jobs to dispatch"
+    )
+    verify.add_argument(
+        "--recycle-after",
+        type=int,
+        default=2,
+        help="worker model: recycle threshold",
+    )
+    verify.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
     )
 
     return parser
@@ -517,6 +581,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             backend=args.backend,
             shards=args.shards,
             recycle_after=args.recycle_after,
+            port_file=args.port_file,
         )
     except ValueError as error:
         print(f"serve: {error}", file=sys.stderr)
@@ -524,6 +589,45 @@ def _command_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    from .verify import run_verification
+
+    protocols = args.protocol or None
+    include_mutants = args.all or not args.protocol
+    report = run_verification(
+        protocols,
+        max_states=args.max_states,
+        max_depth=args.max_depth,
+        include_mutants=include_mutants,
+        batch_items=args.items,
+        batch_window=args.window,
+        worker_jobs=args.jobs,
+        worker_recycle_after=args.recycle_after,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for entry in report["models"]:
+            verdict = "ok" if entry["ok"] and entry["complete"] else "FAILED"
+            bound_note = "" if entry["complete"] else " (bound hit: incomplete)"
+            print(
+                f"verify {entry['model']}: {verdict} -- {entry['states']} states, "
+                f"{entry['transitions']} transitions, depth {entry['depth']}"
+                f"{bound_note}"
+            )
+            for violation in entry["violations"]:
+                print(f"  {violation['kind']}: {violation['message']}")
+                for event, state in violation["trace"]:
+                    print(f"    {event:>14}  {state}")
+        for entry in report["mutants"]:
+            verdict = "caught" if entry["caught"] else "MISSED (vacuous checker!)"
+            print(
+                f"verify {entry['model']}: {verdict} "
+                f"(expected {entry['expected_kind']}; {entry['states']} states)"
+            )
+    return 0 if report["ok"] else 1
 
 
 def _command_counts(args: argparse.Namespace) -> int:
@@ -549,6 +653,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_sweep(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "verify":
+        return _command_verify(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

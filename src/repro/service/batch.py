@@ -46,6 +46,12 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Dict, List, Optional
 
+from .protocol import (
+    SWEEP_RUNNING,
+    SWEEP_TERMINAL,
+    WindowLedger,
+    sweep_transition,
+)
 from .service import ElectionService, ServiceError, deterministic_response
 
 __all__ = [
@@ -85,7 +91,15 @@ class BatchRequest:
 
 @dataclass
 class SweepStatus:
-    """Mutable progress record of one sweep (what ``GET /sweeps/<id>`` serves)."""
+    """Mutable progress record of one sweep (what ``GET /sweeps/<id>`` serves).
+
+    The ``state`` field moves only through the shared sweep transition table
+    (:data:`repro.service.protocol.SWEEP_TRANSITIONS`) via :meth:`apply` --
+    the same table the ``repro verify`` model checker explores -- so an
+    illegal lifecycle step (finalising twice, resolving items after the
+    trailer) raises :class:`~repro.service.protocol.ProtocolViolation` at
+    the call site instead of quietly corrupting the progress record.
+    """
 
     sweep_id: str
     total: int
@@ -93,9 +107,15 @@ class SweepStatus:
     completed: int = 0
     ok: int = 0
     errors: int = 0
-    state: str = "running"  # running | done | cancelled
+    state: str = SWEEP_RUNNING  # running | done | cancelled
     max_in_flight: int = 0
     item_status: List[str] = field(default_factory=list)
+    #: Live window accounting (not serialised; dies with the stream).
+    ledger: Optional[WindowLedger] = None
+
+    def apply(self, event: str) -> None:
+        """Advance the lifecycle state through the shared transition table."""
+        self.state = sweep_transition(self.state, event)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -298,7 +318,11 @@ class BatchCoordinator:
     # streaming
     # ------------------------------------------------------------------ #
     async def stream(
-        self, request: BatchRequest, emit: Callable[[Dict[str, Any]], Awaitable[None]]
+        self,
+        request: BatchRequest,
+        emit: Callable[[Dict[str, Any]], Awaitable[None]],
+        *,
+        trace: Optional[str] = None,
     ) -> None:
         """Compute the batch and emit NDJSON lines in item order.
 
@@ -307,18 +331,31 @@ class BatchCoordinator:
         -- at any instant, which is both the memory bound and the
         backpressure coupling to the client's read rate.  A failed ``emit``
         (client gone) cancels everything still pending.
+
+        ``trace`` is the serving request's trace id; when given, every
+        emitted line (header, items, trailer) carries it, so a stress
+        failure or a production incident correlates one NDJSON stream with
+        the server's ``/stats`` trace ring and its logs.
+
+        The lifecycle state moves through the shared transition table and
+        the window ledger audits every slot (see
+        :mod:`repro.service.protocol`): a leaked slot or a double
+        finalisation raises instead of hanging a waiter.
         """
         status = self._register(request)
         self._counters["batches"] += 1
         self._counters["batch_items"] += len(request.items)
         gate = asyncio.Semaphore(request.window)
-        in_flight = 0
+        ledger = status.ledger
+        assert ledger is not None
+
+        def stamped(line: Dict[str, Any]) -> Dict[str, Any]:
+            return line if trace is None else dict(line, trace=trace)
 
         async def compute(item: BatchItem) -> Dict[str, Any]:
-            nonlocal in_flight
             await gate.acquire()
-            in_flight += 1
-            status.max_in_flight = max(status.max_in_flight, in_flight)
+            ledger.acquire()
+            status.max_in_flight = ledger.peak
             if item.error is not None:
                 return {"index": item.index, "status": "error", "error": item.error}
             try:
@@ -342,15 +379,22 @@ class BatchCoordinator:
             # before reading anything must still leave the sweep record
             # "cancelled", not stuck in its streaming state forever
             await emit(
-                {"sweep": request.sweep_id, "items": len(request.items), "window": request.window}
+                stamped(
+                    {
+                        "sweep": request.sweep_id,
+                        "items": len(request.items),
+                        "window": request.window,
+                    }
+                )
             )
             tasks = [asyncio.ensure_future(compute(item)) for item in request.items]
             for task in tasks:
                 line = await task
-                await emit(line)
+                await emit(stamped(line))
                 emitted += 1
-                in_flight -= 1
+                ledger.release()
                 gate.release()
+                status.apply("item_resolved")
                 status.completed += 1
                 if line["status"] == "ok":
                     status.ok += 1
@@ -358,21 +402,24 @@ class BatchCoordinator:
                     status.errors += 1
                     self._counters["batch_errors"] += 1
                 status.item_status[line["index"]] = line["status"]
-            status.state = "done"
+            status.apply("completed")
+            ledger.assert_drained()
             await emit(
-                {
-                    "sweep": request.sweep_id,
-                    "status": "done",
-                    "ok": status.ok,
-                    "errors": status.errors,
-                }
+                stamped(
+                    {
+                        "sweep": request.sweep_id,
+                        "status": "done",
+                        "ok": status.ok,
+                        "errors": status.errors,
+                    }
+                )
             )
         finally:
-            if status.state != "done":
+            if status.state not in SWEEP_TERMINAL:
                 # any non-completion (failed emit, cancellation, worker
                 # error) is a cancelled sweep; previously only exceptions
                 # raised after the header left the loop marked this
-                status.state = "cancelled"
+                status.apply("aborted")
                 self._counters["cancelled"] += 1
                 for task in tasks:
                     task.cancel()
@@ -381,7 +428,7 @@ class BatchCoordinator:
                 # still blocked on the gate waits on a slot that cannot free
                 for task in tasks[emitted:]:
                     if task.done() and not task.cancelled():
-                        in_flight -= 1
+                        ledger.release()
                         gate.release()
             self._persist(status)
 
@@ -394,6 +441,7 @@ class BatchCoordinator:
             total=len(request.items),
             window=request.window,
             item_status=["pending"] * len(request.items),
+            ledger=WindowLedger(request.window),
         )
         with self._lock:
             self._sweeps[request.sweep_id] = status
@@ -431,7 +479,10 @@ class BatchCoordinator:
             try:
                 with open(path, "r", encoding="utf-8") as handle:
                     return json.load(handle)
-            except (FileNotFoundError, json.JSONDecodeError):
+            except (OSError, ValueError):
+                # OSError beyond FileNotFoundError covers ids that make bad
+                # paths (e.g. `<existing>.json/x` -> ENOTDIR) and embedded
+                # NULs (ValueError): unknown sweep, not a server error
                 return None
         return None
 
@@ -452,5 +503,14 @@ class BatchCoordinator:
 
     def stats(self) -> Dict[str, int]:
         with self._lock:
-            active = sum(1 for s in self._sweeps.values() if s.state == "running")
+            active = sum(1 for s in self._sweeps.values() if s.state == SWEEP_RUNNING)
             return dict(self._counters, tracked_sweeps=len(self._sweeps), active=active)
+
+    def window_occupancy(self) -> int:
+        """Window slots currently held across all running sweeps (for /metrics)."""
+        with self._lock:
+            return sum(
+                s.ledger.in_flight
+                for s in self._sweeps.values()
+                if s.state == SWEEP_RUNNING and s.ledger is not None
+            )

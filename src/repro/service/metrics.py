@@ -1,0 +1,288 @@
+"""A minimal Prometheus-text-format metrics registry (stdlib only).
+
+The container the reproduction targets has no ``prometheus_client``, so
+this module implements the three instrument kinds the service needs --
+monotonic counters, gauges (set directly or read from a callback at scrape
+time) and cumulative-bucket histograms -- plus the text exposition format
+(``# HELP`` / ``# TYPE`` comments, ``name{label="value"} 1.0`` samples)
+that every Prometheus-compatible scraper understands.
+
+Design constraints:
+
+* **Scrapes must be cheap and lock-light.**  ``GET /metrics`` runs on the
+  event loop's executor while queries are in flight; instruments share one
+  registry lock held only for point reads/writes, and gauge callbacks are
+  invoked outside it.  Nothing here does I/O or round-trips a worker pipe.
+* **Label cardinality is the caller's problem, bounded by construction.**
+  The server normalises paths (``/sweeps/<id>`` becomes ``/sweeps/{id}``)
+  before labelling, so a scrape's size is O(endpoints x statuses), not
+  O(sweeps ever served).
+* **Rendering is deterministic.**  Families render in registration order,
+  children in sorted label order, floats via ``repr`` -- two scrapes of an
+  idle server are byte-identical, which keeps the CI smoke trivial.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Request-latency buckets (seconds): sub-millisecond warm hits through
+#: multi-second cold sweeps.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape_label_value(value: str) -> str:
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _sample(name: str, labels: Sequence[Tuple[str, str]], value: float) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{key}="{_escape_label_value(str(val))}"' for key, val in labels
+        )
+        return f"{name}{{{rendered}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+class _Instrument:
+    """Shared child bookkeeping: one value cell per label-value tuple."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help_text: str, labelnames: Sequence[str], lock: threading.Lock
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = lock
+        self._children: Dict[Tuple[str, ...], float] = {}
+
+    def _labelvalues(self, labels: Dict[str, str]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, got {tuple(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+        with self._lock:
+            children = sorted(self._children.items())
+        if not children and not self.labelnames:
+            children = [((), 0.0)]
+        for labelvalues, value in children:
+            lines.append(
+                _sample(self.name, list(zip(self.labelnames, labelvalues)), value)
+            )
+        return lines
+
+
+class Counter(_Instrument):
+    """A monotonically increasing value, optionally split by labels."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up")
+        key = self._labelvalues(labels)
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._children.get(self._labelvalues(labels), 0.0)
+
+
+class Gauge(_Instrument):
+    """A point-in-time value: ``set`` directly, or supply a scrape callback.
+
+    A callback gauge is read at render time (outside the registry lock) and
+    must return either a number (no labels) or a ``{labelvalues: number}``
+    dict keyed by tuples matching ``labelnames``.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: threading.Lock,
+        callback: Optional[Callable[[], object]] = None,
+    ) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        self._callback = callback
+
+    def set(self, value: float, **labels: str) -> None:
+        if self._callback is not None:
+            raise ValueError(f"{self.name}: callback gauges cannot be set")
+        key = self._labelvalues(labels)
+        with self._lock:
+            self._children[key] = float(value)
+
+    def render(self) -> List[str]:
+        if self._callback is None:
+            return super().render()
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+        observed = self._callback()
+        if isinstance(observed, dict):
+            for labelvalues in sorted(observed):
+                values = (
+                    labelvalues if isinstance(labelvalues, tuple) else (labelvalues,)
+                )
+                lines.append(
+                    _sample(
+                        self.name,
+                        list(zip(self.labelnames, (str(v) for v in values))),
+                        float(observed[labelvalues]),
+                    )
+                )
+        else:
+            lines.append(_sample(self.name, (), float(observed)))
+        return lines
+
+
+class Histogram:
+    """Cumulative-bucket histogram: ``_bucket{le=...}``, ``_sum``, ``_count``."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: threading.Lock,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = lock
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"{name}: at least one bucket bound is required")
+        self._bounds = bounds
+        # child -> (per-bucket counts, sum, count)
+        self._children: Dict[Tuple[str, ...], Tuple[List[int], float, int]] = {}
+
+    def _labelvalues(self, labels: Dict[str, str]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, got {tuple(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._labelvalues(labels)
+        with self._lock:
+            counts, total, count = self._children.get(
+                key, ([0] * len(self._bounds), 0.0, 0)
+            )
+            for index, bound in enumerate(self._bounds):
+                if value <= bound:
+                    counts[index] += 1
+                    break
+            self._children[key] = (counts, total + value, count + 1)
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+        with self._lock:
+            children = sorted(
+                (key, (list(counts), total, count))
+                for key, (counts, total, count) in self._children.items()
+            )
+        for labelvalues, (counts, total, count) in children:
+            base = list(zip(self.labelnames, labelvalues))
+            cumulative = 0
+            for bound, bucket_count in zip(self._bounds, counts):
+                cumulative += bucket_count
+                lines.append(
+                    _sample(
+                        f"{self.name}_bucket", base + [("le", _format_value(bound))], cumulative
+                    )
+                )
+            lines.append(_sample(f"{self.name}_bucket", base + [("le", "+Inf")], count))
+            lines.append(_sample(f"{self.name}_sum", base, total))
+            lines.append(_sample(f"{self.name}_count", base, count))
+        return lines
+
+
+class MetricsRegistry:
+    """Creates instruments and renders the whole exposition document."""
+
+    CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: List[object] = []
+        self._names: set = set()
+
+    def _register(self, instrument):
+        if instrument.name in self._names:
+            raise ValueError(f"duplicate metric name {instrument.name!r}")
+        self._names.add(instrument.name)
+        self._families.append(instrument)
+        return instrument
+
+    def counter(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> Counter:
+        return self._register(Counter(name, help_text, labelnames, self._lock))
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        callback: Optional[Callable[[], object]] = None,
+    ) -> Gauge:
+        return self._register(Gauge(name, help_text, labelnames, self._lock, callback))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help_text, labelnames, self._lock, buckets))
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for family in self._families:
+            lines.extend(family.render())
+        return "\n".join(lines) + "\n"

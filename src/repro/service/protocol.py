@@ -1,0 +1,205 @@
+"""Shared protocol state tables of the service's concurrency lifecycles.
+
+The service has two protocol surfaces with real lifecycle state: the batch
+streamer (window slots, in-order emits, cancellation) and the shard worker
+(spawn/dispatch/reply/recycle/crash/close).  Every lifecycle bug fixed so
+far -- sweeps stuck ``running``, leaked window slots, waiters hung on a
+worker that silently died -- was a transition that the code performed but
+the protocol does not allow.
+
+This module is the single source of truth for those transitions.  The
+production code (:mod:`repro.service.batch`, :mod:`repro.service.workers`)
+drives its state through the tables below, so an illegal transition raises
+:class:`ProtocolViolation` at the exact call site instead of surfacing ten
+seconds later as a hung client; and the bounded model checker
+(:mod:`repro.verify`) imports the *same* tables to explore every
+interleaving of the environment (client disconnects, worker crashes,
+recycle thresholds) exhaustively.  The model is the implementation's state
+logic, not a parallel copy: a transition added here is simultaneously
+enforced in production and explored by ``repro verify``.
+
+Sweep lifecycle (:data:`SWEEP_TRANSITIONS`)::
+
+    running --item_resolved--> running     one NDJSON line emitted
+    running --completed-----> done         trailer reached, all items out
+    running --aborted-------> cancelled    client gone / emit failed / error
+
+``done`` and ``cancelled`` are terminal: nothing transitions out of them,
+so double-finalisation (the PR-5 bug family) is a :class:`ProtocolViolation`
+rather than a silently overwritten state.
+
+Window ledger (:func:`window_acquire` / :func:`window_release`): the
+bounded in-flight window is a conserved resource.  ``acquire`` past the
+capacity and ``release`` of a free slot are both violations; a terminal
+sweep must have released every slot it acquired.
+
+Worker lifecycle (:data:`WORKER_TRANSITIONS`)::
+
+    down --spawn----> idle        process started, pipe open
+    idle --dispatch-> busy        job on the pipe
+    busy --reply----> idle        response received, job counted
+    idle --retire---> down        recycle threshold: farewell absorbed, joined
+    idle --crash----> down        died between jobs (found at next ensure)
+    busy --crash----> down        died mid-job (broken pipe)
+    *    --close----> closed      shutdown (graceful or terminate)
+
+``closed`` absorbs ``crash`` and ``close`` (a worker terminated during
+shutdown surfaces as a broken pipe in the caller it unblocks; ``close`` is
+idempotent) but nothing else -- dispatching into a closed shard is a
+violation, not a queue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = [
+    "ProtocolViolation",
+    "SWEEP_CANCELLED",
+    "SWEEP_DONE",
+    "SWEEP_RUNNING",
+    "SWEEP_STATES",
+    "SWEEP_TERMINAL",
+    "SWEEP_TRANSITIONS",
+    "WORKER_BUSY",
+    "WORKER_CLOSED",
+    "WORKER_DOWN",
+    "WORKER_IDLE",
+    "WORKER_STATES",
+    "WORKER_TRANSITIONS",
+    "WindowLedger",
+    "sweep_transition",
+    "window_acquire",
+    "window_release",
+    "worker_transition",
+]
+
+
+class ProtocolViolation(AssertionError):
+    """A state transition the protocol does not allow.
+
+    Raised by the transition functions below -- in production when the
+    service code attempts an illegal step, and inside the model checker
+    when an explored interleaving drives a model into one.
+    """
+
+
+# --------------------------------------------------------------------------- #
+# sweep (batch stream) lifecycle
+# --------------------------------------------------------------------------- #
+SWEEP_RUNNING = "running"
+SWEEP_DONE = "done"
+SWEEP_CANCELLED = "cancelled"
+
+SWEEP_STATES = (SWEEP_RUNNING, SWEEP_DONE, SWEEP_CANCELLED)
+SWEEP_TERMINAL = frozenset({SWEEP_DONE, SWEEP_CANCELLED})
+
+#: ``(state, event) -> state``.  Events: ``item_resolved`` (one result line
+#: accounted), ``completed`` (all items emitted), ``aborted`` (client gone,
+#: emit failed, or the stream died for any other reason).
+SWEEP_TRANSITIONS: Dict[Tuple[str, str], str] = {
+    (SWEEP_RUNNING, "item_resolved"): SWEEP_RUNNING,
+    (SWEEP_RUNNING, "completed"): SWEEP_DONE,
+    (SWEEP_RUNNING, "aborted"): SWEEP_CANCELLED,
+}
+
+
+def sweep_transition(state: str, event: str) -> str:
+    """The sweep state after ``event``; raises on an illegal transition."""
+    try:
+        return SWEEP_TRANSITIONS[(state, event)]
+    except KeyError:
+        raise ProtocolViolation(
+            f"sweep protocol: event {event!r} is not allowed in state {state!r}"
+        ) from None
+
+
+# --------------------------------------------------------------------------- #
+# bounded in-flight window accounting
+# --------------------------------------------------------------------------- #
+def window_acquire(in_flight: int, capacity: int) -> int:
+    """One more item past the gate; raises if the window bound would break."""
+    if not 0 <= in_flight < capacity:
+        raise ProtocolViolation(
+            f"window protocol: acquire with {in_flight} of {capacity} slots in flight"
+        )
+    return in_flight + 1
+
+
+def window_release(in_flight: int) -> int:
+    """One slot handed back; raises on releasing a slot nobody holds."""
+    if in_flight <= 0:
+        raise ProtocolViolation("window protocol: release with no slot in flight")
+    return in_flight - 1
+
+
+class WindowLedger:
+    """Mutable window bookkeeping for production code, over the pure functions.
+
+    The asyncio semaphore *enforces* the bound; the ledger *audits* it --
+    acquire/release imbalances (the leaked-slot bug family) surface as
+    :class:`ProtocolViolation` at the faulty call site.  The checker's batch
+    model evolves the same ``in_flight`` integer through the same
+    :func:`window_acquire`/:func:`window_release`.
+    """
+
+    __slots__ = ("capacity", "in_flight", "peak")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("window capacity must be at least 1")
+        self.capacity = capacity
+        self.in_flight = 0
+        self.peak = 0
+
+    def acquire(self) -> None:
+        self.in_flight = window_acquire(self.in_flight, self.capacity)
+        self.peak = max(self.peak, self.in_flight)
+
+    def release(self) -> None:
+        self.in_flight = window_release(self.in_flight)
+
+    def assert_drained(self) -> None:
+        """Every acquired slot must be back (checked on clean completion)."""
+        if self.in_flight != 0:
+            raise ProtocolViolation(
+                f"window protocol: sweep finished with {self.in_flight} slots leaked"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# shard worker lifecycle
+# --------------------------------------------------------------------------- #
+WORKER_DOWN = "down"
+WORKER_IDLE = "idle"
+WORKER_BUSY = "busy"
+WORKER_CLOSED = "closed"
+
+WORKER_STATES = (WORKER_DOWN, WORKER_IDLE, WORKER_BUSY, WORKER_CLOSED)
+
+#: ``(state, event) -> state``.  See the module docstring for the diagram.
+WORKER_TRANSITIONS: Dict[Tuple[str, str], str] = {
+    (WORKER_DOWN, "spawn"): WORKER_IDLE,
+    (WORKER_IDLE, "dispatch"): WORKER_BUSY,
+    (WORKER_BUSY, "reply"): WORKER_IDLE,
+    (WORKER_IDLE, "retire"): WORKER_DOWN,
+    (WORKER_IDLE, "crash"): WORKER_DOWN,
+    (WORKER_BUSY, "crash"): WORKER_DOWN,
+    (WORKER_DOWN, "close"): WORKER_CLOSED,
+    (WORKER_IDLE, "close"): WORKER_CLOSED,
+    (WORKER_BUSY, "close"): WORKER_CLOSED,
+    # a worker terminated by a timed-out close surfaces as a broken pipe in
+    # the call it unblocks; close is idempotent
+    (WORKER_CLOSED, "crash"): WORKER_CLOSED,
+    (WORKER_CLOSED, "close"): WORKER_CLOSED,
+}
+
+
+def worker_transition(state: str, event: str) -> str:
+    """The worker state after ``event``; raises on an illegal transition."""
+    try:
+        return WORKER_TRANSITIONS[(state, event)]
+    except KeyError:
+        raise ProtocolViolation(
+            f"worker protocol: event {event!r} is not allowed in state {state!r}"
+        ) from None

@@ -12,25 +12,41 @@ surface is deliberately small and JSON-only:
 * ``GET /sweeps`` / ``GET /sweeps/<id>`` -- progress/resume records of
   batches, persisted alongside the artifact store;
 * ``GET /stats`` -- counters of every layer (service, batch coordinator,
-  refinement cache, artifact store, joint searches);
+  refinement cache, artifact store, joint searches), plus the recent-trace
+  ring;
+* ``GET /metrics`` -- Prometheus text exposition (request/batch/shard
+  counters, window occupancy, queue depths, latency histograms);
 * ``GET /healthz`` -- liveness.
+
+Every request is assigned a **trace id** (a server nonce plus a serial):
+it rides on every JSON response and every NDJSON line of a batch stream,
+and the last 64 traces are echoed by ``GET /stats``, so one bad stream in
+a stress run or a production incident is correlatable with the server's
+own record of serving it.
 
 Connections are handled one request at a time and closed after the response
 (``Connection: close``); request bodies are capped; single-query responses
 are ``application/json`` with sorted keys and batch responses are
 ``application/x-ndjson`` terminated by connection close, so both are
 byte-deterministic given deterministic payloads (batches modulo the
-documented volatile fields, which the stream omits).
+documented volatile fields, which the stream omits -- the trace id being
+volatile by design).
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
+import os
+import re
 import sys
+import time
+from collections import deque
 from typing import Any, Dict, Optional, Tuple
 
 from .batch import BatchCoordinator
+from .metrics import MetricsRegistry
 from .service import ElectionService, ServiceError
 
 __all__ = ["ElectionServer", "run_server"]
@@ -39,6 +55,8 @@ __all__ = ["ElectionServer", "run_server"]
 MAX_BODY_BYTES = 32 * 1024 * 1024
 #: Seconds a client may take to deliver one full request.
 REQUEST_TIMEOUT = 60.0
+#: Trace ids remembered for the ``/stats`` echo.
+TRACE_RING_SIZE = 64
 
 _STATUS_TEXT = {
     200: "OK",
@@ -50,12 +68,36 @@ _STATUS_TEXT = {
     503: "Service Unavailable",
 }
 
+#: Sweep ids are lowercase-hex content digests; anything else is unknown by
+#: construction (and must not reach the filesystem as a path fragment).
+_SWEEP_ID_RE = re.compile(r"[0-9a-f]{1,64}")
+
+#: The fixed endpoint set, for metric-label normalisation.
+_KNOWN_PATHS = frozenset(
+    {"/election", "/elections", "/sweeps", "/stats", "/metrics", "/healthz"}
+)
+
+
+def _normalize_path(path: Optional[str]) -> str:
+    """A bounded-cardinality metric label for ``path``."""
+    if path is None:
+        return "<unparsed>"
+    if path in _KNOWN_PATHS:
+        return path
+    if path.startswith("/sweeps/"):
+        return "/sweeps/{id}"
+    return "<other>"
+
 
 def _encode_response(status: int, payload: Dict[str, Any]) -> bytes:
     body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return _encode_raw(status, body, "application/json")
+
+
+def _encode_raw(status: int, body: bytes, content_type: str) -> bytes:
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: close\r\n"
         f"\r\n"
@@ -107,6 +149,83 @@ class ElectionServer:
         self._port = port
         self._server: Optional[asyncio.AbstractServer] = None
         self._batch = BatchCoordinator(service)
+        # --- tracing -------------------------------------------------- #
+        self._trace_nonce = os.urandom(3).hex()
+        self._trace_serial = itertools.count(1)
+        self._recent_traces: "deque[Dict[str, Any]]" = deque(maxlen=TRACE_RING_SIZE)
+        # --- metrics --------------------------------------------------- #
+        metrics = MetricsRegistry()
+        self._metrics = metrics
+        self._requests_total = metrics.counter(
+            "repro_requests_total",
+            "HTTP requests served, by method, normalised path and status.",
+            ("method", "path", "status"),
+        )
+        self._request_seconds = metrics.histogram(
+            "repro_request_seconds",
+            "Wall time per request (streams: until the stream finished).",
+            ("path",),
+        )
+        metrics.gauge(
+            "repro_service_events",
+            "Service-layer counters (queries, coalesced, computed, errors).",
+            ("event",),
+            callback=lambda: {
+                (event,): service.counter(event)
+                for event in ("requests", "queries", "coalesced", "computed", "errors")
+            },
+        )
+        metrics.gauge(
+            "repro_service_in_flight",
+            "Coalescing futures currently unresolved.",
+            callback=lambda: service.in_flight,
+        )
+        metrics.gauge(
+            "repro_backend_queue_depth",
+            "Computations accepted by the backend but not yet running.",
+            callback=service.queue_depth,
+        )
+        metrics.gauge(
+            "repro_backend_concurrency",
+            "Computations the backend can genuinely overlap.",
+            callback=lambda: service.concurrency,
+        )
+        metrics.gauge(
+            "repro_batch_events",
+            "Batch-coordinator counters (batches, items, errors, cancellations).",
+            ("event",),
+            callback=lambda: {(k,): v for k, v in self._batch.stats().items()},
+        )
+        metrics.gauge(
+            "repro_window_in_flight",
+            "Window slots currently held across all running sweeps.",
+            callback=self._batch.window_occupancy,
+        )
+        metrics.gauge(
+            "repro_shard_events",
+            "Parent-side shard counters (process backend; zero elsewhere).",
+            ("event",),
+            callback=lambda: {
+                (k,): v for k, v in service.backend_telemetry().items()
+            },
+        )
+        metrics.gauge(
+            "repro_traces_issued",
+            "Trace ids issued since the server started.",
+            callback=lambda: self._trace_count,
+        )
+        if service.store is not None:
+            store = service.store
+            metrics.gauge(
+                "repro_store_records",
+                "Records indexed by the artifact-store manifest.",
+                callback=lambda: store.stats()["records"],
+            )
+
+    def _last_trace_serial(self) -> int:
+        return self._trace_count
+
+    _trace_count = 0
 
     @property
     def service(self) -> ElectionService:
@@ -115,6 +234,10 @@ class ElectionServer:
     @property
     def batch(self) -> BatchCoordinator:
         return self._batch
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics
 
     @property
     def port(self) -> int:
@@ -141,12 +264,36 @@ class ElectionServer:
         self._service.close()
 
     # ------------------------------------------------------------------ #
+    def _new_trace(self) -> str:
+        self._trace_count = next(self._trace_serial)
+        return f"{self._trace_nonce}-{self._trace_count:06x}"
+
+    def _record_trace(self, trace: str, path: Optional[str], status: Optional[int]) -> None:
+        self._recent_traces.append(
+            {"trace": trace, "path": _normalize_path(path), "status": status or 0}
+        )
+
+    def trace_ring(self) -> Dict[str, Any]:
+        """The ``traces`` section of ``/stats``."""
+        return {"issued": self._trace_count, "recent": list(self._recent_traces)}
+
+    # ------------------------------------------------------------------ #
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        started = time.perf_counter()
+        trace = self._new_trace()
+        method: Optional[str] = None
+        path: Optional[str] = None
+        status_code: Optional[int] = None
         try:
             try:
                 request = await asyncio.wait_for(_read_request(reader), REQUEST_TIMEOUT)
             except ServiceError as error:
-                writer.write(_encode_response(error.status, {"error": error.message}))
+                status_code = error.status
+                writer.write(
+                    _encode_response(
+                        error.status, {"error": error.message, "trace": trace}
+                    )
+                )
                 return
             except (asyncio.TimeoutError, asyncio.IncompleteReadError):
                 return
@@ -155,13 +302,43 @@ class ElectionServer:
             method, path, body = request
             self._service.count_request()
             if path == "/elections" and method == "POST":
-                await self._handle_batch(writer, body)
+                status_code = await self._handle_batch(writer, body, trace)
+                return
+            if path == "/metrics":
+                if method != "GET":
+                    status_code = 405
+                    writer.write(
+                        _encode_response(405, {"error": "use GET", "trace": trace})
+                    )
+                    return
+                # off the loop: gauge callbacks may take coordinator locks
+                # or read the store manifest
+                loop = asyncio.get_running_loop()
+                rendered = await loop.run_in_executor(None, self._metrics.render)
+                status_code = 200
+                writer.write(
+                    _encode_raw(
+                        200, rendered.encode("utf-8"), MetricsRegistry.CONTENT_TYPE
+                    )
+                )
                 return
             status, payload = await self._dispatch(method, path, body)
+            status_code = status
+            payload["trace"] = trace
             writer.write(_encode_response(status, payload))
         except ConnectionResetError:
             pass
         finally:
+            if method is not None or status_code is not None:
+                self._requests_total.inc(
+                    method=method or "?",
+                    path=_normalize_path(path),
+                    status=str(status_code or 0),
+                )
+                self._request_seconds.observe(
+                    time.perf_counter() - started, path=_normalize_path(path)
+                )
+                self._record_trace(trace, path, status_code)
             try:
                 await writer.drain()
                 writer.close()
@@ -169,7 +346,9 @@ class ElectionServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _handle_batch(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+    async def _handle_batch(
+        self, writer: asyncio.StreamWriter, body: bytes, trace: str
+    ) -> int:
         """Stream one batch as NDJSON (body length unknown; ends at close).
 
         Parsing happens before the status line goes out, so request-level
@@ -177,12 +356,15 @@ class ElectionServer:
         ordinary JSON 400 responses; only a valid batch switches the
         connection into streaming mode.  A client that stops reading stalls
         the emit (bounded window); one that disconnects cancels the sweep.
+        Returns the response status for the request metrics.
         """
         try:
             request = self._batch.prepare(body)
         except ServiceError as error:
-            writer.write(_encode_response(error.status, {"error": error.message}))
-            return
+            writer.write(
+                _encode_response(error.status, {"error": error.message, "trace": trace})
+            )
+            return error.status
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
             b"Content-Type: application/x-ndjson\r\n"
@@ -195,9 +377,10 @@ class ElectionServer:
             await writer.drain()
 
         try:
-            await self._batch.stream(request, emit)
+            await self._batch.stream(request, emit, trace=trace)
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away; the coordinator already marked the sweep cancelled
+        return 200
 
     async def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, Dict[str, Any]]:
         if path == "/healthz":
@@ -212,6 +395,7 @@ class ElectionServer:
             loop = asyncio.get_running_loop()
             payload = await loop.run_in_executor(None, self._service.stats)
             payload["batch"] = self._batch.stats()
+            payload["traces"] = self.trace_ring()
             return 200, payload
         if path == "/sweeps":
             if method != "GET":
@@ -221,6 +405,11 @@ class ElectionServer:
             if method != "GET":
                 return 405, {"error": "use GET"}
             sweep_id = path[len("/sweeps/"):]
+            # ids are hex content digests; reject everything else *before*
+            # it can reach the filesystem as a path fragment (a malformed id
+            # such as 'x/../y' or 'abc.json/z' used to surface as a 500)
+            if not _SWEEP_ID_RE.fullmatch(sweep_id):
+                return 404, {"error": f"malformed sweep id {sweep_id!r}"}
             status = self._batch.sweep_status(sweep_id)
             if status is None:
                 return 404, {"error": f"unknown sweep {sweep_id!r}"}
@@ -253,8 +442,15 @@ def run_server(
     backend: str = "thread",
     shards: Optional[int] = None,
     recycle_after: Optional[int] = None,
+    port_file: Optional[str] = None,
 ) -> None:
-    """Blocking entry point behind ``repro-leader-election serve``."""
+    """Blocking entry point behind ``repro-leader-election serve``.
+
+    ``port_file``, when given, receives the *bound* port as a decimal line
+    once the listener is up -- the scripting hook that lets harnesses run
+    with ``--port 0`` (kernel-assigned, collision-free) and still find the
+    server, instead of hard-coding ports that collide across CI legs.
+    """
     from ..store import ArtifactStore
 
     store = ArtifactStore(store_path) if store_path is not None else None
@@ -281,6 +477,11 @@ def run_server(
             f"({backend_note}{store_note})",
             file=sys.stderr,
         )
+        if port_file is not None:
+            tmp_path = f"{port_file}.tmp.{os.getpid()}"
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                handle.write(f"{server.port}\n")
+            os.replace(tmp_path, port_file)
         await server.serve_forever()
 
     try:

@@ -56,11 +56,12 @@ __all__ = [
 MAX_SUBMITTED_NODES = 100_000
 
 #: Response fields that legitimately vary between otherwise identical
-#: queries (wall time, whether this request drafted behind another).  The
-#: batch endpoint strips them so streamed items are byte-identical to what
-#: sequential ``POST /election`` calls return minus exactly this set, and
-#: the CI gate compares through the same helper.
-VOLATILE_RESPONSE_FIELDS = frozenset({"elapsed_ms", "coalesced"})
+#: queries (wall time, whether this request drafted behind another, the
+#: serving request's trace id).  The batch endpoint strips them before
+#: stamping its own per-request trace, so streamed items are byte-identical
+#: to what sequential ``POST /election`` calls return minus exactly this
+#: set, and the CI gate compares through the same helper.
+VOLATILE_RESPONSE_FIELDS = frozenset({"elapsed_ms", "coalesced", "trace"})
 
 
 def deterministic_response(response: Dict[str, Any]) -> Dict[str, Any]:
@@ -240,6 +241,29 @@ class ElectionService:
     def concurrency(self) -> int:
         """How many computations can genuinely overlap on the backend."""
         return self._backend.concurrency
+
+    @property
+    def in_flight(self) -> int:
+        """Coalescing futures currently unresolved (for /metrics)."""
+        return len(self._inflight)
+
+    def counter(self, name: str) -> int:
+        """One service counter by name (for /metrics gauge callbacks)."""
+        return self._counters[name]
+
+    def queue_depth(self) -> int:
+        """Backend computations accepted but not yet running (for /metrics)."""
+        try:
+            return self._backend.queue_depth()
+        except AttributeError:  # pragma: no cover - duck-typed test backends
+            return 0
+
+    def backend_telemetry(self) -> Dict[str, int]:
+        """Parent-side backend lifecycle counters (for /metrics); cheap."""
+        try:
+            return self._backend.telemetry()
+        except AttributeError:  # pragma: no cover - duck-typed test backends
+            return {}
 
     def count_request(self) -> None:
         """Tally one HTTP request (any endpoint); called by the server."""

@@ -53,6 +53,7 @@ from typing import Any, Dict, List, Optional
 from ..core import search_statistics
 from ..runner.bootstrap import bootstrap_worker
 from ..runner.cache import refinement_cache
+from .protocol import WORKER_DOWN, worker_transition
 from .service import ServiceError, compute_election
 
 __all__ = [
@@ -147,6 +148,14 @@ class ThreadBackend(ComputeBackend):
     def stats(self) -> Dict[str, Any]:
         return {"cache": refinement_cache.stats(), "search": search_statistics()}
 
+    def queue_depth(self) -> int:
+        """Computations accepted but not yet started (for /metrics)."""
+        return self._executor._work_queue.qsize()
+
+    def telemetry(self) -> Dict[str, int]:
+        """Parent-side counters for /metrics (threads have no lifecycle)."""
+        return {}
+
     def close(self) -> None:
         if self._closed:
             return
@@ -232,6 +241,13 @@ class _Shard:
     All pipe traffic is serialised by ``_lock`` (one outstanding message per
     worker); ``dispatcher`` is a dedicated single-thread executor so the
     event loop submits jobs without blocking and per-shard ordering is FIFO.
+
+    The worker's lifecycle state (``down``/``idle``/``busy``/``closed``)
+    advances only through the shared transition table in
+    :mod:`repro.service.protocol` -- the same table ``repro verify``
+    explores exhaustively -- so a lifecycle step the protocol forbids
+    raises :class:`~repro.service.protocol.ProtocolViolation` here instead
+    of hanging a dispatched job.
     """
 
     def __init__(
@@ -256,6 +272,9 @@ class _Shard:
         self._conn = None
         self._jobs_since_spawn = 0
         self._closed = False
+        #: Protocol lifecycle state (all transitions under ``_lock``, except
+        #: the final ``close`` which is serialised by ``_closed``).
+        self.state = WORKER_DOWN
         self.dispatched = 0
         self.spawns = 0
         self.recycles = 0
@@ -281,8 +300,11 @@ class _Shard:
         self._conn = parent_conn
         self._jobs_since_spawn = 0
         self.spawns += 1
+        self.state = worker_transition(self.state, "spawn")
 
-    def _discard(self) -> None:
+    def _discard(self, reason: str) -> None:
+        """Drop the worker process; ``reason`` is the protocol event
+        (``crash``/``retire``/``close``) that removes it."""
         if self._conn is not None:
             self._conn.close()
             self._conn = None
@@ -291,6 +313,7 @@ class _Shard:
                 self._process.terminate()
             self._process.join(timeout=_SHUTDOWN_TIMEOUT)
             self._process = None
+        self.state = worker_transition(self.state, reason)
 
     def _ensure_worker(self) -> None:
         if self._closed:
@@ -299,7 +322,7 @@ class _Shard:
             # died between requests (a recycle exit is reaped eagerly in
             # call(), so an exited process found here crashed while idle)
             self.crashes += 1
-            self._discard()
+            self._discard("crash")
         if self._process is None:
             self._spawn()
 
@@ -310,18 +333,20 @@ class _Shard:
             self.dispatched += 1
             for attempt in (1, 2):
                 self._ensure_worker()
+                self.state = worker_transition(self.state, "dispatch")
                 try:
                     self._conn.send(("job", parsed))
                     reply = self._conn.recv()
                 except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
                     self.crashes += 1
-                    self._discard()
+                    self._discard("crash")
                     if attempt == 2:
                         raise ServiceError(
                             503,
                             f"shard {self.index} worker crashed twice on one query",
                         ) from None
                     continue
+                self.state = worker_transition(self.state, "reply")
                 self._jobs_since_spawn += 1
                 if self._recycle_after and self._jobs_since_spawn >= self._recycle_after:
                     # the worker sends a final stats snapshot and exits after
@@ -335,7 +360,7 @@ class _Shard:
                     except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
                         pass
                     self._process.join(timeout=_SHUTDOWN_TIMEOUT)
-                    self._discard()
+                    self._discard("retire")
                     self.recycles += 1
                 return reply
         raise AssertionError("unreachable")  # pragma: no cover
@@ -370,7 +395,7 @@ class _Shard:
                 return self._conn.recv()[1]
             except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
                 self.crashes += 1
-                self._discard()
+                self._discard("crash")
                 return None
         finally:
             self._lock.release()
@@ -426,6 +451,9 @@ class _Shard:
             if acquired and conn is not None:
                 conn.close()
         finally:
+            # close is legal from every state (a busy worker is terminated;
+            # its blocked caller surfaces a crash against the closed state)
+            self.state = worker_transition(self.state, "close")
             if acquired:
                 self._lock.release()
         self.dispatcher.shutdown(wait=True, cancel_futures=True)
@@ -529,6 +557,7 @@ class ProcessShardBackend(ComputeBackend):
             row: Dict[str, Any] = {
                 "shard": shard.index,
                 "alive": snapshot is not None,
+                "state": shard.state,
                 "pid": snapshot["pid"] if snapshot else None,
                 "jobs": (snapshot["jobs"] if snapshot else 0) + shard.retired_jobs,
                 "dispatched": shard.dispatched,
@@ -555,6 +584,20 @@ class ProcessShardBackend(ComputeBackend):
                 "crashes": sum(shard.crashes for shard in self._shards),
                 "per_shard": per_shard,
             },
+        }
+
+    def queue_depth(self) -> int:
+        """Jobs waiting on shard dispatchers, not yet on a pipe (for /metrics)."""
+        return sum(shard.dispatcher._work_queue.qsize() for shard in self._shards)
+
+    def telemetry(self) -> Dict[str, int]:
+        """Parent-side shard counters for /metrics: no pipe round trips."""
+        return {
+            "shards": len(self._shards),
+            "spawns": sum(shard.spawns for shard in self._shards),
+            "recycles": sum(shard.recycles for shard in self._shards),
+            "crashes": sum(shard.crashes for shard in self._shards),
+            "dispatched": sum(shard.dispatched for shard in self._shards),
         }
 
     def close(self) -> None:

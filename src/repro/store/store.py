@@ -86,6 +86,7 @@ class ArtifactStore:
         self._put_spills = 0
         self._bytes_read = 0
         self._bytes_written = 0
+        self._manifest_rebuilds = 0
         # manifest cache: (mtime_ns, manifest dict, cache_key -> [fingerprints])
         self._manifest_cache: Optional[Tuple[int, dict, Dict[str, List[str]]]] = None
 
@@ -250,18 +251,35 @@ class ArtifactStore:
     def _empty_manifest(self) -> dict:
         return {"format_version": FORMAT_VERSION, "records": {}}
 
-    def _read_manifest(self) -> dict:
+    def _load_manifest_file(self) -> Optional[dict]:
+        """Parse the manifest file: an empty manifest if absent, ``None`` if
+        the file is *present but corrupt* (truncated write, garbage bytes,
+        wrong shape) -- the two cases recover differently."""
         try:
             with open(self._manifest_path, "r", encoding="utf-8") as handle:
                 manifest = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except FileNotFoundError:
             return self._empty_manifest()
-        if not isinstance(manifest.get("records"), dict):
-            return self._empty_manifest()
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            return None
+        if not isinstance(manifest, dict) or not isinstance(manifest.get("records"), dict):
+            return None
         return manifest
 
+    def _read_manifest(self) -> dict:
+        # used under the manifest lock (read-modify-write): never recurses
+        # into a rebuild, a corrupt manifest just starts the rewrite empty
+        manifest = self._load_manifest_file()
+        return manifest if manifest is not None else self._empty_manifest()
+
     def manifest(self) -> dict:
-        """The current manifest, cached by file mtime.  Treat as read-only."""
+        """The current manifest, cached by file mtime.  Treat as read-only.
+
+        A corrupt-but-present manifest (a torn write, garbage bytes) is not
+        an empty store: the objects directory is the source of truth, so the
+        index is rebuilt from it in place -- lookups after recovery are
+        byte-identical to lookups before the corruption.
+        """
         try:
             mtime = os.stat(self._manifest_path).st_mtime_ns
         except FileNotFoundError:
@@ -269,7 +287,16 @@ class ArtifactStore:
         cached = self._manifest_cache
         if cached is not None and cached[0] == mtime:
             return cached[1]
-        manifest = self._read_manifest()
+        manifest = self._load_manifest_file()
+        if manifest is None:
+            with self._counter_lock:
+                self._manifest_rebuilds += 1
+            self.rebuild_manifest()
+            manifest = self._load_manifest_file() or self._empty_manifest()
+            try:
+                mtime = os.stat(self._manifest_path).st_mtime_ns
+            except FileNotFoundError:
+                mtime = -1
         index: Dict[str, List[str]] = {}
         for fingerprint, meta in manifest["records"].items():
             cache_key = meta.get("cache_key")
@@ -312,7 +339,10 @@ class ArtifactStore:
             payload = self.get_bytes(fingerprint)
             if payload is None:
                 continue
-            record = ArtifactRecord.from_bytes(payload)
+            try:
+                record = ArtifactRecord.from_bytes(payload)
+            except ValueError:
+                continue  # a corrupt object must not block recovering the rest
             records[fingerprint] = {
                 "cache_key": record.cache_key,
                 "name": record.graph.name,
@@ -331,9 +361,12 @@ class ArtifactStore:
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, int]:
         """Counters of this handle plus the on-disk record count."""
+        # read the manifest before taking the counter lock: a corrupt
+        # manifest triggers a rebuild, which bumps a counter itself
+        records = len(self.manifest()["records"])
         with self._counter_lock:
             snapshot = {
-                "records": len(self.manifest()["records"]),
+                "records": records,
                 "hits": self._hits,
                 "misses": self._misses,
                 "puts": self._puts,
@@ -341,6 +374,7 @@ class ArtifactStore:
                 "put_spills": self._put_spills,
                 "bytes_read": self._bytes_read,
                 "bytes_written": self._bytes_written,
+                "manifest_rebuilds": self._manifest_rebuilds,
             }
         return snapshot
 

@@ -1,0 +1,413 @@
+"""The service's concurrency protocols as checkable models.
+
+Both models evolve their lifecycle state through the *production*
+transition tables and window accounting of :mod:`repro.service.protocol` --
+the same ``sweep_transition`` / ``worker_transition`` / ``window_acquire``
+calls :mod:`repro.service.batch` and :mod:`repro.service.workers` execute
+at runtime.  What the models add is the **environment**: every interleaving
+of client disconnects, worker crashes, recycle thresholds and shutdowns,
+explored exhaustively by :func:`repro.verify.checker.check_model` instead
+of sampled by a scheduler.
+
+States are plain tuples (hashable, comparable, cheap); the default bounds
+are exhaustive for the shipped parameters -- a few thousand states per
+model, milliseconds per check.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Optional, Tuple
+
+from ..service.protocol import (
+    SWEEP_CANCELLED,
+    SWEEP_DONE,
+    SWEEP_RUNNING,
+    SWEEP_TERMINAL,
+    WORKER_BUSY,
+    WORKER_CLOSED,
+    WORKER_DOWN,
+    WORKER_IDLE,
+    sweep_transition,
+    window_acquire,
+    window_release,
+    worker_transition,
+)
+from .checker import Model
+
+__all__ = ["BatchStreamModel", "ShardWorkerModel"]
+
+# item stages of the batch stream (strictly ordered per item)
+_PENDING = 0  # not yet past the window gate
+_ACQUIRED = 1  # holds a window slot, computation in flight
+_COMPUTED = 2  # result ready, slot still held, awaiting in-order emit
+_EMITTED = 3  # line written, slot released
+
+_CLIENT_READING = "reading"
+_CLIENT_GONE = "gone"
+
+
+class BatchStreamModel(Model):
+    """The ``POST /elections`` stream: window/emit/disconnect lifecycle.
+
+    State: ``(sweep_state, item_stages, client)`` where ``item_stages`` is
+    one stage per item and ``client`` is reading or gone.  The window
+    occupancy is *derived* (items in ``acquired``/``computed``), evolved
+    through :func:`window_acquire`/:func:`window_release` so an
+    over-acquire or double-release raises mid-exploration exactly as the
+    production :class:`~repro.service.protocol.WindowLedger` would.
+
+    Faithfulness notes, matching :meth:`repro.service.batch.BatchCoordinator.stream`:
+
+    * window slots are acquired in item order (tasks are created in order
+      and ``asyncio.Semaphore`` wakes waiters FIFO);
+    * lines are emitted strictly in item order, only while the client
+      reads; a disconnect makes the next emit fail, which aborts the sweep
+      (the ``finally`` block) and cancellation releases every held slot;
+    * the ``aborted`` transition is enabled from the moment the client is
+      gone -- including before anything was emitted, the exact interleaving
+      whose mishandling once left sweeps ``running`` forever.
+    """
+
+    name = "batch-stream"
+
+    def __init__(self, *, items: int = 4, window: int = 2) -> None:
+        if items < 1 or window < 1:
+            raise ValueError("items and window must be at least 1")
+        self.items = items
+        self.window = window
+
+    # -- helpers -------------------------------------------------------- #
+    @staticmethod
+    def _occupancy(stages: Tuple[int, ...]) -> int:
+        return sum(1 for stage in stages if stage in (_ACQUIRED, _COMPUTED))
+
+    def _abort_enabled(self, sweep: str, stages: Tuple[int, ...], client: str) -> bool:
+        """Whether the stream's ``finally`` path may fire: the client is
+        gone (the next emit/drain raises) and the sweep has not finished."""
+        return sweep == SWEEP_RUNNING and client == _CLIENT_GONE
+
+    # -- Model interface ------------------------------------------------ #
+    def initial(self) -> Hashable:
+        return (SWEEP_RUNNING, (_PENDING,) * self.items, _CLIENT_READING)
+
+    def actions(self, state: Hashable) -> Iterable[Tuple[str, Hashable]]:
+        sweep, stages, client = state
+        moves: List[Tuple[str, Hashable]] = []
+        if sweep != SWEEP_RUNNING:
+            return moves  # terminal: the coroutine has returned
+        occupancy = self._occupancy(stages)
+        # the client can hang up at any moment while the stream runs
+        if client == _CLIENT_READING:
+            moves.append(("disconnect", (sweep, stages, _CLIENT_GONE)))
+        # acquire: the lowest-index pending item enters the window (FIFO)
+        pending = [i for i, stage in enumerate(stages) if stage == _PENDING]
+        if pending and occupancy < self.window:
+            updated = list(stages)
+            updated[pending[0]] = _ACQUIRED
+            window_acquire(occupancy, self.window)  # audits the bound
+            moves.append((f"acquire[{pending[0]}]", (sweep, tuple(updated), client)))
+        # compute: any in-flight item's backend call can finish
+        for index, stage in enumerate(stages):
+            if stage == _ACQUIRED:
+                updated = list(stages)
+                updated[index] = _COMPUTED
+                moves.append((f"compute[{index}]", (sweep, tuple(updated), client)))
+        # emit: strictly in item order, only while the client reads
+        next_to_emit = sum(1 for stage in stages if stage == _EMITTED)
+        if (
+            client == _CLIENT_READING
+            and next_to_emit < self.items
+            and stages[next_to_emit] == _COMPUTED
+        ):
+            updated = list(stages)
+            updated[next_to_emit] = _EMITTED
+            window_release(occupancy)  # audits the release
+            moves.append(
+                (
+                    f"emit[{next_to_emit}]",
+                    (
+                        sweep_transition(sweep, "item_resolved"),
+                        tuple(updated),
+                        client,
+                    ),
+                )
+            )
+        # complete: all lines out -> trailer, terminal "done"
+        if client == _CLIENT_READING and all(stage == _EMITTED for stage in stages):
+            moves.append(
+                ("complete", (sweep_transition(sweep, "completed"), stages, client))
+            )
+        # abort: the finally block -- cancel tasks, release every held slot
+        if self._abort_enabled(sweep, stages, client):
+            released = tuple(
+                _EMITTED if stage == _EMITTED else _PENDING for stage in stages
+            )
+            moves.append(
+                ("abort", (sweep_transition(sweep, "aborted"), released, client))
+            )
+        return moves
+
+    def invariant(self, state: Hashable) -> Optional[str]:
+        sweep, stages, client = state
+        occupancy = self._occupancy(stages)
+        if occupancy > self.window:
+            return f"window bound broken: {occupancy} slots held, capacity {self.window}"
+        if sweep in SWEEP_TERMINAL and occupancy != 0:
+            return f"terminal sweep ({sweep}) still holds {occupancy} window slot(s)"
+        if sweep == SWEEP_DONE and not all(stage == _EMITTED for stage in stages):
+            return "sweep marked done with unemitted items"
+        if sweep == SWEEP_CANCELLED and client == _CLIENT_READING:
+            return "sweep cancelled while the client was still reading"
+        emitted = [i for i, stage in enumerate(stages) if stage == _EMITTED]
+        if emitted != list(range(len(emitted))):
+            return f"out-of-order emission: emitted set {emitted}"
+        return None
+
+    def is_terminal(self, state: Hashable) -> bool:
+        return state[0] in SWEEP_TERMINAL
+
+    def describe(self, state: Hashable) -> str:
+        sweep, stages, client = state
+        glyphs = "".join(".acE"[stage] for stage in stages)
+        return f"sweep={sweep} items={glyphs} client={client}"
+
+
+class ShardWorkerModel(Model):
+    """One shard of the process backend: dispatch/recycle/crash/close.
+
+    State: ``(worker_state, jobs_since_spawn, jobs_remaining, attempt,
+    replies, retired, lost, failed)``.  ``attempt`` is the current job's
+    delivery attempt (0 = no job pending, 1 = first try, 2 = post-crash
+    retry, matching the retry-once loop of ``_Shard.call``); the counter
+    quadruple mirrors the parent-side bookkeeping: ``replies`` total
+    successful round trips, ``retired`` jobs absorbed from clean
+    retirements (farewell snapshots), ``lost`` jobs whose worker crashed
+    before retiring (their counters die with the process), ``failed`` jobs
+    surfaced as 503 after the retry budget.
+
+    The conservation invariant -- every reply is either still counted in
+    the live worker, absorbed into ``retired``, or written off as ``lost``
+    -- is exactly the property that makes ``/stats`` job totals trustworthy
+    across recycling, and it must hold in *every* reachable interleaving of
+    crashes, recycles and shutdowns.
+    """
+
+    name = "shard-worker"
+
+    def __init__(self, *, jobs: int = 3, recycle_after: int = 2) -> None:
+        if jobs < 1 or recycle_after < 1:
+            raise ValueError("jobs and recycle_after must be at least 1")
+        self.jobs = jobs
+        self.recycle_after = recycle_after
+
+    def initial(self) -> Hashable:
+        return (WORKER_DOWN, 0, self.jobs, 0, 0, 0, 0, 0)
+
+    def actions(self, state: Hashable) -> Iterable[Tuple[str, Hashable]]:
+        worker, since, remaining, attempt, replies, retired, lost, failed = state
+        moves: List[Tuple[str, Hashable]] = []
+        if worker == WORKER_CLOSED:
+            # close/crash are absorbed (idempotent shutdown, terminate
+            # races); exercise both table entries, self-loops dedup away
+            worker_transition(worker, "close")
+            worker_transition(worker, "crash")
+            return moves
+        # shutdown can begin at any moment
+        if worker == WORKER_BUSY:
+            # terminate kills the worker mid-job; the blocked call() sees a
+            # broken pipe against the now-closed shard and surfaces a 503
+            moves.append(
+                (
+                    "close",
+                    (
+                        worker_transition(worker, "close"),
+                        0,
+                        remaining - 1,
+                        0,
+                        replies,
+                        retired,
+                        lost + since,
+                        failed + 1,
+                    ),
+                )
+            )
+        else:
+            moves.append(
+                (
+                    "close",
+                    (
+                        worker_transition(worker, "close"),
+                        0,
+                        remaining,
+                        0,
+                        replies,
+                        retired,
+                        lost + since,
+                        failed,
+                    ),
+                )
+            )
+        if worker == WORKER_DOWN and (remaining > 0 or attempt > 0):
+            # lazy spawn: _ensure_worker starts a process when work arrives
+            moves.append(
+                (
+                    "spawn",
+                    (worker_transition(worker, "spawn"), 0, remaining, attempt, replies, retired, lost, failed),
+                )
+            )
+        if worker == WORKER_IDLE:
+            if since < self.recycle_after and (attempt > 0 or remaining > 0):
+                # dispatch the pending retry, or take the next fresh job;
+                # never past the budget -- call() retires the worker in the
+                # same locked section as the threshold-reaching reply
+                next_attempt = attempt if attempt > 0 else 1
+                moves.append(
+                    (
+                        "dispatch" if next_attempt == 1 else "redispatch",
+                        (
+                            worker_transition(worker, "dispatch"),
+                            since,
+                            remaining,
+                            next_attempt,
+                            replies,
+                            retired,
+                            lost,
+                            failed,
+                        ),
+                    )
+                )
+            if since >= self.recycle_after:
+                # recycle threshold reached: farewell absorbed, worker joined
+                moves.append(
+                    (
+                        "retire",
+                        (
+                            worker_transition(worker, "retire"),
+                            0,
+                            remaining,
+                            attempt,
+                            replies,
+                            retired + since,
+                            lost,
+                            failed,
+                        ),
+                    )
+                )
+                # ... or the farewell pipe broke first: still a retirement,
+                # but the snapshot's job counts die with the worker
+                moves.append(
+                    (
+                        "retire_dropped_farewell",
+                        (
+                            worker_transition(worker, "retire"),
+                            0,
+                            remaining,
+                            attempt,
+                            replies,
+                            retired,
+                            lost + since,
+                            failed,
+                        ),
+                    )
+                )
+            # died between jobs (found by the next _ensure_worker)
+            moves.append(
+                (
+                    "idle_crash",
+                    (
+                        worker_transition(worker, "crash"),
+                        0,
+                        remaining,
+                        attempt,
+                        replies,
+                        retired,
+                        lost + since,
+                        failed,
+                    ),
+                )
+            )
+        if worker == WORKER_BUSY:
+            moves.append(
+                (
+                    "reply",
+                    (
+                        worker_transition(worker, "reply"),
+                        since + 1,
+                        remaining - 1,
+                        0,
+                        replies + 1,
+                        retired,
+                        lost,
+                        failed,
+                    ),
+                )
+            )
+            if attempt >= 2:
+                # second crash on one job: give up with a 503
+                moves.append(
+                    (
+                        "crash_give_up",
+                        (
+                            worker_transition(worker, "crash"),
+                            0,
+                            remaining - 1,
+                            0,
+                            replies,
+                            retired,
+                            lost + since,
+                            failed + 1,
+                        ),
+                    )
+                )
+            else:
+                # first crash mid-job: respawn and resubmit once
+                moves.append(
+                    (
+                        "crash_retry",
+                        (
+                            worker_transition(worker, "crash"),
+                            0,
+                            remaining,
+                            2,
+                            replies,
+                            retired,
+                            lost + since,
+                            failed,
+                        ),
+                    )
+                )
+        return moves
+
+    def invariant(self, state: Hashable) -> Optional[str]:
+        worker, since, remaining, attempt, replies, retired, lost, failed = state
+        if replies != retired + lost + since:
+            return (
+                "job accounting broken: "
+                f"{replies} replies != {retired} retired + {lost} lost + {since} live"
+            )
+        if since > self.recycle_after:
+            return f"worker served {since} jobs past its {self.recycle_after}-job budget"
+        if replies + failed + remaining != self.jobs:
+            # a job leaves `remaining` exactly when it terminates (reply,
+            # give-up after the retry, or a mid-job terminate at shutdown)
+            return (
+                "job conservation broken: "
+                f"replies={replies} + failed={failed} + remaining={remaining} "
+                f"!= {self.jobs}"
+            )
+        if worker == WORKER_CLOSED and attempt != 0:
+            return "closed shard still owes a job retry"
+        return None
+
+    def is_terminal(self, state: Hashable) -> bool:
+        worker, _since, remaining, attempt, *_ = state
+        # quiescent: shut down, or all jobs accounted and none pending
+        return worker == WORKER_CLOSED or (remaining == 0 and attempt == 0)
+
+    def describe(self, state: Hashable) -> str:
+        worker, since, remaining, attempt, replies, retired, lost, failed = state
+        return (
+            f"worker={worker} since_spawn={since} remaining={remaining} "
+            f"attempt={attempt} replies={replies} retired={retired} "
+            f"lost={lost} failed={failed}"
+        )

@@ -1,0 +1,52 @@
+"""Seeded protocol mutants: known-bad lifecycles the checker must catch.
+
+A model checker that reports "no violations" proves nothing unless it
+demonstrably *can* find one.  Each mutant here reintroduces a real,
+previously-shipped bug into a copy of the corresponding model; the
+verification entry point (:func:`repro.verify.run_verification`) requires
+the checker to produce a counterexample against every mutant and fails the
+whole run if one slips through clean -- the checking equivalent of a test
+that must fail before the fix.
+
+:class:`CancelledSweepMutant` is the PR-5 bug: the batch streamer's abort
+path only ran for exceptions raised *after* the header emit entered the
+item loop, so a client that disconnected before reading anything left the
+sweep record ``running`` forever (and its window slots held).  In model
+terms: the ``abort`` action is not enabled until at least one line has
+been emitted.  The checker finds the stuck state as a deadlock -- a
+non-terminal ``running`` sweep whose client is gone with no enabled
+action -- within a handful of steps.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+from .models import _CLIENT_GONE, _EMITTED, BatchStreamModel
+
+__all__ = ["CancelledSweepMutant", "MUTANTS"]
+
+
+class CancelledSweepMutant(BatchStreamModel):
+    """The PR-5 cancelled-sweep bug, reintroduced (see the module docstring)."""
+
+    name = "batch-stream[mutant:cancelled-sweep]"
+
+    #: What the checker must report against this mutant.
+    expected_kind = "deadlock"
+
+    def _abort_enabled(
+        self, sweep: str, stages: Tuple[int, ...], client: str
+    ) -> bool:
+        emitted_any = any(stage == _EMITTED for stage in stages)
+        # BUG (deliberate): a disconnect before the first emitted line never
+        # reaches the abort path -- the sweep stays "running" forever
+        return (
+            super()._abort_enabled(sweep, stages, client)
+            and client == _CLIENT_GONE
+            and emitted_any
+        )
+
+
+#: Every seeded mutant, paired with the defect kind the checker must find.
+MUTANTS = (CancelledSweepMutant,)

@@ -102,3 +102,55 @@ class TestBenchCommand:
         assert main(["bench", "--graph", "gdk:delta=4,k=1,index=99"]) == 2
         err = capsys.readouterr().err
         assert err.startswith("bench: ")
+
+
+class TestServeCli:
+    def test_serve_port_file_metrics_and_trace_roundtrip(self, tmp_path):
+        """``serve --port 0 --port-file``: the file appears only once the
+        listener is up, carries the real bound port, and the server answers
+        ``/healthz``, ``/metrics`` and ``/stats`` (trace echoed) through it —
+        the exact contract the CI smoke scripts against."""
+        import json as json_module
+        import os
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        port_file = tmp_path / "serve.port"
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--port-file", str(port_file), "--workers", "1",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.time() + 30
+            while time.time() < deadline and not port_file.exists():
+                assert process.poll() is None, "serve exited before binding"
+                time.sleep(0.05)
+            port = int(port_file.read_text().strip())
+            base = f"http://127.0.0.1:{port}"
+            with urllib.request.urlopen(f"{base}/healthz", timeout=10) as response:
+                health = json_module.loads(response.read())
+            assert health["status"] == "ok"
+            with urllib.request.urlopen(f"{base}/metrics", timeout=10) as response:
+                assert response.headers["Content-Type"].startswith("text/plain")
+                scrape = response.read().decode("utf-8")
+            assert "# TYPE repro_requests_total counter" in scrape
+            assert "# TYPE repro_request_seconds histogram" in scrape
+            with urllib.request.urlopen(f"{base}/stats", timeout=10) as response:
+                stats = json_module.loads(response.read())
+            assert health["trace"] in {
+                entry["trace"] for entry in stats["traces"]["recent"]
+            }
+        finally:
+            process.terminate()
+            process.wait(timeout=10)

@@ -186,7 +186,10 @@ def test_stats_surfaces_every_layer(tmp_path):
 
 def test_healthz():
     with _RunningServer(make_service(workers=1)) as running:
-        assert running.get("/healthz") == {"status": "ok"}
+        body = running.get("/healthz")
+    assert body["status"] == "ok"
+    # every JSON response carries the serving request's trace id
+    assert body["trace"].count("-") == 1
 
 
 def test_client_errors():

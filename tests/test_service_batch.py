@@ -57,12 +57,20 @@ def test_corpus_sweep_items_byte_identical_to_sequential_singles():
         header, items, trailer = lines[0], lines[1:-1], lines[-1]
         assert header["items"] == 11
         assert trailer == {
-            "sweep": header["sweep"], "status": "done", "ok": 11, "errors": 0
+            "sweep": header["sweep"],
+            "status": "done",
+            "ok": 11,
+            "errors": 0,
+            "trace": header["trace"],
         }
+        # one request, one trace id, stamped on every line of the stream
+        assert {line["trace"] for line in lines} == {header["trace"]}
         assert [line["index"] for line in items] == list(range(11))
         for payload, line in zip(expand_sweep(sweep), items):
             single = deterministic_response(running.post("/election", payload))
-            streamed = {k: v for k, v in line.items() if k not in ("index", "status")}
+            streamed = {
+                k: v for k, v in line.items() if k not in ("index", "status", "trace")
+            }
             assert json.dumps(streamed, sort_keys=True) == json.dumps(single, sort_keys=True)
 
 
@@ -94,7 +102,13 @@ def test_malformed_ndjson_items_fail_per_item_not_per_request():
     assert statuses == ["ok", "error", "error", "ok"]
     assert "malformed NDJSON line" in lines[2]["error"]
     assert "must be a JSON object" in lines[3]["error"]
-    assert lines[-1] == {"sweep": lines[0]["sweep"], "status": "done", "ok": 2, "errors": 2}
+    assert lines[-1] == {
+        "sweep": lines[0]["sweep"],
+        "status": "done",
+        "ok": 2,
+        "errors": 2,
+        "trace": lines[0]["trace"],
+    }
 
 
 def test_single_line_ndjson_body_is_a_one_item_batch():
@@ -105,7 +119,13 @@ def test_single_line_ndjson_body_is_a_one_item_batch():
         lines = _post_stream(running, body)
     assert lines[0]["items"] == 1
     assert lines[1]["status"] == "ok" and lines[1]["graph"] == "star(leaves=3)"
-    assert lines[-1] == {"sweep": lines[0]["sweep"], "status": "done", "ok": 1, "errors": 0}
+    assert lines[-1] == {
+        "sweep": lines[0]["sweep"],
+        "status": "done",
+        "ok": 1,
+        "errors": 0,
+        "trace": lines[0]["trace"],
+    }
 
 
 def test_item_level_query_errors_do_not_abort_the_stream():
@@ -206,7 +226,7 @@ def test_mid_stream_disconnect_cancels_the_sweep_and_server_survives():
             time.sleep(0.1)
         assert state == "cancelled"
         # the server is still fully alive for other clients
-        assert running.get("/healthz") == {"status": "ok"}
+        assert running.get("/healthz")["status"] == "ok"
         follow_up = _post_stream(
             running, {"items": [{"spec": {"kind": "star", "params": {"leaves": 3}}}]}
         )

@@ -253,6 +253,48 @@ class TestArtifactStore:
         assert cache.persist(entry.graph) is True
         assert store.get(record.fingerprint) is not None
 
+    @pytest.mark.parametrize(
+        "corruption",
+        [b'{"format_version": 1, "records": {"trunc', b"\x00\xff garbage \xfe", b"[]"],
+        ids=["truncated", "garbage-bytes", "wrong-shape"],
+    )
+    def test_corrupt_manifest_recovers_by_rebuilding_from_objects(
+        self, tmp_path, corruption
+    ):
+        """A corrupt-but-present manifest is not an empty store.
+
+        The objects directory is the source of truth; a torn or garbage
+        manifest triggers an automatic rebuild, after which read-through
+        lookups return byte-identical records to the pre-corruption store.
+        """
+        store = ArtifactStore(str(tmp_path))
+        baseline = {}
+        for graph in _sample_graphs()[:3]:
+            record = _computed_record(graph)
+            store.put(record)
+            baseline[record.fingerprint] = store.get_bytes(record.fingerprint)
+            refinement_cache.clear()
+        probe = generators.three_node_line()
+        before = ArtifactStore(str(tmp_path)).load_for_graph(probe)
+        assert before is not None
+
+        with open(os.path.join(str(tmp_path), "manifest.json"), "wb") as handle:
+            handle.write(corruption)
+        recovered = ArtifactStore(str(tmp_path))
+        after = recovered.load_for_graph(probe)
+        assert after is not None
+        assert after.to_bytes() == before.to_bytes(), "recovery must be byte-identical"
+        stats = recovered.stats()
+        assert stats["manifest_rebuilds"] == 1
+        assert stats["records"] == 3
+        for fingerprint, payload in baseline.items():
+            assert recovered.get_bytes(fingerprint) == payload
+        # the rebuilt manifest is clean: a fresh handle reads it without
+        # another rebuild
+        fresh = ArtifactStore(str(tmp_path))
+        assert fresh.stats()["records"] == 3
+        assert fresh.stats()["manifest_rebuilds"] == 0
+
     def test_corrupt_object_is_detected(self, tmp_path):
         store = ArtifactStore(str(tmp_path))
         record = _computed_record(generators.star_graph(3))
