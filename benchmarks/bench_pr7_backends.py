@@ -1,0 +1,147 @@
+"""PR 7 — dual-backend kernel performance record (python vs numpy).
+
+Times the cold compute-bound workloads that motivated the vectorized
+backend, once per kernel backend, and writes the committed perf baseline
+``BENCH_PR7.json``:
+
+* **E14 cold refinement** — a random 20k-node substrate refined to depth 6
+  with a fresh engine (the refinement-throughput workload of
+  ``bench_e14_substrate.py``).
+* **E10 J_Y member** — the full 132k-node J_{2,4} member refined to depth
+  k = 4 (the heaviest single graph of the harness).
+* **E16-style sweep** — the mixed family/generator sweep with all ψ_Z
+  tasks, evaluated cold through :class:`~repro.runner.ExperimentRunner`
+  (no store), showing what the layers above the kernel inherit.
+
+Each workload also cross-checks that both backends produced identical
+canonical tables / result tables, so the record can't silently report a
+speedup for diverging outputs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pr7_backends.py [BENCH_PR7.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.core import Task
+from repro.families import build_jmuk_member, jmuk_border_count
+from repro.kernel import make_refinement, numpy_available, use_backend
+from repro.portgraph import generators
+from repro.runner import ExperimentRunner, GraphSpec, SweepSpec, refinement_cache
+
+BACKENDS = ("python", "numpy")
+
+#: E16-style mixed sweep (families + generators, every ψ_Z task).
+SWEEP = SweepSpec.make(
+    [
+        GraphSpec.make("gdk", delta=4, k=1, index=1),
+        GraphSpec.make("gdk", delta=4, k=1, index=2),
+        GraphSpec.make("gdk", delta=4, k=1, index=3),
+        GraphSpec.make("asymmetric-cycle", n=7),
+        GraphSpec.make("asymmetric-cycle", n=9),
+        GraphSpec.make("star", leaves=4),
+        GraphSpec.make("random", n=9, extra_edges=4, seed=2),
+        GraphSpec.make("random", n=10, extra_edges=5, seed=3),
+    ],
+    tasks=Task.ordered(),
+    profile_depths=(1,),
+)
+
+
+def _best_of(repeats: int, run: Callable[[], object]) -> Tuple[float, object]:
+    """Minimum wall time over ``repeats`` cold runs, plus the last result."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _refinement_workload(csr, depth: int, repeats: int) -> Dict[str, Dict]:
+    observed = {}
+    for backend in BACKENDS:
+        with use_backend(backend):
+            def cold():
+                engine = make_refinement(csr)
+                engine.ensure_depth(depth)
+                return engine.canonical_tables()
+
+            seconds, tables = _best_of(repeats, cold)
+        observed[backend] = {"seconds": round(seconds, 6), "tables": tables}
+    identical = observed["python"]["tables"] == observed["numpy"]["tables"]
+    return {
+        "python_s": observed["python"]["seconds"],
+        "numpy_s": observed["numpy"]["seconds"],
+        "speedup": round(observed["python"]["seconds"] / observed["numpy"]["seconds"], 2),
+        "tables_identical": identical,
+    }
+
+
+def bench_e14_cold_refinement() -> Dict:
+    graph = generators.random_connected_graph(20000, extra_edges=20000, seed=3)
+    record = {"workload": "random_connected_graph(n=20000, extra_edges=20000, seed=3), depth 6"}
+    record.update(_refinement_workload(graph.csr(), depth=6, repeats=3))
+    return record
+
+
+def bench_e10_member_refinement() -> Dict:
+    z = jmuk_border_count(2, 4)
+    member = build_jmuk_member(2, 4, tuple(i % 2 for i in range(2 ** (z - 1))))
+    record = {
+        "workload": f"J_(2,4) member, n={member.graph.num_nodes}, depth 4",
+    }
+    record.update(_refinement_workload(member.graph.csr(), depth=4, repeats=2))
+    return record
+
+
+def bench_e16_cold_sweep() -> Dict:
+    observed = {}
+    for backend in BACKENDS:
+        with use_backend(backend):
+            def cold():
+                refinement_cache.clear()
+                return ExperimentRunner(workers=1).run(SWEEP).table
+            seconds, table = _best_of(2, cold)
+        observed[backend] = {"seconds": round(seconds, 6), "rows": table.records()}
+    refinement_cache.clear()
+    return {
+        "workload": f"E16-style mixed sweep, {len(SWEEP.graphs)} graphs, all psi tasks",
+        "python_s": observed["python"]["seconds"],
+        "numpy_s": observed["numpy"]["seconds"],
+        "speedup": round(observed["python"]["seconds"] / observed["numpy"]["seconds"], 2),
+        "tables_identical": observed["python"]["rows"] == observed["numpy"]["rows"],
+    }
+
+
+def main() -> int:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_PR7.json"
+    if not numpy_available():
+        print("numpy not installed; dual-backend record requires it", file=sys.stderr)
+        return 1
+    payload = {
+        "bench": "PR7 kernel backends",
+        "e14_cold_refinement": bench_e14_cold_refinement(),
+        "e10_jmuk_member": bench_e10_member_refinement(),
+        "e16_cold_sweep": bench_e16_cold_sweep(),
+    }
+    ok = all(
+        payload[key]["tables_identical"]
+        for key in ("e14_cold_refinement", "e10_jmuk_member", "e16_cold_sweep")
+    )
+    payload["tables_identical"] = ok
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

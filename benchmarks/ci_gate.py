@@ -20,6 +20,12 @@ the wire: a 200-graph mixed-corpus sweep streamed through ``POST
 stream omits), and a store-warm replay of the same batch by a fresh service
 must perform **zero refinement passes**.
 
+Since PR 7 the gate certifies the *kernel backend* too (skipped cleanly when
+numpy is absent): the numpy backend must produce byte-identical result
+tables and canonical colour tables, replay a numpy-written store in an
+env-forced numpy child with zero refinement passes, and beat the python
+backend's cold refinement by ≥ 3× on a dedicated large workload.
+
 Usage (as in ``.github/workflows/ci.yml``)::
 
     PYTHONPATH=src python benchmarks/ci_gate.py [output.json]
@@ -97,8 +103,18 @@ def _replay(store_dir: str) -> int:
     return 0
 
 
-def _store_warm_replay() -> dict:
-    """Flush the warm cache to a throwaway store and replay it in a cold child."""
+def _store_warm_replay(kernel_backend: str = None) -> dict:
+    """Flush the warm cache to a throwaway store and replay it in a cold child.
+
+    ``kernel_backend`` forces ``REPRO_KERNEL_BACKEND`` in the child process,
+    so the store-warm zero-refinement contract can be certified under either
+    kernel backend explicitly.
+    """
+    from repro.kernel import BACKEND_ENV_VAR
+
+    child_env = dict(os.environ)
+    if kernel_backend is not None:
+        child_env[BACKEND_ENV_VAR] = kernel_backend
     store_dir = tempfile.mkdtemp(prefix="repro-gate-store-")
     try:
         attach_store_path(store_dir)
@@ -108,6 +124,7 @@ def _store_warm_replay() -> dict:
             capture_output=True,
             text=True,
             cwd=os.getcwd(),
+            env=child_env,
             timeout=600,
         )
         if child.returncode != 0:
@@ -251,6 +268,114 @@ def _batch_gate(failures) -> dict:
     return result
 
 
+#: The kernel-backend gate workload: big enough that vectorisation wins by a
+#: wide margin, small enough for CI (the tiny GATE_SWEEP graphs would measure
+#: per-call overhead, where numpy is *slower* by design).
+KERNEL_GATE_NODES = 12_000
+KERNEL_GATE_DEPTH = 6
+#: Required cold-refinement speedup of the numpy backend on that workload.
+KERNEL_GATE_MIN_SPEEDUP = 3.0
+
+
+def _kernel_cold_refinement(csr, backend: str):
+    """Best-of-two cold refinement timing under ``backend``; returns (engine, seconds)."""
+    from repro.kernel import make_refinement, use_backend
+
+    best = None
+    engine = None
+    with use_backend(backend):
+        for _ in range(2):
+            started = time.perf_counter()
+            engine = make_refinement(csr)
+            engine.ensure_depth(KERNEL_GATE_DEPTH)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+    return engine, best
+
+
+def _kernel_backend_gate(failures) -> dict:
+    """The numpy-backend leg: byte-identity, store-warm zero-refinement, speed.
+
+    Three certificates, skipped gracefully when numpy is absent (that CI leg
+    exercises the fallback instead):
+
+    * the full gate sweep under the numpy backend produces a byte-identical
+      result table to the python backend, and a store written by a
+      numpy-backend process replays in an env-forced numpy child with zero
+      refinement passes;
+    * on the dedicated kernel workload, cold canonical tables agree exactly;
+    * the numpy cold refinement is at least ``KERNEL_GATE_MIN_SPEEDUP``×
+      faster than the python one on that workload.
+    """
+    from repro.kernel import numpy_available, use_backend
+
+    result: dict = {"numpy_available": numpy_available()}
+    if not numpy_available():
+        result["skipped"] = "numpy not installed: python fallback is the only backend"
+        return result
+    from repro.portgraph.generators import random_connected_graph
+
+    # cold refinement speed + table identity on the kernel workload
+    graph = random_connected_graph(
+        KERNEL_GATE_NODES, extra_edges=KERNEL_GATE_NODES, seed=7
+    )
+    csr = graph.csr()
+    python_engine, python_s = _kernel_cold_refinement(csr, "python")
+    numpy_engine, numpy_s = _kernel_cold_refinement(csr, "numpy")
+    speedup = python_s / numpy_s if numpy_s > 0 else float("inf")
+    result["workload"] = (
+        f"random_connected_graph(n={KERNEL_GATE_NODES}, "
+        f"extra_edges={KERNEL_GATE_NODES}, seed=7), ensure_depth({KERNEL_GATE_DEPTH})"
+    )
+    result["python_cold_s"] = round(python_s, 6)
+    result["numpy_cold_s"] = round(numpy_s, 6)
+    result["speedup"] = round(speedup, 2)
+    result["workload_tables_identical"] = (
+        python_engine.canonical_tables() == numpy_engine.canonical_tables()
+    )
+    if not result["workload_tables_identical"]:
+        failures.append("kernel gate: numpy and python canonical tables differ")
+    if speedup < KERNEL_GATE_MIN_SPEEDUP:
+        failures.append(
+            f"kernel gate: numpy cold refinement only {speedup:.2f}x faster than "
+            f"python (required ≥ {KERNEL_GATE_MIN_SPEEDUP}x)"
+        )
+
+    # full gate sweep under each backend: byte-identical tables, and a
+    # store-warm replay by an env-forced numpy child with zero refinement
+    sweep_tables = {}
+    for backend in ("python", "numpy"):
+        with use_backend(backend):
+            refinement_cache.clear()
+            reset_search_statistics()
+            report, _metrics = _measure(ExperimentRunner())
+            sweep_tables[backend] = report.table.to_json()
+            if backend == "numpy":
+                replay = _store_warm_replay(kernel_backend="numpy")
+    refinement_cache.clear()
+    result["sweep_tables_identical"] = sweep_tables["python"] == sweep_tables["numpy"]
+    if not result["sweep_tables_identical"]:
+        failures.append("kernel gate: gate-sweep tables differ between backends")
+    result["numpy_store_warm"] = {
+        "records_flushed": replay["records_flushed"],
+        "store_hits": replay["store_hits"],
+        **replay["metrics"],
+    }
+    if replay["metrics"]["refinement_passes"] != 0:
+        failures.append(
+            f"kernel gate: numpy store-warm replay performed "
+            f"{replay['metrics']['refinement_passes']} refinement passes (expected 0)"
+        )
+    if replay["store_hits"] != len(GATE_SWEEP.graphs):
+        failures.append(
+            f"kernel gate: numpy store-warm replay hit the store "
+            f"{replay['store_hits']} times (expected {len(GATE_SWEEP.graphs)})"
+        )
+    if replay["table_json"] != sweep_tables["numpy"]:
+        failures.append("kernel gate: numpy store-warm table differs from the cold table")
+    return result
+
+
 def main(argv) -> int:
     if len(argv) > 2 and argv[1] == "--replay":
         return _replay(argv[2])
@@ -263,8 +388,10 @@ def main(argv) -> int:
     store_warm = _store_warm_replay()
     failures = []
     batch = _batch_gate(failures)
+    kernel_backends = _kernel_backend_gate(failures)
     payload = {
         "batch": batch,
+        "kernel_backends": kernel_backends,
         "sweep_graphs": [spec.label for spec in GATE_SWEEP.graphs],
         "cold": cold,
         "warm": warm,

@@ -158,11 +158,13 @@ def _pe_class_port(
     ``cut`` is the graph's :class:`~repro.kernel.blockcut.BlockCutTree`: one
     DFS per graph answers every "does this port start a simple path to the
     leader?" question in O(log Δ), replacing the per-removed-node BFS family
-    this helper used to drive.
+    this helper used to drive.  Whole classes are screened at once via
+    :meth:`~repro.kernel.blockcut.BlockCutTree.class_port_ok`, which the
+    numpy backend vectorises down to the articulation-point members.
     """
     min_degree = min(graph.degree(v) for v in members)
     for port in range(min_degree):
-        if all(cut.starts_simple_path(v, port, leader) for v in members):
+        if cut.class_port_ok(members, port, leader):
             return port
     return None
 

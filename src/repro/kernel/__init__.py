@@ -14,6 +14,13 @@ low-level substrate:
   CSR: after the first pass only nodes adjacent to classes that split are
   re-signatured, and inverse indexes (class → members, per-depth unique-node
   lists) make the class queries O(1)/O(output).
+* :mod:`repro.kernel.backend` / :mod:`repro.kernel.refine_numpy` — runtime
+  selection of a vectorised numpy twin of the hot loops (refinement,
+  BFS, block-cut prefilters, inbox routing).  Byte-identical results on
+  both backends; numpy stays an optional extra, selected via
+  ``REPRO_KERNEL_BACKEND`` / :func:`set_backend` and defaulting to
+  numpy-when-importable.  Construct engines via :func:`make_refinement` /
+  :func:`refinement_from_stored` so the choice applies.
 * :mod:`repro.kernel.blockcut` — one block-cut-tree (biconnected components)
   DFS per graph, answering every "does port ``p`` at ``v`` start a simple
   path to the leader?" query of ψ_PE without a per-removed-node BFS.
@@ -25,17 +32,35 @@ The kernel sits directly above :mod:`repro.portgraph` in the layer diagram;
 :mod:`repro.views`, :mod:`repro.core` and :mod:`repro.sim` build on it.
 """
 
+from .backend import (
+    BACKEND_ENV_VAR,
+    active_backend,
+    numpy_available,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
 from .blockcut import BlockCutTree
-from .csr import CSRGraph, bfs_distances_csr, build_csr
-from .refine import CSRPartitionRefinement
+from .csr import CSRGraph, as_numpy, bfs_distances_csr, build_csr, from_numpy
+from .refine import CSRPartitionRefinement, make_refinement, refinement_from_stored
 
 __all__ = [
+    "BACKEND_ENV_VAR",
     "CSRGraph",
     "build_csr",
     "bfs_distances_csr",
+    "as_numpy",
+    "from_numpy",
     "CSRPartitionRefinement",
+    "make_refinement",
+    "refinement_from_stored",
     "BlockCutTree",
     "GraphKernel",
+    "active_backend",
+    "numpy_available",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
 ]
 
 

@@ -46,7 +46,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .csr import INT_TYPECODE, CSRGraph
 
-__all__ = ["CSRPartitionRefinement"]
+__all__ = ["CSRPartitionRefinement", "make_refinement", "refinement_from_stored"]
 
 
 class CSRPartitionRefinement:
@@ -460,3 +460,33 @@ class CSRPartitionRefinement:
         for group in self._current_members.values():
             total += 56 + 8 * len(group)
         return total
+
+
+# ---------------------------------------------------------------------- #
+# backend-dispatching factories
+# ---------------------------------------------------------------------- #
+def make_refinement(csr):
+    """A refinement engine for ``csr`` on the active kernel backend.
+
+    Both engines expose the same surface and answer byte-identically (see
+    ``repro.kernel.backend``); the binding is per object — an engine keeps
+    the backend it was built with even if the selection later changes.
+    """
+    from .backend import active_backend
+
+    if active_backend() == "numpy":
+        from .refine_numpy import NumpyPartitionRefinement
+
+        return NumpyPartitionRefinement(csr)
+    return CSRPartitionRefinement(csr)
+
+
+def refinement_from_stored(csr, tables, stable_depth):
+    """A pre-loaded engine (``passes == 0``) on the active kernel backend."""
+    from .backend import active_backend
+
+    if active_backend() == "numpy":
+        from .refine_numpy import NumpyPartitionRefinement
+
+        return NumpyPartitionRefinement.from_stored(csr, tables, stable_depth)
+    return CSRPartitionRefinement.from_stored(csr, tables, stable_depth)

@@ -183,18 +183,21 @@ class PortLabeledGraph:
         return self._csr
 
     def refinement_engine(self):
-        """The graph's incremental partition-refinement engine, memoised.
+        """The graph's partition-refinement engine, memoised.
 
-        Returns the :class:`repro.kernel.refine.CSRPartitionRefinement` shared
-        by every consumer of this instance: :meth:`fingerprint` (which refines
-        to the fixpoint), :class:`repro.views.refinement.ViewRefinement` (the
-        query facade) and the runner's cache, so the graph is refined at most
-        once per instance no matter who asks first.
+        Returns the engine shared by every consumer of this instance:
+        :meth:`fingerprint` (which refines to the fixpoint),
+        :class:`repro.views.refinement.ViewRefinement` (the query facade) and
+        the runner's cache, so the graph is refined at most once per instance
+        no matter who asks first.  Built by
+        :func:`repro.kernel.refine.make_refinement`, which picks the
+        incremental python engine or its byte-identical vectorised numpy twin
+        per the active kernel backend; the binding is per instance.
         """
         if self._engine is None:
-            from ..kernel.refine import CSRPartitionRefinement  # lazy, as in csr()
+            from ..kernel.refine import make_refinement  # lazy, as in csr()
 
-            self._engine = CSRPartitionRefinement(self.csr())
+            self._engine = make_refinement(self.csr())
         return self._engine
 
     def adopt_fingerprint(self, fingerprint: str) -> None:
@@ -239,9 +242,9 @@ class PortLabeledGraph:
         """
         if self._engine is not None:
             return False
-        from ..kernel.refine import CSRPartitionRefinement  # lazy, as in csr()
+        from ..kernel.refine import refinement_from_stored  # lazy, as in csr()
 
-        self._engine = CSRPartitionRefinement.from_stored(self.csr(), tables, stable_depth)
+        self._engine = refinement_from_stored(self.csr(), tables, stable_depth)
         return True
 
     # ------------------------------------------------------------------ #

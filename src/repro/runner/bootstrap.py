@@ -37,11 +37,21 @@ def attach_store_path(store_path: str) -> None:
         refinement_cache.attach_store(ArtifactStore(resolved))
 
 
-def bootstrap_worker(store_path: Optional[str] = None) -> None:
+def bootstrap_worker(
+    store_path: Optional[str] = None, kernel_backend: Optional[str] = None
+) -> None:
     """Initialise one worker process (runner pool worker or service shard).
 
-    Currently this means attaching the store, when one is configured; kept
-    as a named entry point so both fan-outs share one initializer signature.
+    Attaches the store when one is configured, and pins the kernel compute
+    backend to the parent's selection.  The environment variable alone would
+    cover spawn-context children (``os.environ`` is inherited), but carrying
+    the choice in the initializer keeps the propagation explicit and robust
+    to a scrubbed environment; ``"auto"`` is passed through as *auto*, so a
+    worker without numpy still falls back rather than failing.
     """
+    if kernel_backend is not None:
+        from ..kernel.backend import set_backend  # lazy: keep workers import-light
+
+        set_backend(kernel_backend)
     if store_path is not None:
         attach_store_path(store_path)

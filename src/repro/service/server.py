@@ -45,6 +45,7 @@ import time
 from collections import deque
 from typing import Any, Dict, Optional, Tuple
 
+from ..kernel.backend import active_backend as _active_kernel_backend
 from .batch import BatchCoordinator
 from .metrics import MetricsRegistry
 from .service import ElectionService, ServiceError
@@ -213,6 +214,15 @@ class ElectionServer:
             "repro_traces_issued",
             "Trace ids issued since the server started.",
             callback=lambda: self._trace_count,
+        )
+        metrics.gauge(
+            "repro_kernel_backend_info",
+            "Active kernel compute backend (1 on the active label).",
+            ("backend",),
+            callback=lambda: {
+                (name,): 1 if name == _active_kernel_backend() else 0
+                for name in ("python", "numpy")
+            },
         )
         if service.store is not None:
             store = service.store

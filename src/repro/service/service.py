@@ -410,6 +410,8 @@ class ElectionService:
         "a store-warm replay performs zero refinement passes" are checked
         against the same numbers regardless of backend.
         """
+        from ..kernel import active_backend
+
         backend_stats = self._backend.stats()
         payload: Dict[str, Any] = {
             "service": dict(
@@ -419,6 +421,7 @@ class ElectionService:
                 backend=self._backend.name,
                 concurrency=self._backend.concurrency,
                 compute_delay=self._compute_delay,
+                kernel_backend=active_backend(),
             ),
             "cache": backend_stats["cache"],
             "search": backend_stats["search"],

@@ -51,6 +51,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional
 
 from ..core import search_statistics
+from ..kernel.backend import BACKEND_ENV_VAR
 from ..runner.bootstrap import bootstrap_worker
 from ..runner.cache import refinement_cache
 from .protocol import WORKER_DOWN, worker_transition
@@ -194,9 +195,10 @@ def _shard_main(
     store_path: Optional[str],
     compute_delay: float,
     recycle_after: int,
+    kernel_backend: Optional[str] = None,
 ) -> None:
     """One shard worker: serve jobs off a pipe until recycled or told to exit."""
-    bootstrap_worker(store_path)
+    bootstrap_worker(store_path, kernel_backend)
     jobs_done = 0
     while True:
         try:
@@ -290,7 +292,15 @@ class _Shard:
         parent_conn, child_conn = self._context.Pipe()
         process = self._context.Process(
             target=_shard_main,
-            args=(child_conn, self._store_path, self._compute_delay, self._recycle_after),
+            args=(
+                child_conn,
+                self._store_path,
+                self._compute_delay,
+                self._recycle_after,
+                # the parent's backend *request* (not its resolution), so a
+                # shard without numpy falls back instead of failing
+                os.environ.get(BACKEND_ENV_VAR, "auto"),
+            ),
             name=f"repro-shard-{self.index}",
             daemon=True,
         )

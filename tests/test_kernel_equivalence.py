@@ -35,7 +35,9 @@ from repro.families import (
     jmuk_border_count,
     udk_tree_count,
 )
+from repro.kernel import make_refinement, numpy_available, use_backend
 from repro.portgraph import generators
+from repro.portgraph.graph import PortLabeledGraph
 from repro.views import ViewRefinement, augmented_view, view_key
 
 
@@ -409,3 +411,87 @@ class TestFamilyEquivalence:
         assert selection_index(graph, refinement=refinement) == k
         assert _legacy_first_unique_depth(history[: k + 2], k + 1) == k
         assert port_election_index(graph, refinement=refinement) == k
+
+
+# --------------------------------------------------------------------------- #
+# three-way matrix: legacy views / python kernel / numpy kernel
+# --------------------------------------------------------------------------- #
+def _fresh_copy(graph) -> PortLabeledGraph:
+    """An independent instance of the same labeled graph (no memoised state)."""
+    return PortLabeledGraph(
+        [graph.adjacency(v) for v in graph.nodes()], name=graph.name, validate=False
+    )
+
+
+def _three_way_partitions_identical(graph) -> None:
+    """Legacy full-sweep, python kernel and numpy kernel must agree exactly."""
+    history = legacy_color_history(graph, extra_depths=1)
+    engines = {}
+    for backend in ("python", "numpy"):
+        with use_backend(backend):
+            engines[backend] = make_refinement(graph.csr())
+    python_engine = engines["python"]
+    numpy_engine = engines["numpy"]
+    assert type(python_engine).__name__ == "CSRPartitionRefinement"
+    assert type(numpy_engine).__name__ == "NumpyPartitionRefinement"
+    stable = python_engine.ensure_stable()
+    assert numpy_engine.ensure_stable() == stable
+    assert python_engine.class_counts == numpy_engine.class_counts
+    assert python_engine.computed_depth == numpy_engine.computed_depth
+    tables = python_engine.canonical_tables()
+    assert tables == numpy_engine.canonical_tables()
+    for depth in range(min(len(tables), len(history))):
+        assert tables[depth] == history[depth], f"depth {depth}"
+    for depth in range(stable + 1):
+        python_colors = python_engine.colors_at(depth)
+        numpy_colors = numpy_engine.colors_at(depth)
+        # byte identity, not just value equality: same array typecode too
+        assert python_colors.typecode == numpy_colors.typecode
+        assert python_colors.tobytes() == numpy_colors.tobytes()
+        assert python_engine.members_at(depth) == numpy_engine.members_at(depth)
+        assert python_engine.unique_at(depth) == numpy_engine.unique_at(depth)
+        assert python_engine.num_classes_at(depth) == numpy_engine.num_classes_at(depth)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+class TestThreeWayBackendMatrix:
+    """The numpy kernel joins the legacy-vs-python contract as a third column."""
+
+    @given(graph=graph_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_partitions_identical_across_all_three(self, graph):
+        _three_way_partitions_identical(graph)
+
+    @given(graph=corpus_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_corpus_partitions_identical_across_all_three(self, graph):
+        _three_way_partitions_identical(graph)
+
+    @given(graph=graph_strategy)
+    @settings(max_examples=12, deadline=None)
+    def test_indices_identical_across_backends(self, graph):
+        from repro.runner import refinement_cache
+
+        observed = {}
+        for backend in ("python", "numpy"):
+            with use_backend(backend):
+                refinement_cache.clear()  # no cross-backend entry reuse
+                fresh = _fresh_copy(graph)
+                refinement = ViewRefinement(fresh)
+                observed[backend] = (
+                    selection_index(fresh, refinement=refinement),
+                    port_election_index(fresh, refinement=refinement),
+                    port_path_election_index(fresh, refinement=refinement),
+                    complete_port_path_election_index(fresh, refinement=refinement),
+                    fresh.fingerprint(),
+                )
+        refinement_cache.clear()
+        assert observed["python"] == observed["numpy"]
+
+    def test_family_members_identical_across_backends(self):
+        members = [
+            build_gdk_member(4, 1, 3).graph,
+            build_udk_member(4, 1, tuple(1 for _ in range(udk_tree_count(4, 1)))).graph,
+        ]
+        for graph in members:
+            _three_way_partitions_identical(graph)
