@@ -1,0 +1,130 @@
+"""PR 8 — tracing overhead on the warm serving path, gated at < 3 %.
+
+Not a table of the paper: the performance record of the observability
+layer.  The E16-style mixed sweep (families + generators + joint searches)
+is first made fully warm (store-backed, every answer memoised), then the
+warm replay is timed repeatedly in two modes:
+
+* **traced** -- tracing enabled *and* an active root span, so every
+  ``evaluate_graph`` call produces a real span with counter-delta tags
+  (the state a served request is in);
+* **untraced** -- tracing disabled wholesale via
+  :func:`repro.obs.set_tracing`, the kill-switch a production operator
+  would flip.
+
+Modes alternate round by round so drift (thermal, page cache) hits both
+equally; the comparison uses the **minimum** round per mode, the standard
+noise-robust estimator for a deterministic workload.  The gate asserts the
+traced minimum is within ``OVERHEAD_GATE`` of the untraced one.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pr8_obs.py [BENCH_PR8.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_e16_service import E16_SWEEP  # noqa: E402
+
+from repro.obs import default_recorder, new_trace_id, set_tracing, span  # noqa: E402
+from repro.runner import ExperimentRunner, refinement_cache  # noqa: E402
+
+#: Alternating timed rounds per mode.
+ROUNDS = 7
+#: Warm sweep replays per timed round (one replay is too short to time).
+REPS_PER_ROUND = 10
+#: The gate: traced warm-path time within this fraction of untraced.
+OVERHEAD_GATE = 0.03
+
+
+def _warm_up(store_dir: str) -> None:
+    """Populate the store and the in-memory cache; verify the replay is warm."""
+    runner = ExperimentRunner(store_path=store_dir)
+    runner.run(E16_SWEEP)
+    before = refinement_cache.stats()["refinement_passes"]
+    runner.run(E16_SWEEP)
+    after = refinement_cache.stats()["refinement_passes"]
+    assert after == before, "replay must be fully warm before timing starts"
+
+
+def _timed_round(runner: ExperimentRunner, traced: bool) -> float:
+    prior = set_tracing(traced)
+    try:
+        begin = time.perf_counter()
+        if traced:
+            with span("bench", trace_id=new_trace_id("pr8")):
+                for _ in range(REPS_PER_ROUND):
+                    runner.run(E16_SWEEP)
+        else:
+            for _ in range(REPS_PER_ROUND):
+                runner.run(E16_SWEEP)
+        return time.perf_counter() - begin
+    finally:
+        set_tracing(prior)
+
+
+def run_overhead(store_dir: str) -> dict:
+    refinement_cache.clear()
+    default_recorder.clear()
+    _warm_up(store_dir)
+    runner = ExperimentRunner(store_path=store_dir)
+    traced_rounds: list = []
+    untraced_rounds: list = []
+    for round_index in range(ROUNDS):
+        # alternate starting sides so neither mode always runs first
+        order = (True, False) if round_index % 2 == 0 else (False, True)
+        for traced in order:
+            elapsed = _timed_round(runner, traced)
+            (traced_rounds if traced else untraced_rounds).append(elapsed)
+    traced_best = min(traced_rounds)
+    untraced_best = min(untraced_rounds)
+    overhead = traced_best / untraced_best - 1.0
+    recorder = default_recorder.stats()
+    result = {
+        "sweep_graphs": [spec.label for spec in E16_SWEEP.graphs],
+        "rounds": ROUNDS,
+        "reps_per_round": REPS_PER_ROUND,
+        "traced_rounds_s": [round(value, 6) for value in traced_rounds],
+        "untraced_rounds_s": [round(value, 6) for value in untraced_rounds],
+        "traced_best_s": round(traced_best, 6),
+        "untraced_best_s": round(untraced_best, 6),
+        "overhead_fraction": round(overhead, 6),
+        "overhead_gate": OVERHEAD_GATE,
+        "spans_recorded": recorder["spans"],
+        "spans_dropped": recorder["dropped"],
+    }
+    assert recorder["spans"] > 0, "traced rounds must have recorded spans"
+    assert overhead < OVERHEAD_GATE, (
+        f"tracing overhead {overhead:.2%} exceeds the {OVERHEAD_GATE:.0%} gate "
+        f"(traced {traced_best:.6f}s vs untraced {untraced_best:.6f}s)"
+    )
+    return result
+
+
+def main() -> int:
+    output = sys.argv[1] if len(sys.argv) > 1 else "BENCH_PR8.json"
+    store_dir = tempfile.mkdtemp(prefix="bench-pr8-store-")
+    try:
+        result = {"tracing_overhead_warm_path": run_overhead(store_dir)}
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+        default_recorder.clear()
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    overhead = result["tracing_overhead_warm_path"]["overhead_fraction"]
+    print(f"bench_pr8_obs: tracing overhead {overhead:+.2%} (gate < 3%) -> {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

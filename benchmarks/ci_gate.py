@@ -165,7 +165,7 @@ def _batch_gate(failures) -> dict:
     def strip_trace(lines):
         # trace ids are per-request by design; byte-identity claims exclude them
         return [
-            {key: value for key, value in line.items() if key != "trace"}
+            {key: value for key, value in line.items() if key != "trace_id"}
             for line in lines
         ]
 
@@ -192,7 +192,7 @@ def _batch_gate(failures) -> dict:
                 streamed = {
                     key: value
                     for key, value in line.items()
-                    if key not in ("index", "status", "trace")
+                    if key not in ("index", "status", "trace_id")
                 }
                 if json.dumps(streamed, sort_keys=True) != json.dumps(single, sort_keys=True):
                     mismatches += 1

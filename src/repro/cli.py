@@ -167,6 +167,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream NDJSON records as graphs complete instead of a final table",
     )
     bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the run (one span per stage/graph) and print a per-stage "
+        "profile table to stderr when it finishes",
+    )
+    bench.add_argument(
         "--kernel-backend",
         choices=["auto", "python", "numpy"],
         default=None,
@@ -210,6 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--window", type=int, default=None, help="service in-flight window (--url mode)"
     )
     sweep.add_argument("--output", default="-", help="write NDJSON here ('-' = stdout)")
+    sweep.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="append the sweep's spans to FILE as JSONL (local mode only)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -257,6 +269,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the bound port here once listening (use with --port 0 "
         "for a kernel-assigned, collision-free port)",
+    )
+    serve.add_argument(
+        "--slow-request-s",
+        type=float,
+        default=None,
+        help="log requests slower than this many seconds to stderr with "
+        "their trace id (default 1.0; env REPRO_SLOW_REQUEST_S)",
     )
 
     verify = sub.add_parser(
@@ -428,6 +447,25 @@ def _command_bench(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"bench: {error}", file=sys.stderr)
         return 2
+    if args.profile:
+        from .obs import new_trace_id
+        from .obs import span as obs_span
+
+        if args.workers > 1:
+            print(
+                "bench --profile: spans cover the parent process only with "
+                "--workers > 1 (pool workers do not ship spans back)",
+                file=sys.stderr,
+            )
+        profile_trace = new_trace_id("bench")
+        with obs_span("bench", trace_id=profile_trace):
+            code = _run_bench(args, sweep, runner, refinement_cache)
+        _print_profile(profile_trace)
+        return code
+    return _run_bench(args, sweep, runner, refinement_cache)
+
+
+def _run_bench(args: argparse.Namespace, sweep, runner, refinement_cache) -> int:
     if args.batch:
         try:
             written = _stream_ndjson(runner, sweep, args.output)
@@ -471,6 +509,21 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_profile(trace_id: str) -> None:
+    """Print a bench trace's per-stage aggregate table to stderr."""
+    from .obs import default_recorder
+
+    rows = default_recorder.profile(trace_id)
+    print(f"bench --profile: trace {trace_id}", file=sys.stderr)
+    print(f"{'stage':<20}{'count':>8}{'total_ms':>14}{'max_ms':>12}", file=sys.stderr)
+    for row in rows:
+        print(
+            f"{row['name']:<20}{row['count']:>8}"
+            f"{row['total_ms']:>14.3f}{row['max_ms']:>12.3f}",
+            file=sys.stderr,
+        )
+
+
 def _stream_ndjson(runner, sweep, output: str) -> int:
     """Stream a sweep through the runner as NDJSON lines; returns the line count."""
     handle = sys.stdout if output == "-" else open(output, "w", encoding="utf-8")
@@ -500,6 +553,13 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print(f"sweep: {error}", file=sys.stderr)
         return 2
     if args.url is not None:
+        if args.trace_out is not None:
+            print(
+                "sweep: --trace-out records local spans; it cannot be combined "
+                "with --url (the service keeps its own traces -- see GET /trace/<id>)",
+                file=sys.stderr,
+            )
+            return 2
         return _sweep_remote(args, [task.value for task in tasks])
     from .runner import ExperimentRunner, SweepSpec
     from .scenarios import corpus_specs
@@ -516,7 +576,31 @@ def _command_sweep(args: argparse.Namespace) -> int:
                 max_states=args.max_states,
             )
         runner = ExperimentRunner(workers=args.workers, store_path=args.store)
-        written = _stream_ndjson(runner, sweep, args.output)
+        if args.trace_out is not None:
+            from .obs import default_recorder, new_trace_id
+            from .obs import span as obs_span
+
+            if args.workers > 1:
+                print(
+                    "sweep --trace-out: spans cover the parent process only "
+                    "with --workers > 1",
+                    file=sys.stderr,
+                )
+            sweep_trace = new_trace_id("sweep")
+            default_recorder.attach_sink(args.trace_out)
+            try:
+                with obs_span(
+                    "sweep", trace_id=sweep_trace, tags={"corpus": args.corpus}
+                ):
+                    written = _stream_ndjson(runner, sweep, args.output)
+            finally:
+                default_recorder.attach_sink(None)
+            print(
+                f"sweep: appended trace {sweep_trace} spans to {args.trace_out}",
+                file=sys.stderr,
+            )
+        else:
+            written = _stream_ndjson(runner, sweep, args.output)
     except (ValueError, OSError) as error:
         print(f"sweep: {error}", file=sys.stderr)
         return 2
@@ -602,6 +686,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             shards=args.shards,
             recycle_after=args.recycle_after,
             port_file=args.port_file,
+            slow_request_s=args.slow_request_s,
         )
     except ValueError as error:
         print(f"serve: {error}", file=sys.stderr)

@@ -1,0 +1,43 @@
+"""Stdlib-only tracing/profiling: spans, context propagation, bounded rings.
+
+See :mod:`repro.obs.span` for the producer API and
+:mod:`repro.obs.recorder` for storage, trees and the JSONL sink.  The
+service layers record into :data:`default_recorder`; ``GET /trace/<id>``
+serves its :meth:`~repro.obs.recorder.SpanRecorder.tree`.
+"""
+
+from .recorder import (
+    DEFAULT_MAX_SPANS_PER_TRACE,
+    DEFAULT_MAX_TRACES,
+    SpanRecorder,
+    default_recorder,
+)
+from .span import (
+    MAX_TAGS_PER_SPAN,
+    SPAN_SCHEMA_KEYS,
+    Span,
+    activate,
+    current_context,
+    new_trace_id,
+    record_span,
+    set_tracing,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "DEFAULT_MAX_SPANS_PER_TRACE",
+    "DEFAULT_MAX_TRACES",
+    "MAX_TAGS_PER_SPAN",
+    "SPAN_SCHEMA_KEYS",
+    "Span",
+    "SpanRecorder",
+    "activate",
+    "current_context",
+    "default_recorder",
+    "new_trace_id",
+    "record_span",
+    "set_tracing",
+    "span",
+    "tracing_enabled",
+]

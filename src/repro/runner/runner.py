@@ -26,7 +26,9 @@ import os
 
 from ..core.election_index import SearchLimitExceeded, election_index
 from ..core.feasibility import is_feasible
+from ..core.election_index import search_statistics
 from ..kernel.backend import BACKEND_ENV_VAR
+from ..obs import span as obs_span
 from .bootstrap import attach_store_path, bootstrap_worker
 from .cache import refinement_cache
 from .results import ResultTable
@@ -55,6 +57,33 @@ def evaluate_graph(graph, sweep: SweepSpec, *, label: Optional[str] = None) -> D
     records ``None`` for the index and lists the task under
     ``search_limited`` instead of aborting the whole sweep.
     """
+    with obs_span("evaluate_graph") as profile_span:
+        return _evaluate_graph_traced(graph, sweep, label, profile_span)
+
+
+def _cheap_counters() -> Dict[str, int]:
+    """Point-read counters only -- no cache scan, no manifest read -- so a
+    traced warm evaluation stays within the tracing-overhead budget."""
+    counters = dict(search_statistics())
+    counters["cache_hits"] = refinement_cache.hits
+    counters["cache_misses"] = refinement_cache.misses
+    counters["refinement_passes"] = refinement_cache.refinement_passes
+    counters["store_hits"] = refinement_cache.store_hits
+    counters["store_misses"] = refinement_cache.store_misses
+    store = refinement_cache.store
+    if store is not None:
+        io = store.io_counters()
+        counters["store_bytes_read"] = io["bytes_read"]
+        counters["store_bytes_written"] = io["bytes_written"]
+    else:
+        counters["store_bytes_read"] = 0
+        counters["store_bytes_written"] = 0
+    return counters
+
+
+def _evaluate_graph_traced(graph, sweep: SweepSpec, label, profile_span) -> Dict[str, Any]:
+    if profile_span.recording:
+        before = _cheap_counters()
     entry = refinement_cache.entry(graph)
     refinement = entry.refinement
     memo_size_before = len(entry.memo)
@@ -99,6 +128,14 @@ def evaluate_graph(graph, sweep: SweepSpec, *, label: Optional[str] = None) -> D
         # a fully warm replay (every answer memoised, possibly straight from
         # the store) skips the record re-encode and disk compare entirely
         refinement_cache.persist(graph)
+    if profile_span.recording:
+        after = _cheap_counters()
+        tags = {key: after[key] - before[key] for key in after}
+        tags["search_states"] = tags.pop("states")
+        tags["search_cells"] = tags.pop("cells")
+        tags["graph"] = record["graph"]
+        tags["n"] = graph.num_nodes
+        profile_span.add_tags(tags)
     return record
 
 

@@ -46,6 +46,10 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Dict, List, Optional
 
+import time
+
+from ..obs import current_context, record_span
+from ..obs import span as obs_span
 from .protocol import (
     SWEEP_RUNNING,
     SWEEP_TERMINAL,
@@ -348,29 +352,43 @@ class BatchCoordinator:
         gate = asyncio.Semaphore(request.window)
         ledger = status.ledger
         assert ledger is not None
+        # the trace context at stream entry (the serving request's root
+        # span); item tasks inherit it via ensure_future, the aggregate
+        # "emit" span is recorded against it manually at the end
+        trace_context = current_context()
+        stream_started = (time.time(), time.perf_counter())
+        emit_seconds = 0.0
 
         def stamped(line: Dict[str, Any]) -> Dict[str, Any]:
-            return line if trace is None else dict(line, trace=trace)
+            return line if trace is None else dict(line, trace_id=trace)
+
+        async def emit_timed(line: Dict[str, Any]) -> None:
+            nonlocal emit_seconds
+            t0 = time.perf_counter()
+            await emit(line)
+            emit_seconds += time.perf_counter() - t0
 
         async def compute(item: BatchItem) -> Dict[str, Any]:
-            await gate.acquire()
-            ledger.acquire()
-            status.max_in_flight = ledger.peak
-            if item.error is not None:
-                return {"index": item.index, "status": "error", "error": item.error}
-            try:
-                result = await self._service.query(item.payload)
-            except ServiceError as error:
-                return {"index": item.index, "status": "error", "error": error.message}
-            except Exception as error:  # pragma: no cover - defensive
-                return {
-                    "index": item.index,
-                    "status": "error",
-                    "error": f"internal error: {type(error).__name__}: {error}",
-                }
-            return dict(
-                deterministic_response(result), index=item.index, status="ok"
-            )
+            with obs_span("item", tags={"index": item.index}):
+                with obs_span("window_acquire"):
+                    await gate.acquire()
+                ledger.acquire()
+                status.max_in_flight = ledger.peak
+                if item.error is not None:
+                    return {"index": item.index, "status": "error", "error": item.error}
+                try:
+                    result = await self._service.query(item.payload)
+                except ServiceError as error:
+                    return {"index": item.index, "status": "error", "error": error.message}
+                except Exception as error:  # pragma: no cover - defensive
+                    return {
+                        "index": item.index,
+                        "status": "error",
+                        "error": f"internal error: {type(error).__name__}: {error}",
+                    }
+                return dict(
+                    deterministic_response(result), index=item.index, status="ok"
+                )
 
         tasks: List[asyncio.Future] = []
         emitted = 0
@@ -378,7 +396,7 @@ class BatchCoordinator:
             # the header emit is *inside* the try: a client that disconnects
             # before reading anything must still leave the sweep record
             # "cancelled", not stuck in its streaming state forever
-            await emit(
+            await emit_timed(
                 stamped(
                     {
                         "sweep": request.sweep_id,
@@ -390,7 +408,7 @@ class BatchCoordinator:
             tasks = [asyncio.ensure_future(compute(item)) for item in request.items]
             for task in tasks:
                 line = await task
-                await emit(stamped(line))
+                await emit_timed(stamped(line))
                 emitted += 1
                 ledger.release()
                 gate.release()
@@ -404,7 +422,7 @@ class BatchCoordinator:
                 status.item_status[line["index"]] = line["status"]
             status.apply("completed")
             ledger.assert_drained()
-            await emit(
+            await emit_timed(
                 stamped(
                     {
                         "sweep": request.sweep_id,
@@ -413,6 +431,15 @@ class BatchCoordinator:
                         "errors": status.errors,
                     }
                 )
+            )
+            # one aggregate span: duration is the summed await-time of every
+            # emit of this stream (client-read backpressure), not wall time
+            record_span(
+                "emit",
+                start_s=stream_started[0],
+                duration_ms=emit_seconds * 1000.0,
+                context=trace_context,
+                tags={"lines": len(request.items) + 2, "sweep": request.sweep_id},
             )
         finally:
             if status.state not in SWEEP_TERMINAL:

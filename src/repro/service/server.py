@@ -13,16 +13,22 @@ surface is deliberately small and JSON-only:
   batches, persisted alongside the artifact store;
 * ``GET /stats`` -- counters of every layer (service, batch coordinator,
   refinement cache, artifact store, joint searches), plus the recent-trace
-  ring;
+  ring and a ``slowest`` request table;
+* ``GET /trace/<id>`` -- the span tree of one recent request (parse,
+  coalesce/queue waits, compute, emit -- shard-side stages included on the
+  process backend);
 * ``GET /metrics`` -- Prometheus text exposition (request/batch/shard
-  counters, window occupancy, queue depths, latency histograms);
+  counters, per-shard heat, window occupancy, queue depths, latency
+  histograms, recorder drop counters);
 * ``GET /healthz`` -- liveness.
 
 Every request is assigned a **trace id** (a server nonce plus a serial):
-it rides on every JSON response and every NDJSON line of a batch stream,
-and the last 64 traces are echoed by ``GET /stats``, so one bad stream in
+it rides on every JSON response (as ``trace_id``) and every NDJSON line of
+a batch stream, it keys the span tree served by ``GET /trace/<id>``, and
+the last 64 traces are echoed by ``GET /stats``, so one bad stream in
 a stress run or a production incident is correlatable with the server's
-own record of serving it.
+own record of serving it.  Requests slower than a configurable threshold
+are additionally logged to stderr with their trace id.
 
 Connections are handled one request at a time and closed after the response
 (``Connection: close``); request bodies are capped; single-query responses
@@ -43,9 +49,11 @@ import re
 import sys
 import time
 from collections import deque
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..kernel.backend import active_backend as _active_kernel_backend
+from ..obs import default_recorder
+from ..obs import span as obs_span
 from .batch import BatchCoordinator
 from .metrics import MetricsRegistry
 from .service import ElectionService, ServiceError
@@ -58,6 +66,12 @@ MAX_BODY_BYTES = 32 * 1024 * 1024
 REQUEST_TIMEOUT = 60.0
 #: Trace ids remembered for the ``/stats`` echo.
 TRACE_RING_SIZE = 64
+#: Rows kept in the ``/stats`` ``slowest`` table.
+SLOWEST_TABLE_SIZE = 10
+#: Default slow-request log threshold (seconds); env override below.
+DEFAULT_SLOW_REQUEST_S = 1.0
+#: Environment override for the slow-request threshold.
+SLOW_REQUEST_ENV_VAR = "REPRO_SLOW_REQUEST_S"
 
 _STATUS_TEXT = {
     200: "OK",
@@ -73,6 +87,11 @@ _STATUS_TEXT = {
 #: construction (and must not reach the filesystem as a path fragment).
 _SWEEP_ID_RE = re.compile(r"[0-9a-f]{1,64}")
 
+#: Trace ids are dash-joined lowercase alphanumeric words (server nonces
+#: ``abcdef-000001``, CLI roots ``bench-1a2b3c4d``); reject anything else
+#: before it is used as a recorder key.
+_TRACE_ID_RE = re.compile(r"[0-9a-z]{1,32}(-[0-9a-z]{1,32}){0,4}")
+
 #: The fixed endpoint set, for metric-label normalisation.
 _KNOWN_PATHS = frozenset(
     {"/election", "/elections", "/sweeps", "/stats", "/metrics", "/healthz"}
@@ -87,6 +106,8 @@ def _normalize_path(path: Optional[str]) -> str:
         return path
     if path.startswith("/sweeps/"):
         return "/sweeps/{id}"
+    if path.startswith("/trace/"):
+        return "/trace/{id}"
     return "<other>"
 
 
@@ -144,7 +165,15 @@ async def _read_request(
 class ElectionServer:
     """Owns the listening socket and routes requests into the service."""
 
-    def __init__(self, service: ElectionService, *, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        service: ElectionService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        slow_request_s: Optional[float] = None,
+        slow_log: Optional[Callable[[str], None]] = None,
+    ) -> None:
         self._service = service
         self._host = host
         self._port = port
@@ -154,6 +183,17 @@ class ElectionServer:
         self._trace_nonce = os.urandom(3).hex()
         self._trace_serial = itertools.count(1)
         self._recent_traces: "deque[Dict[str, Any]]" = deque(maxlen=TRACE_RING_SIZE)
+        self._slowest: List[Dict[str, Any]] = []
+        if slow_request_s is None:
+            raw = os.environ.get(SLOW_REQUEST_ENV_VAR, "")
+            try:
+                slow_request_s = float(raw) if raw else DEFAULT_SLOW_REQUEST_S
+            except ValueError:
+                slow_request_s = DEFAULT_SLOW_REQUEST_S
+        self._slow_request_s = slow_request_s
+        self._slow_log = slow_log if slow_log is not None else (
+            lambda message: print(message, file=sys.stderr)
+        )
         # --- metrics --------------------------------------------------- #
         metrics = MetricsRegistry()
         self._metrics = metrics
@@ -214,6 +254,61 @@ class ElectionServer:
             "repro_traces_issued",
             "Trace ids issued since the server started.",
             callback=lambda: self._trace_count,
+        )
+        metrics.counter(
+            "repro_trace_dropped_total",
+            "Spans dropped by the bounded trace recorder (ring eviction or per-trace cap).",
+            callback=lambda: default_recorder.stats()["dropped"],
+        )
+        metrics.gauge(
+            "repro_trace_spans",
+            "Spans currently retained across the recorder's trace ring.",
+            callback=lambda: default_recorder.stats()["spans"],
+        )
+        metrics.counter(
+            "repro_shard_busy_seconds_total",
+            "Seconds each process shard spent executing jobs (process backend only).",
+            ("shard",),
+            callback=lambda: {
+                (str(row["shard"]),): row["busy_seconds"]
+                for row in service.backend_heat()
+            },
+        )
+        metrics.counter(
+            "repro_shard_tasks_total",
+            "Jobs dispatched to each process shard (process backend only).",
+            ("shard",),
+            callback=lambda: {
+                (str(row["shard"]),): row["dispatched"]
+                for row in service.backend_heat()
+            },
+        )
+        metrics.gauge(
+            "repro_shard_queue_depth",
+            "Jobs waiting on each shard's dispatcher queue (process backend only).",
+            ("shard",),
+            callback=lambda: {
+                (str(row["shard"]),): row["queue_depth"]
+                for row in service.backend_heat()
+            },
+        )
+        metrics.gauge(
+            "repro_search_events",
+            "Kernel joint-search counters, aggregated across process shards.",
+            ("event",),
+            callback=lambda: {
+                (event,): value
+                for event, value in service.observed_counters()["search"].items()
+            },
+        )
+        metrics.gauge(
+            "repro_store_events",
+            "Artifact-store counters (hits, spills, rebuilds), aggregated across shards.",
+            ("event",),
+            callback=lambda: {
+                (event,): value
+                for event, value in service.observed_counters()["store"].items()
+            },
         )
         metrics.gauge(
             "repro_kernel_backend_info",
@@ -278,14 +373,41 @@ class ElectionServer:
         self._trace_count = next(self._trace_serial)
         return f"{self._trace_nonce}-{self._trace_count:06x}"
 
-    def _record_trace(self, trace: str, path: Optional[str], status: Optional[int]) -> None:
-        self._recent_traces.append(
-            {"trace": trace, "path": _normalize_path(path), "status": status or 0}
-        )
+    def _record_trace(
+        self,
+        trace: str,
+        method: Optional[str],
+        path: Optional[str],
+        status: Optional[int],
+        duration_s: float,
+    ) -> None:
+        entry = {
+            "trace_id": trace,
+            "path": _normalize_path(path),
+            "status": status or 0,
+            "duration_ms": round(duration_s * 1000.0, 3),
+        }
+        self._recent_traces.append(entry)
+        self._slowest.append(dict(entry))
+        self._slowest.sort(key=lambda row: -row["duration_ms"])
+        del self._slowest[SLOWEST_TABLE_SIZE:]
+        if duration_s >= self._slow_request_s:
+            self._slow_log(
+                f"slow request: {method or '?'} {_normalize_path(path)} "
+                f"status={status or 0} duration_ms={entry['duration_ms']} "
+                f"trace_id={trace}"
+            )
 
     def trace_ring(self) -> Dict[str, Any]:
         """The ``traces`` section of ``/stats``."""
-        return {"issued": self._trace_count, "recent": list(self._recent_traces)}
+        recorder = default_recorder.stats()
+        return {
+            "issued": self._trace_count,
+            "recent": list(self._recent_traces),
+            "spans": recorder["spans"],
+            "dropped": recorder["dropped"],
+            "slowest": [dict(row) for row in self._slowest],
+        }
 
     # ------------------------------------------------------------------ #
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
@@ -295,66 +417,81 @@ class ElectionServer:
         path: Optional[str] = None
         status_code: Optional[int] = None
         try:
-            try:
-                request = await asyncio.wait_for(_read_request(reader), REQUEST_TIMEOUT)
-            except ServiceError as error:
-                status_code = error.status
-                writer.write(
-                    _encode_response(
-                        error.status, {"error": error.message, "trace": trace}
-                    )
+            with obs_span("http_request", trace_id=trace) as root:
+                method, path, status_code = await self._serve_request(
+                    reader, writer, trace
                 )
-                return
-            except (asyncio.TimeoutError, asyncio.IncompleteReadError):
-                return
-            if request is None:
-                return
-            method, path, body = request
-            self._service.count_request()
-            if path == "/elections" and method == "POST":
-                status_code = await self._handle_batch(writer, body, trace)
-                return
-            if path == "/metrics":
-                if method != "GET":
-                    status_code = 405
-                    writer.write(
-                        _encode_response(405, {"error": "use GET", "trace": trace})
+                if root.recording:
+                    root.add_tags(
+                        {
+                            "method": method or "?",
+                            "path": _normalize_path(path),
+                            "status": status_code or 0,
+                        }
                     )
-                    return
-                # off the loop: gauge callbacks may take coordinator locks
-                # or read the store manifest
-                loop = asyncio.get_running_loop()
-                rendered = await loop.run_in_executor(None, self._metrics.render)
-                status_code = 200
-                writer.write(
-                    _encode_raw(
-                        200, rendered.encode("utf-8"), MetricsRegistry.CONTENT_TYPE
-                    )
-                )
-                return
-            status, payload = await self._dispatch(method, path, body)
-            status_code = status
-            payload["trace"] = trace
-            writer.write(_encode_response(status, payload))
         except ConnectionResetError:
             pass
         finally:
+            duration_s = time.perf_counter() - started
             if method is not None or status_code is not None:
                 self._requests_total.inc(
                     method=method or "?",
                     path=_normalize_path(path),
                     status=str(status_code or 0),
                 )
-                self._request_seconds.observe(
-                    time.perf_counter() - started, path=_normalize_path(path)
-                )
-                self._record_trace(trace, path, status_code)
+                self._request_seconds.observe(duration_s, path=_normalize_path(path))
+                self._record_trace(trace, method, path, status_code, duration_s)
             try:
                 await writer.drain()
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    async def _serve_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, trace: str
+    ) -> Tuple[Optional[str], Optional[str], Optional[int]]:
+        """Route one request; returns ``(method, path, status)`` for telemetry.
+
+        Runs inside the request's root span, so every stage span recorded
+        below (parse, batch stages, dispatch handlers) parents correctly.
+        """
+        try:
+            with obs_span("parse"):
+                request = await asyncio.wait_for(_read_request(reader), REQUEST_TIMEOUT)
+        except ServiceError as error:
+            writer.write(
+                _encode_response(
+                    error.status, {"error": error.message, "trace_id": trace}
+                )
+            )
+            return None, None, error.status
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+            return None, None, None
+        if request is None:
+            return None, None, None
+        method, path, body = request
+        self._service.count_request()
+        if path == "/elections" and method == "POST":
+            return method, path, await self._handle_batch(writer, body, trace)
+        if path == "/metrics":
+            if method != "GET":
+                writer.write(
+                    _encode_response(405, {"error": "use GET", "trace_id": trace})
+                )
+                return method, path, 405
+            # off the loop: gauge callbacks may take coordinator locks
+            # or read the store manifest
+            loop = asyncio.get_running_loop()
+            rendered = await loop.run_in_executor(None, self._metrics.render)
+            writer.write(
+                _encode_raw(200, rendered.encode("utf-8"), MetricsRegistry.CONTENT_TYPE)
+            )
+            return method, path, 200
+        status, payload = await self._dispatch(method, path, body)
+        payload["trace_id"] = trace
+        writer.write(_encode_response(status, payload))
+        return method, path, status
 
     async def _handle_batch(
         self, writer: asyncio.StreamWriter, body: bytes, trace: str
@@ -369,10 +506,13 @@ class ElectionServer:
         Returns the response status for the request metrics.
         """
         try:
-            request = self._batch.prepare(body)
+            with obs_span("batch_prepare"):
+                request = self._batch.prepare(body)
         except ServiceError as error:
             writer.write(
-                _encode_response(error.status, {"error": error.message, "trace": trace})
+                _encode_response(
+                    error.status, {"error": error.message, "trace_id": trace}
+                )
             )
             return error.status
         writer.write(
@@ -424,6 +564,22 @@ class ElectionServer:
             if status is None:
                 return 404, {"error": f"unknown sweep {sweep_id!r}"}
             return 200, status
+        if path.startswith("/trace/"):
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            trace_id = path[len("/trace/"):]
+            # recorder keys are bounded dash-joined words; reject the rest
+            # up front so arbitrary client bytes never become lookup keys
+            if not _TRACE_ID_RE.fullmatch(trace_id):
+                return 404, {"error": f"malformed trace id {trace_id!r}"}
+            spans = default_recorder.trace(trace_id)
+            if spans is None:
+                return 404, {"error": f"unknown trace {trace_id!r}"}
+            return 200, {
+                "queried": trace_id,
+                "span_count": len(spans),
+                "spans": default_recorder.tree(trace_id) or [],
+            }
         if path == "/elections":
             return 405, {"error": "use POST"}
         if path == "/election":
@@ -453,6 +609,7 @@ def run_server(
     shards: Optional[int] = None,
     recycle_after: Optional[int] = None,
     port_file: Optional[str] = None,
+    slow_request_s: Optional[float] = None,
 ) -> None:
     """Blocking entry point behind ``repro-leader-election serve``.
 
@@ -472,7 +629,7 @@ def run_server(
         shards=shards,
         recycle_after=recycle_after,
     )
-    server = ElectionServer(service, host=host, port=port)
+    server = ElectionServer(service, host=host, port=port, slow_request_s=slow_request_s)
 
     async def _main() -> None:
         await server.start()

@@ -38,7 +38,8 @@ import sys
 import time
 from typing import Any, Dict, Optional, Tuple
 
-from ..core import Task
+from ..core import Task, search_statistics
+from ..obs import span as obs_span
 from ..portgraph.io import graph_from_dict
 from ..portgraph.validation import PortLabelingError
 from ..runner import GraphSpec, SweepSpec, evaluate_graph, refinement_cache
@@ -61,7 +62,7 @@ MAX_SUBMITTED_NODES = 100_000
 #: stamping its own per-request trace, so streamed items are byte-identical
 #: to what sequential ``POST /election`` calls return minus exactly this
 #: set, and the CI gate compares through the same helper.
-VOLATILE_RESPONSE_FIELDS = frozenset({"elapsed_ms", "coalesced", "trace"})
+VOLATILE_RESPONSE_FIELDS = frozenset({"elapsed_ms", "coalesced", "trace_id"})
 
 
 def deterministic_response(response: Dict[str, Any]) -> Dict[str, Any]:
@@ -87,50 +88,53 @@ def compute_election(parsed: Dict[str, Any], *, compute_delay: float = 0.0) -> D
     service instance, so thread and process backends execute the very same
     code and return byte-identical responses.
     """
-    if compute_delay:
-        time.sleep(compute_delay)
-    started = time.perf_counter()
-    if parsed["spec"] is not None:
-        spec_dict = parsed["spec"]
-        try:
-            spec = GraphSpec.make(spec_dict["kind"], **spec_dict.get("params", {}))
-            graph = spec.build()
-        except ValueError as error:
-            raise ServiceError(400, str(error)) from None
-        label = spec.label
-    else:
-        try:
-            graph = graph_from_dict(parsed["graph"], validate=True)
-        except (PortLabelingError, KeyError, TypeError, ValueError) as error:
-            raise ServiceError(400, f"invalid graph: {error}") from None
-        label = graph.name or "submitted"
-    if graph.num_nodes > MAX_SUBMITTED_NODES:
-        raise ServiceError(400, f"graph too large (> {MAX_SUBMITTED_NODES} nodes)")
-    sweep = SweepSpec.make(
-        (),
-        tasks=parsed["tasks"],
-        max_depth=parsed["max_depth"],
-        max_states=parsed["max_states"],
-    )
-    record = evaluate_graph(graph, sweep, label=label)
-    indices = {task.value: record[f"psi_{task.value}"] for task in parsed["tasks"]}
-    limited = [code for code in record.get("search_limited", "").split(",") if code]
-    response: Dict[str, Any] = {
-        "graph": label,
-        "fingerprint": graph.fingerprint(),
-        "n": graph.num_nodes,
-        "m": graph.num_edges,
-        "max_degree": graph.max_degree,
-        "feasible": record["feasible"],
-        "indices": indices,
-        "search_limited": limited,
-        "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
-    }
-    if parsed["advice"]:
-        from ..advice.map_advice import encode_map_advice  # lazy import, heavy layer
+    with obs_span("compute_election") as sp:
+        if compute_delay:
+            time.sleep(compute_delay)
+        started = time.perf_counter()
+        with obs_span("graph_build"):
+            if parsed["spec"] is not None:
+                spec_dict = parsed["spec"]
+                try:
+                    spec = GraphSpec.make(spec_dict["kind"], **spec_dict.get("params", {}))
+                    graph = spec.build()
+                except ValueError as error:
+                    raise ServiceError(400, str(error)) from None
+                label = spec.label
+            else:
+                try:
+                    graph = graph_from_dict(parsed["graph"], validate=True)
+                except (PortLabelingError, KeyError, TypeError, ValueError) as error:
+                    raise ServiceError(400, f"invalid graph: {error}") from None
+                label = graph.name or "submitted"
+        if graph.num_nodes > MAX_SUBMITTED_NODES:
+            raise ServiceError(400, f"graph too large (> {MAX_SUBMITTED_NODES} nodes)")
+        sweep = SweepSpec.make(
+            (),
+            tasks=parsed["tasks"],
+            max_depth=parsed["max_depth"],
+            max_states=parsed["max_states"],
+        )
+        record = evaluate_graph(graph, sweep, label=label)
+        indices = {task.value: record[f"psi_{task.value}"] for task in parsed["tasks"]}
+        limited = [code for code in record.get("search_limited", "").split(",") if code]
+        response: Dict[str, Any] = {
+            "graph": label,
+            "fingerprint": graph.fingerprint(),
+            "n": graph.num_nodes,
+            "m": graph.num_edges,
+            "max_degree": graph.max_degree,
+            "feasible": record["feasible"],
+            "indices": indices,
+            "search_limited": limited,
+            "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
+        }
+        if parsed["advice"]:
+            from ..advice.map_advice import encode_map_advice  # lazy import, heavy layer
 
-        response["advice"] = {"map": encode_map_advice(graph)}
-    return response
+            response["advice"] = {"map": encode_map_advice(graph)}
+        sp.add_tags({"graph": label, "n": graph.num_nodes, "advice": parsed["advice"]})
+        return response
 
 
 class ElectionService:
@@ -265,6 +269,38 @@ class ElectionService:
         except AttributeError:  # pragma: no cover - duck-typed test backends
             return {}
 
+    def backend_heat(self) -> list:
+        """Per-shard heat rows (busy seconds, dispatched, queue depth).
+
+        Parent-side counters only -- safe to call from a /metrics scrape.
+        The thread backend has no shards and reports an empty list.
+        """
+        try:
+            return self._backend.heat()
+        except AttributeError:  # pragma: no cover - duck-typed test backends
+            return []
+
+    def observed_counters(self) -> Dict[str, Dict[str, int]]:
+        """Kernel-search and store counters, aggregated where computing happens.
+
+        For /metrics: unlike :meth:`stats`, this never round-trips a worker
+        pipe.  The thread backend reads this process's live counters; the
+        process backend sums the per-job counter snapshots its workers
+        piggyback on every reply (plus the counters of cleanly retired
+        workers), so the scrape lags a busy shard by at most one job.  The
+        parent's own store-handle counters are folded in either way.
+        """
+        try:
+            observed = self._backend.observed_counters()
+        except AttributeError:  # pragma: no cover - duck-typed test backends
+            observed = {"search": dict(search_statistics()), "store": {}}
+        store_section = observed.setdefault("store", {})
+        if self._store is not None:
+            for key, value in self._store.stats().items():
+                if key != "records" and isinstance(value, int):
+                    store_section[key] = store_section.get(key, 0) + value
+        return observed
+
     def count_request(self) -> None:
         """Tally one HTTP request (any endpoint); called by the server."""
         self._counters["requests"] += 1
@@ -297,7 +333,8 @@ class ElectionService:
         existing = self._inflight.get(key)
         if existing is not None:
             self._counters["coalesced"] += 1
-            status, value = await existing
+            with obs_span("coalesce_wait"):
+                status, value = await existing
             if status == "error":
                 raise value
             return dict(value, coalesced=True)
@@ -305,7 +342,8 @@ class ElectionService:
         future: asyncio.Future = loop.create_future()
         self._inflight[key] = future
         try:
-            result = await self._backend.submit(route_key, parsed)
+            with obs_span("compute", tags={"backend": self._backend.name}):
+                result = await self._backend.submit(route_key, parsed)
         except Exception as error:
             self._counters["errors"] += 1
             future.set_result(("error", error))
@@ -429,5 +467,12 @@ class ElectionService:
         if "shards" in backend_stats:
             payload["shards"] = backend_stats["shards"]
         if self._store is not None:
-            payload["store"] = self._store.stats()
+            # counter keys (hits, puts, put_spills, manifest_rebuilds, ...)
+            # sum the parent handle with the shard workers' handles; the
+            # record count is the shared manifest's and is not summed
+            store_section = dict(self._store.stats())
+            for key, value in backend_stats.get("store", {}).items():
+                if key != "records" and isinstance(value, int):
+                    store_section[key] = store_section.get(key, 0) + value
+            payload["store"] = store_section
         return payload

@@ -52,6 +52,8 @@ from typing import Any, Dict, List, Optional
 
 from ..core import search_statistics
 from ..kernel.backend import BACKEND_ENV_VAR
+from ..obs import activate as activate_trace
+from ..obs import current_context, default_recorder, record_span
 from ..runner.bootstrap import bootstrap_worker
 from ..runner.cache import refinement_cache
 from .protocol import WORKER_DOWN, worker_transition
@@ -141,13 +143,33 @@ class ThreadBackend(ComputeBackend):
         if self._closed:
             raise ServiceError(503, "service is shutting down")
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._executor, self._call, parsed)
+        # run_in_executor does not propagate contextvars: capture the trace
+        # context here and re-enter it in the pool thread
+        context = current_context()
+        submitted = (time.time(), time.perf_counter()) if context is not None else None
+        return await loop.run_in_executor(self._executor, self._call, parsed, context, submitted)
 
-    def _call(self, parsed: Dict[str, Any]) -> Dict[str, Any]:
-        return compute_election(parsed, compute_delay=self._compute_delay)
+    def _call(self, parsed: Dict[str, Any], context=None, submitted=None) -> Dict[str, Any]:
+        if submitted is not None:
+            record_span(
+                "queue_wait",
+                start_s=submitted[0],
+                duration_ms=(time.perf_counter() - submitted[1]) * 1000.0,
+                context=context,
+            )
+        with activate_trace(context):
+            return compute_election(parsed, compute_delay=self._compute_delay)
 
     def stats(self) -> Dict[str, Any]:
         return {"cache": refinement_cache.stats(), "search": search_statistics()}
+
+    def observed_counters(self) -> Dict[str, Dict[str, int]]:
+        """Search counters for /metrics (computation happens in-process)."""
+        return {"search": dict(search_statistics()), "store": {}}
+
+    def heat(self) -> List[Dict[str, Any]]:
+        """No shards, no heat rows (uniform interface with the process backend)."""
+        return []
 
     def queue_depth(self) -> int:
         """Computations accepted but not yet started (for /metrics)."""
@@ -171,12 +193,29 @@ class ThreadBackend(ComputeBackend):
 # --------------------------------------------------------------------------- #
 def _worker_stats(jobs_done: int) -> Dict[str, Any]:
     """This worker process's observability payload (also its retirement will)."""
+    store = refinement_cache.store
     return {
         "pid": os.getpid(),
         "jobs": jobs_done,
         "cache": refinement_cache.stats(),
         "search": search_statistics(),
+        "store": store.stats() if store is not None else {},
     }
+
+
+def _job_extras(context, jobs_done: int) -> Dict[str, Any]:
+    """The observability payload piggybacked on every job reply.
+
+    ``stats`` is this worker's cumulative counter snapshot -- the parent
+    keeps the latest per shard so ``/metrics`` aggregates search/store
+    counters without a pipe round trip.  With a trace context the worker's
+    spans for that trace ride along too (and leave this process's
+    recorder), so one ``/trace/<id>`` tree shows parent and shard stages.
+    """
+    extras: Dict[str, Any] = {"stats": _worker_stats(jobs_done)}
+    if context is not None:
+        extras["spans"] = default_recorder.pop_trace(context[0])
+    return extras
 
 
 def _send_or_exit(conn, message) -> bool:
@@ -218,12 +257,15 @@ def _shard_main(
                 break
             continue
         parsed = message[1]
+        context = message[2] if len(message) > 2 else None
         try:
-            reply = ("ok", compute_election(parsed, compute_delay=compute_delay))
+            with activate_trace(context):
+                result = compute_election(parsed, compute_delay=compute_delay)
+            reply = ("ok", result, _job_extras(context, jobs_done + 1))
         except ServiceError as error:
             # ship as plain data: the exception's two-argument constructor
             # does not round-trip through pickle
-            reply = ("service_error", error.status, error.message)
+            reply = ("service_error", error.status, error.message, _job_extras(context, jobs_done + 1))
         except Exception as error:  # pragma: no cover - defensive
             reply = ("error", f"{type(error).__name__}: {error}")
         if not _send_or_exit(conn, reply):
@@ -281,11 +323,17 @@ class _Shard:
         self.spawns = 0
         self.recycles = 0
         self.crashes = 0
+        #: Seconds this shard's pipe was occupied by jobs (the heat signal).
+        self.busy_seconds = 0.0
+        #: The live worker's latest cumulative counter snapshot, refreshed
+        #: from the extras piggybacked on every job reply (no pipe traffic).
+        self.last_snapshot: Dict[str, Any] = {}
         # cumulative counters inherited from cleanly retired workers (a
         # crashed worker's counters die with it)
         self.retired_jobs = 0
         self.retired_cache: Dict[str, int] = {}
         self.retired_search: Dict[str, int] = {}
+        self.retired_store: Dict[str, int] = {}
 
     # -- lifecycle (all called with ``_lock`` held) --------------------- #
     def _spawn(self) -> None:
@@ -323,6 +371,7 @@ class _Shard:
                 self._process.terminate()
             self._process.join(timeout=_SHUTDOWN_TIMEOUT)
             self._process = None
+        self.last_snapshot = {}
         self.state = worker_transition(self.state, reason)
 
     def _ensure_worker(self) -> None:
@@ -337,17 +386,34 @@ class _Shard:
             self._spawn()
 
     # -- operations ----------------------------------------------------- #
-    def call(self, parsed: Dict[str, Any]):
-        """Dispatch one job to this shard's worker; detect crashes, retry once."""
+    def call(self, parsed: Dict[str, Any], context=None, submitted=None):
+        """Dispatch one job to this shard's worker; detect crashes, retry once.
+
+        ``context`` is the request's trace context ``(trace_id, span_id)``:
+        it crosses the pipe with the job so the worker's spans join the
+        trace, and this (dispatcher-thread) side records the ``queue_wait``
+        and per-attempt ``dispatch`` spans around the round trip.
+        """
+        if submitted is not None:
+            record_span(
+                "queue_wait",
+                start_s=submitted[0],
+                duration_ms=(time.perf_counter() - submitted[1]) * 1000.0,
+                context=context,
+                tags={"shard": self.index},
+            )
         with self._lock:
             self.dispatched += 1
             for attempt in (1, 2):
                 self._ensure_worker()
                 self.state = worker_transition(self.state, "dispatch")
+                dispatch_wall = time.time()
+                dispatch_t0 = time.perf_counter()
                 try:
-                    self._conn.send(("job", parsed))
+                    self._conn.send(("job", parsed, context))
                     reply = self._conn.recv()
                 except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
+                    self.busy_seconds += time.perf_counter() - dispatch_t0
                     self.crashes += 1
                     self._discard("crash")
                     if attempt == 2:
@@ -356,6 +422,16 @@ class _Shard:
                             f"shard {self.index} worker crashed twice on one query",
                         ) from None
                     continue
+                busy = time.perf_counter() - dispatch_t0
+                self.busy_seconds += busy
+                record_span(
+                    "dispatch",
+                    start_s=dispatch_wall,
+                    duration_ms=busy * 1000.0,
+                    context=context,
+                    tags={"shard": self.index, "attempt": attempt},
+                )
+                reply = self._absorb_extras(reply)
                 self.state = worker_transition(self.state, "reply")
                 self._jobs_since_spawn += 1
                 if self._recycle_after and self._jobs_since_spawn >= self._recycle_after:
@@ -418,12 +494,43 @@ class _Shard:
         """The live worker's cache/search stats; ``None`` if dead or busy."""
         return self._control("stats", timeout=timeout)
 
+    def _absorb_extras(self, reply):
+        """Strip the observability extras off a job reply and apply them.
+
+        Extras carry the worker's cumulative counter snapshot (kept as this
+        shard's ``last_snapshot``) and, for traced jobs, the worker-side
+        spans of the request's trace, absorbed into the parent's recorder.
+        Returns the reply without the extras (the wire shape the backend's
+        ``submit`` consumes).
+        """
+        if reply[0] == "ok" and len(reply) > 2:
+            extras = reply[2]
+            reply = reply[:2]
+        elif reply[0] == "service_error" and len(reply) > 3:
+            extras = reply[3]
+            reply = reply[:3]
+        else:
+            return reply
+        if isinstance(extras, dict):
+            snapshot = extras.get("stats")
+            if isinstance(snapshot, dict):
+                self.last_snapshot = snapshot
+            default_recorder.absorb(extras.get("spans"))
+        return reply
+
     def _absorb(self, final_stats: Dict[str, Any]) -> None:
         """Fold a retiring worker's counters into this shard's cumulative totals."""
         self.retired_jobs += final_stats.get("jobs", 0)
+        store_section = {
+            # "records" is a gauge of the shared manifest, not a counter
+            key: value
+            for key, value in final_stats.get("store", {}).items()
+            if key != "records"
+        }
         for totals, section in (
             (self.retired_cache, final_stats.get("cache", {})),
             (self.retired_search, final_stats.get("search", {})),
+            (self.retired_store, store_section),
         ):
             for key, value in section.items():
                 if isinstance(value, int):
@@ -534,7 +641,13 @@ class ProcessShardBackend(ComputeBackend):
             raise ServiceError(503, "service is shutting down")
         shard = self._shards[self.shard_for(route_key)]
         loop = asyncio.get_running_loop()
-        reply = await loop.run_in_executor(shard.dispatcher, shard.call, parsed)
+        # capture the trace context for the dispatcher thread and the worker
+        # process (contextvars cross neither boundary on their own)
+        context = current_context()
+        submitted = (time.time(), time.perf_counter()) if context is not None else None
+        reply = await loop.run_in_executor(
+            shard.dispatcher, shard.call, parsed, context, submitted
+        )
         status = reply[0]
         if status == "ok":
             return reply[1]
@@ -558,6 +671,7 @@ class ProcessShardBackend(ComputeBackend):
         """
         cache_total: Dict[str, int] = {key: 0 for key in refinement_cache.stats()}
         search_total: Dict[str, int] = {key: 0 for key in search_statistics()}
+        store_total: Dict[str, int] = {}
         per_shard: List[Dict[str, Any]] = []
         # one deadline shared by all shards: a fleet of busy shards costs
         # the probe ~1s total, not ~1s each
@@ -574,10 +688,23 @@ class ProcessShardBackend(ComputeBackend):
                 "spawns": shard.spawns,
                 "recycles": shard.recycles,
                 "crashes": shard.crashes,
+                "busy_seconds": round(shard.busy_seconds, 6),
             }
-            sections = [(cache_total, shard.retired_cache), (search_total, shard.retired_search)]
+            sections = [
+                (cache_total, shard.retired_cache),
+                (search_total, shard.retired_search),
+                (store_total, shard.retired_store),
+            ]
             if snapshot is not None:
-                sections += [(cache_total, snapshot["cache"]), (search_total, snapshot["search"])]
+                sections += [
+                    (cache_total, snapshot["cache"]),
+                    (search_total, snapshot["search"]),
+                    (store_total, {
+                        key: value
+                        for key, value in snapshot.get("store", {}).items()
+                        if key != "records"
+                    }),
+                ]
             for totals, section in sections:
                 for key, value in section.items():
                     if isinstance(value, int):
@@ -586,6 +713,7 @@ class ProcessShardBackend(ComputeBackend):
         return {
             "cache": cache_total,
             "search": search_total,
+            "store": store_total,
             "shards": {
                 "count": len(self._shards),
                 "recycle_after": self.recycle_after,
@@ -609,6 +737,45 @@ class ProcessShardBackend(ComputeBackend):
             "crashes": sum(shard.crashes for shard in self._shards),
             "dispatched": sum(shard.dispatched for shard in self._shards),
         }
+
+    def heat(self) -> List[Dict[str, Any]]:
+        """Per-shard load rows for /metrics: busy seconds, tasks, queue depth."""
+        return [
+            {
+                "shard": shard.index,
+                "busy_seconds": shard.busy_seconds,
+                "dispatched": shard.dispatched,
+                "queue_depth": shard.dispatcher._work_queue.qsize(),
+            }
+            for shard in self._shards
+        ]
+
+    def observed_counters(self) -> Dict[str, Dict[str, int]]:
+        """Search/store counters for /metrics, summed from parent-side state.
+
+        Uses the piggybacked per-job snapshots (``last_snapshot``) plus the
+        retired workers' folded totals -- no pipe round trips, so a scrape
+        never blocks on a busy shard; it lags it by at most one job.
+        """
+        search_total: Dict[str, int] = {}
+        store_total: Dict[str, int] = {}
+        for shard in self._shards:
+            snapshot = shard.last_snapshot
+            sections = [
+                (search_total, shard.retired_search),
+                (store_total, shard.retired_store),
+                (search_total, snapshot.get("search", {})),
+                (store_total, {
+                    key: value
+                    for key, value in snapshot.get("store", {}).items()
+                    if key != "records"
+                }),
+            ]
+            for totals, section in sections:
+                for key, value in section.items():
+                    if isinstance(value, int):
+                        totals[key] = totals.get(key, 0) + value
+        return {"search": search_total, "store": store_total}
 
     def close(self) -> None:
         if self._closed:

@@ -359,6 +359,18 @@ class ArtifactStore:
         return len(records)
 
     # ------------------------------------------------------------------ #
+    def io_counters(self) -> Dict[str, int]:
+        """This handle's counters only -- no manifest read, so cheap enough
+        to snapshot before/after a single evaluation (span profiling)."""
+        with self._counter_lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "puts": self._puts,
+                "bytes_read": self._bytes_read,
+                "bytes_written": self._bytes_written,
+            }
+
     def stats(self) -> Dict[str, int]:
         """Counters of this handle plus the on-disk record count."""
         # read the manifest before taking the counter lock: a corrupt

@@ -103,6 +103,40 @@ class TestBenchCommand:
         err = capsys.readouterr().err
         assert err.startswith("bench: ")
 
+    def test_profile_prints_stage_table(self, capsys):
+        assert main([
+            "bench", "--generator", "star", "--sizes", "3,4",
+            "--tasks", "S", "--format", "csv", "--profile",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("graph,"), "the table itself is unchanged"
+        assert "bench --profile: trace bench-" in captured.err
+        assert "evaluate_graph" in captured.err
+        assert "total_ms" in captured.err
+
+
+class TestSweepTraceOut:
+    def test_trace_out_writes_jsonl_spans(self, tmp_path, capsys):
+        trace_file = tmp_path / "spans.jsonl"
+        assert main([
+            "sweep", "--corpus", "mixed", "--count", "3", "--seed", "1",
+            "--tasks", "S", "--output", str(tmp_path / "out.ndjson"),
+            "--trace-out", str(trace_file),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "appended trace sweep-" in err
+        spans = [json.loads(line) for line in trace_file.read_text().splitlines()]
+        names = {span["name"] for span in spans}
+        assert "evaluate_graph" in names and "sweep" in names
+        trace_ids = {span["trace_id"] for span in spans}
+        assert len(trace_ids) == 1, "one sweep, one trace"
+
+    def test_trace_out_refuses_remote_mode(self, capsys):
+        assert main([
+            "sweep", "--url", "http://localhost:1", "--trace-out", "/tmp/x.jsonl",
+        ]) == 2
+        assert "--trace-out" in capsys.readouterr().err
+
 
 class TestServeCli:
     def test_serve_port_file_metrics_and_trace_roundtrip(self, tmp_path):
@@ -148,8 +182,8 @@ class TestServeCli:
             assert "# TYPE repro_request_seconds histogram" in scrape
             with urllib.request.urlopen(f"{base}/stats", timeout=10) as response:
                 stats = json_module.loads(response.read())
-            assert health["trace"] in {
-                entry["trace"] for entry in stats["traces"]["recent"]
+            assert health["trace_id"] in {
+                entry["trace_id"] for entry in stats["traces"]["recent"]
             }
         finally:
             process.terminate()

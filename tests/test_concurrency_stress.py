@@ -225,6 +225,18 @@ def _assert_converged(running) -> None:
         line for line in scrape.splitlines() if line.startswith("repro_window_in_flight ")
     )
     assert occupancy.endswith(" 0"), f"window slot leaked: {occupancy}"
+    # the span recorder's memory stays hard-capped no matter how hostile the
+    # schedule was; anything over the cap shows up as `dropped`, not growth
+    from repro.obs import default_recorder
+
+    recorder = default_recorder.stats()
+    assert recorder["traces"] <= recorder["max_traces"], recorder
+    assert recorder["spans"] <= recorder["max_traces"] * recorder["max_spans_per_trace"], recorder
+    # the snapshot /stats served respects the same cap; exact equality with the
+    # live recorder would race against the spans of the /stats request itself
+    span_cap = recorder["max_traces"] * recorder["max_spans_per_trace"]
+    assert 0 <= stats["traces"]["spans"] <= span_cap, stats["traces"]
+    assert stats["traces"]["dropped"] >= 0
 
 
 # --------------------------------------------------------------------------- #

@@ -189,7 +189,7 @@ def test_healthz():
         body = running.get("/healthz")
     assert body["status"] == "ok"
     # every JSON response carries the serving request's trace id
-    assert body["trace"].count("-") == 1
+    assert body["trace_id"].count("-") == 1
 
 
 def test_client_errors():

@@ -61,15 +61,15 @@ def test_corpus_sweep_items_byte_identical_to_sequential_singles():
             "status": "done",
             "ok": 11,
             "errors": 0,
-            "trace": header["trace"],
+            "trace_id": header["trace_id"],
         }
         # one request, one trace id, stamped on every line of the stream
-        assert {line["trace"] for line in lines} == {header["trace"]}
+        assert {line["trace_id"] for line in lines} == {header["trace_id"]}
         assert [line["index"] for line in items] == list(range(11))
         for payload, line in zip(expand_sweep(sweep), items):
             single = deterministic_response(running.post("/election", payload))
             streamed = {
-                k: v for k, v in line.items() if k not in ("index", "status", "trace")
+                k: v for k, v in line.items() if k not in ("index", "status", "trace_id")
             }
             assert json.dumps(streamed, sort_keys=True) == json.dumps(single, sort_keys=True)
 
@@ -107,7 +107,7 @@ def test_malformed_ndjson_items_fail_per_item_not_per_request():
         "status": "done",
         "ok": 2,
         "errors": 2,
-        "trace": lines[0]["trace"],
+        "trace_id": lines[0]["trace_id"],
     }
 
 
@@ -124,7 +124,7 @@ def test_single_line_ndjson_body_is_a_one_item_batch():
         "status": "done",
         "ok": 1,
         "errors": 0,
-        "trace": lines[0]["trace"],
+        "trace_id": lines[0]["trace_id"],
     }
 
 

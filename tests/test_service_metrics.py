@@ -17,6 +17,8 @@ from repro.service.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    parse_exposition,
+    validate_exposition,
 )
 
 
@@ -100,6 +102,85 @@ class TestRegistry:
         lines = registry.render().splitlines()
         samples = [line for line in lines if line.startswith("t_total{")]
         assert samples == sorted(samples)
+
+    def test_callback_counter_reads_at_scrape_time(self):
+        registry = MetricsRegistry()
+        live = {"dropped": 0}
+        counter = registry.counter("d_total", "d", callback=lambda: live["dropped"])
+        assert "d_total 0" in registry.render()
+        live["dropped"] = 4
+        assert "d_total 4" in registry.render()
+        with pytest.raises(ValueError):
+            counter.inc()
+
+
+# --------------------------------------------------------------------------- #
+# the exposition lint (parse_exposition / validate_exposition)
+# --------------------------------------------------------------------------- #
+class TestExpositionLint:
+    def test_parses_every_instrument_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("l_total", "c", ("k",)).inc(k="a")
+        registry.gauge("l_gauge", "g").set(2.5)
+        registry.histogram("l_seconds", "h", buckets=(0.1,)).observe(0.05)
+        families = validate_exposition(registry.render())
+        assert families["l_total"]["type"] == "counter"
+        assert families["l_total"]["samples"][("l_total", (("k", "a"),))] == 1.0
+        assert families["l_gauge"]["samples"][("l_gauge", ())] == 2.5
+        assert families["l_seconds"]["type"] == "histogram"
+
+    def test_label_escapes_round_trip(self):
+        registry = MetricsRegistry()
+        tricky = 'quote " slash \\ newline \n end'
+        registry.counter("e_total", "e", ("p",)).inc(p=tricky)
+        families = parse_exposition(registry.render())
+        ((_, labels),) = families["e_total"]["samples"]
+        assert dict(labels)["p"] == tricky
+
+    @pytest.mark.parametrize(
+        "text, complaint",
+        [
+            ("# TYPE x counter\nx 1\n", "TYPE without preceding HELP"),
+            ("# HELP x h\nx 1\n", "no TYPE"),
+            ("# HELP x h\n# TYPE x widget\n", "unknown metric kind"),
+            ("# HELP x h\n# TYPE x counter\nx 1\nx 1\n", "duplicate series"),
+            ("# HELP x h\n# TYPE x counter\nx nope\n", "unparseable sample value"),
+            ("# HELP x h\n# TYPE x counter\nx{k=\"v} 1\n", "unterminated"),
+            ("# HELP x h\n# TYPE x counter\nx{k=\"\\q\"} 1\n", "bad escape"),
+            ("# HELP x h\n# TYPE x counter\nx_bucket{le=\"1\"} 1\n", "declaration"),
+            ("# HELP 0bad h\n# TYPE 0bad counter\n0bad 1\n", "bad metric name"),
+        ],
+    )
+    def test_rejects_grammar_violations(self, text, complaint):
+        with pytest.raises(ValueError, match=complaint.split()[0]):
+            parse_exposition(text)
+
+    def test_validate_rejects_noncumulative_histogram(self):
+        text = (
+            "# HELP h_s h\n# TYPE h_s histogram\n"
+            'h_s_bucket{le="0.1"} 5\nh_s_bucket{le="+Inf"} 3\n'
+            "h_s_sum 1\nh_s_count 3\n"
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            validate_exposition(text)
+
+    def test_validate_rejects_missing_inf_bucket_and_count_mismatch(self):
+        missing_inf = (
+            "# HELP h_s h\n# TYPE h_s histogram\n"
+            'h_s_bucket{le="0.1"} 1\nh_s_sum 1\nh_s_count 1\n'
+        )
+        with pytest.raises(ValueError, match="\\+Inf bucket"):
+            validate_exposition(missing_inf)
+        mismatch = (
+            "# HELP h_s h\n# TYPE h_s histogram\n"
+            'h_s_bucket{le="+Inf"} 2\nh_s_sum 1\nh_s_count 3\n'
+        )
+        with pytest.raises(ValueError, match="!= _count"):
+            validate_exposition(mismatch)
+
+    def test_validate_rejects_negative_counter(self):
+        with pytest.raises(ValueError, match="negative counter"):
+            validate_exposition("# HELP x h\n# TYPE x counter\nx -1\n")
 
 
 # --------------------------------------------------------------------------- #
@@ -186,7 +267,7 @@ def test_trace_ids_are_unique_and_echoed_in_stats():
         traces = [
             running.post(
                 "/election", {"spec": {"kind": "star", "params": {"leaves": 3}}}
-            )["trace"]
+            )["trace_id"]
             for _ in range(3)
         ]
         stream = _post_stream(
@@ -194,14 +275,14 @@ def test_trace_ids_are_unique_and_echoed_in_stats():
         )
         stats = running.get("/stats")
     assert len(set(traces)) == 3, "every request gets its own trace id"
-    stream_traces = {line["trace"] for line in stream}
+    stream_traces = {line["trace_id"] for line in stream}
     assert len(stream_traces) == 1, "one stream, one trace id on every line"
     ring = stats["traces"]
     assert ring["issued"] >= 5
-    recent = {entry["trace"] for entry in ring["recent"]}
+    recent = {entry["trace_id"] for entry in ring["recent"]}
     assert set(traces) <= recent
     assert stream_traces <= recent
-    by_trace = {entry["trace"]: entry for entry in ring["recent"]}
+    by_trace = {entry["trace_id"]: entry for entry in ring["recent"]}
     assert by_trace[traces[0]]["path"] == "/election"
     assert by_trace[traces[0]]["status"] == 200
     assert by_trace[next(iter(stream_traces))]["path"] == "/elections"
@@ -212,9 +293,9 @@ def test_error_responses_carry_the_trace_id():
         code, body = running.post_expecting_error("/election", {"spec": {"kind": "no"}})
         stats = running.get("/stats")
     assert code == 400
-    assert body["trace"] in {entry["trace"] for entry in stats["traces"]["recent"]}
+    assert body["trace_id"] in {entry["trace_id"] for entry in stats["traces"]["recent"]}
     assert any(
-        entry["trace"] == body["trace"] and entry["status"] == 400
+        entry["trace_id"] == body["trace_id"] and entry["status"] == 400
         for entry in stats["traces"]["recent"]
     )
 
@@ -250,7 +331,7 @@ def test_malformed_sweep_ids_are_404_json_not_500(tmp_path, sweep_id):
             assert error.code == 404
             body = json.loads(error.read())
             assert "sweep id" in body["error"] or "unknown sweep" in body["error"]
-            assert "trace" in body
+            assert "trace_id" in body
         # the server survived and still answers
         assert running.get("/healthz")["status"] == "ok"
 

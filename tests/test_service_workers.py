@@ -111,7 +111,7 @@ def test_process_backend_byte_identical_to_thread_on_mixed_corpus():
     # trace ids are per-request (and per-server-nonce) by design: the only
     # field allowed to differ between the two streams
     strip = lambda lines: [
-        {k: v for k, v in line.items() if k != "trace"} for line in lines
+        {k: v for k, v in line.items() if k != "trace_id"} for line in lines
     ]
     assert json.dumps(strip(thread_lines), sort_keys=True) == json.dumps(
         strip(process_lines), sort_keys=True
