@@ -35,6 +35,13 @@ service with ``--url``)::
     repro-leader-election sweep --corpus mixed --count 200 --seed 7 \
         --url http://localhost:8765
 
+Precompute a corpus into the artifact store before serving -- resumable,
+multiprocess, sharing its sweep id and progress record with the batch
+service (``GET /sweeps/<id>``)::
+
+    repro-leader-election warm --store artifacts/ --corpus mixed --count 200 --jobs 4
+    repro-leader-election warm --store artifacts/ --spec sweep.json --compact
+
 Serve the election pipeline over HTTP (asyncio, request coalescing, warm
 starts from the artifact store, batch/streaming sweeps)::
 
@@ -223,6 +230,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="append the sweep's spans to FILE as JSONL (local mode only)",
     )
 
+    warm = sub.add_parser(
+        "warm",
+        help="precompute a corpus (or sweep spec) into the artifact store, "
+        "resumably, with the runner's multiprocessing fan-out",
+    )
+    warm.add_argument(
+        "--store",
+        metavar="DIR",
+        required=True,
+        help="artifact store to warm (created if missing)",
+    )
+    warm.add_argument(
+        "--corpus",
+        default="mixed",
+        help="named scenario corpus to expand (see repro.scenarios)",
+    )
+    warm.add_argument("--count", type=int, default=50, help="number of corpus graphs")
+    warm.add_argument("--seed", type=int, default=0, help="corpus expansion seed")
+    warm.add_argument("--spec", metavar="FILE", help="load a SweepSpec JSON instead of a corpus")
+    warm.add_argument("--tasks", default="S,PE,PPE,CPPE", help="comma-separated task codes")
+    warm.add_argument("--max-depth", type=int, default=None)
+    warm.add_argument("--max-states", type=int, default=200_000)
+    warm.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the fan-out"
+    )
+    warm.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="recompute every item even if a previous run finished some",
+    )
+    warm.add_argument(
+        "--compact",
+        action="store_true",
+        help="compact the store (GC quarantined/superseded objects) afterwards",
+    )
+    warm.add_argument(
+        "--quiet", action="store_true", help="suppress per-item progress output"
+    )
+
     serve = sub.add_parser(
         "serve",
         help="serve feasibility / ψ_Z indices / advice over HTTP (asyncio)",
@@ -269,6 +315,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the bound port here once listening (use with --port 0 "
         "for a kernel-assigned, collision-free port)",
+    )
+    serve.add_argument(
+        "--hot-tier-mb",
+        type=int,
+        default=64,
+        help="in-process hot tier of mmap'd store records per serving "
+        "process, in MiB (0 disables; requires --store)",
     )
     serve.add_argument(
         "--slow-request-s",
@@ -672,6 +725,74 @@ def _sweep_remote(args: argparse.Namespace, task_codes: List[str]) -> int:
     return 0
 
 
+def _command_warm(args: argparse.Namespace) -> int:
+    from .core import Task
+    from .runner import SweepSpec, warm_sweep
+    from .scenarios import corpus_specs
+
+    try:
+        tasks = [Task(code.strip()) for code in args.tasks.split(",") if code.strip()]
+        if args.spec:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                sweep = SweepSpec.from_json(handle.read())
+            shared = {
+                "tasks": [task.value for task in sweep.tasks],
+                "max_depth": sweep.max_depth,
+                "max_states": sweep.max_states,
+            }
+        else:
+            sweep = SweepSpec.make(
+                corpus_specs(args.count, seed=args.seed, corpus=args.corpus),
+                tasks=tasks,
+                max_depth=args.max_depth,
+                max_states=args.max_states,
+            )
+            # the shared keys a declarative service sweep of this corpus
+            # would carry -- keeps the sweep id (and progress record) equal
+            shared = {
+                "tasks": [task.value for task in tasks],
+                "max_states": args.max_states,
+            }
+            if args.max_depth is not None:
+                shared["max_depth"] = args.max_depth
+
+        def progress(done: int, total: int, label: str, status: str) -> None:
+            if not args.quiet:
+                mark = "ok" if status == "ok" else "ERROR"
+                print(f"warm [{done}/{total}] {label}: {mark}", file=sys.stderr)
+
+        report = warm_sweep(
+            sweep,
+            args.store,
+            shared=shared,
+            jobs=args.jobs,
+            resume=not args.no_resume,
+            compact=args.compact,
+            progress=progress,
+        )
+    except (ValueError, OSError) as error:
+        print(f"warm: {error}", file=sys.stderr)
+        return 2
+    stats = report.store_stats
+    print(
+        f"warm: sweep {report.sweep_id}: {report.warmed} warmed, "
+        f"{report.skipped} resumed, {report.errors} errors "
+        f"({report.total} items, jobs={report.jobs}, {report.elapsed:.3f}s); "
+        f"store holds {stats['records']} records",
+        file=sys.stderr,
+    )
+    if report.compaction is not None:
+        compaction = report.compaction
+        removed = sum(v for k, v in compaction.items() if k.startswith("removed_"))
+        print(
+            f"warm: compacted store (generation {compaction['generation']}): "
+            f"{removed} objects reclaimed, {compaction['live_records']} live",
+            file=sys.stderr,
+        )
+    print(report.sweep_id)
+    return 0 if report.errors == 0 else 1
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from .service import run_server
 
@@ -687,6 +808,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             recycle_after=args.recycle_after,
             port_file=args.port_file,
             slow_request_s=args.slow_request_s,
+            hot_tier_bytes=args.hot_tier_mb * 1024 * 1024,
         )
     except ValueError as error:
         print(f"serve: {error}", file=sys.stderr)
@@ -756,6 +878,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_bench(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "warm":
+        return _command_warm(args)
     if args.command == "serve":
         return _command_serve(args)
     if args.command == "verify":

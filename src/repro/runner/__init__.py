@@ -12,6 +12,9 @@ This subsystem turns the ad-hoc loops of the benchmark scripts into data:
   sweep out over ``multiprocessing`` workers with chunked scheduling and
   deterministic result ordering;
 * :mod:`repro.runner.results` -- byte-deterministic JSON/CSV/text tables;
+* :mod:`repro.runner.warm` -- the ``repro warm`` precompute pipeline:
+  front-load a corpus into the artifact store with the same sweep identity
+  and progress records as the batch service, resumably;
 * :mod:`repro.runner.bootstrap` -- the worker-process initializer
   (:func:`attach_store_path`) shared by the runner's ``multiprocessing``
   pool and the election service's sharded process backend.
@@ -37,8 +40,11 @@ from .runner import (
     run_sweep,
 )
 from .spec import GraphSpec, SweepSpec, graph_kinds, sized_graph_kinds
+from .warm import WarmReport, warm_sweep
 
 __all__ = [
+    "WarmReport",
+    "warm_sweep",
     "CacheEntry",
     "RefinementCache",
     "refinement_cache",

@@ -38,7 +38,10 @@ def attach_store_path(store_path: str) -> None:
 
 
 def bootstrap_worker(
-    store_path: Optional[str] = None, kernel_backend: Optional[str] = None
+    store_path: Optional[str] = None,
+    kernel_backend: Optional[str] = None,
+    hot_tier_bytes: int = 0,
+    cache_admission: Optional[str] = None,
 ) -> None:
     """Initialise one worker process (runner pool worker or service shard).
 
@@ -48,6 +51,13 @@ def bootstrap_worker(
     the choice in the initializer keeps the propagation explicit and robust
     to a scrubbed environment; ``"auto"`` is passed through as *auto*, so a
     worker without numpy still falls back rather than failing.
+
+    ``hot_tier_bytes``, when positive, enables the attached store's
+    in-process hot tier with that byte budget (service shards serving
+    repeat traffic); ``cache_admission`` selects the refinement cache's
+    admission policy (e.g. ``"second-touch"`` for zipf-shaped service
+    traffic) -- both are no-ops by default so runner pool workers keep the
+    historical sweep-oriented behaviour.
     """
     if kernel_backend is not None:
         from ..kernel.backend import set_backend  # lazy: keep workers import-light
@@ -55,3 +65,7 @@ def bootstrap_worker(
         set_backend(kernel_backend)
     if store_path is not None:
         attach_store_path(store_path)
+        if hot_tier_bytes > 0 and refinement_cache.store is not None:
+            refinement_cache.store.enable_hot_tier(hot_tier_bytes)
+    if cache_admission is not None:
+        refinement_cache.set_admission(cache_admission)

@@ -123,7 +123,7 @@ class RefinementCache:
     process), which avoids the issue entirely.
     """
 
-    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE, *, admission: str = "always") -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be at least 1")
         self._maxsize = maxsize
@@ -140,11 +140,46 @@ class RefinementCache:
         self._store: Optional[ArtifactStore] = None
         self._store_hits = 0
         self._store_misses = 0
+        # admission policy state (see set_admission)
+        self._admission = ""
+        self._probation: "OrderedDict[str, List[CacheEntry]]" = OrderedDict()
+        self._probation_entries = 0
+        self._admissions = 0
+        self._admission_rejects = 0
+        self.set_admission(admission)
 
     # ------------------------------------------------------------------ #
     @property
     def maxsize(self) -> int:
         return self._maxsize
+
+    @property
+    def admission(self) -> str:
+        return self._admission
+
+    def set_admission(self, policy: str) -> str:
+        """Select the admission policy; returns the previous one.
+
+        ``"always"`` (the default) admits every miss straight into the main
+        LRU -- the historical behaviour, right for sweeps that enumerate
+        distinct graphs once each.  ``"second-touch"`` is frequency-
+        observing, for zipf-shaped service traffic: a first-touch entry
+        lands in a small probation FIFO and is promoted to the main LRU
+        only when a *second request* asks for it, so a stream of one-hit
+        wonders churns the probation ring instead of evicting hot
+        residents.  Internal lookups (the write-through of
+        :meth:`persist`) deliberately do not count as request touches.
+        """
+        if policy not in ("always", "second-touch"):
+            raise ValueError(f"unknown admission policy: {policy!r}")
+        with self._lock:
+            previous, self._admission = self._admission, policy
+        return previous
+
+    def _probation_capacity(self) -> int:
+        # big enough that an entry survives until its own write-through,
+        # small enough that scan traffic cannot hold meaningful memory
+        return min(8, self._maxsize)
 
     def __len__(self) -> int:
         with self._lock:
@@ -162,6 +197,9 @@ class RefinementCache:
         concurrent threads asking for the same graph trigger one disk read,
         not several.
         """
+        return self._entry(graph, request=True)
+
+    def _entry(self, graph: PortLabeledGraph, *, request: bool) -> CacheEntry:
         key = graph.cache_key()
         with self._lock:
             bucket = self._buckets.get(key)
@@ -170,6 +208,20 @@ class RefinementCache:
                 for stored in bucket:
                     if stored.graph == graph:
                         self._hits += 1
+                        return stored
+            probation_bucket = self._probation.get(key)
+            if probation_bucket is not None:
+                for stored in probation_bucket:
+                    if stored.graph == graph:
+                        self._hits += 1
+                        if request:
+                            # second observed request: promote to the main LRU
+                            probation_bucket.remove(stored)
+                            if not probation_bucket:
+                                del self._probation[key]
+                            self._probation_entries -= 1
+                            self._admit_locked(key, stored)
+                            self._admissions += 1
                         return stored
             self._misses += 1
             memo_seed = None
@@ -184,36 +236,60 @@ class RefinementCache:
             entry = CacheEntry(graph, ViewRefinement(graph))
             if memo_seed:
                 entry.memo.update(memo_seed)
-            if bucket is None:
-                self._buckets[key] = [entry]
+            if self._admission == "second-touch":
+                self._probation.setdefault(key, []).append(entry)
+                self._probation_entries += 1
+                while self._probation_entries > self._probation_capacity():
+                    oldest_key = next(iter(self._probation))
+                    oldest_bucket = self._probation[oldest_key]
+                    rejected = oldest_bucket.pop(0)
+                    if not oldest_bucket:
+                        del self._probation[oldest_key]
+                    self._probation_entries -= 1
+                    self._admission_rejects += 1
+                    # keep refinement_passes monotone across the drop
+                    self._evicted_passes += rejected.refinement.passes
+                    self._evicted_bytes += rejected.estimated_bytes()
             else:
-                bucket.append(entry)
-            self._num_entries += 1
-            while self._num_entries > self._maxsize:
-                # evict the oldest entry of the least-recently-used bucket;
-                # the entry's kernel objects (CSR, block-cut tree, BFS
-                # distance arrays) go with it, and their footprint is
-                # accounted in evicted_bytes
-                oldest_key = next(iter(self._buckets))
-                oldest_bucket = self._buckets[oldest_key]
-                evicted = oldest_bucket.pop(0)
-                if not oldest_bucket:
-                    del self._buckets[oldest_key]
-                self._num_entries -= 1
-                self._evictions += 1
-                self._evicted_passes += evicted.refinement.passes
-                self._evicted_bytes += evicted.estimated_bytes()
+                self._admit_locked(key, entry)
             return entry
+
+    def _admit_locked(self, key: str, entry: CacheEntry) -> None:
+        """Insert ``entry`` into the main LRU and evict down to ``maxsize``."""
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [entry]
+        else:
+            bucket.append(entry)
+        self._buckets.move_to_end(key)
+        self._num_entries += 1
+        while self._num_entries > self._maxsize:
+            # evict the oldest entry of the least-recently-used bucket;
+            # the entry's kernel objects (CSR, block-cut tree, BFS
+            # distance arrays) go with it, and their footprint is
+            # accounted in evicted_bytes
+            oldest_key = next(iter(self._buckets))
+            oldest_bucket = self._buckets[oldest_key]
+            evicted = oldest_bucket.pop(0)
+            if not oldest_bucket:
+                del self._buckets[oldest_key]
+            self._num_entries -= 1
+            self._evictions += 1
+            self._evicted_passes += evicted.refinement.passes
+            self._evicted_bytes += evicted.estimated_bytes()
 
     def get(self, graph: PortLabeledGraph) -> ViewRefinement:
         """The memoised refinement of ``graph`` (created on first request)."""
         return self.entry(graph).refinement
 
     def clear(self) -> None:
-        """Drop all entries and reset the counters (the store stays attached)."""
+        """Drop all entries and reset the counters (the store and the
+        admission policy stay as configured)."""
         with self._lock:
             self._buckets.clear()
             self._num_entries = 0
+            self._probation.clear()
+            self._probation_entries = 0
             self._hits = 0
             self._misses = 0
             self._evictions = 0
@@ -221,6 +297,8 @@ class RefinementCache:
             self._evicted_bytes = 0
             self._store_hits = 0
             self._store_misses = 0
+            self._admissions = 0
+            self._admission_rejects = 0
 
     # ------------------------------------------------------------------ #
     # persistent store backend
@@ -253,7 +331,10 @@ class RefinementCache:
         store = self._store
         if store is None:
             return False
-        entry = self.entry(graph)
+        # an internal lookup, not a request: under "second-touch" admission
+        # the write-through of a freshly computed entry must not count as
+        # the promoting touch, or every one-hit item would self-admit
+        entry = self._entry(graph, request=False)
         record = ArtifactRecord.from_computed(
             entry.graph, memo=entry.memo, include_advice=include_advice
         )
@@ -275,6 +356,7 @@ class RefinementCache:
             return 0
         with self._lock:
             entries = [entry for bucket in self._buckets.values() for entry in bucket]
+            entries += [entry for bucket in self._probation.values() for entry in bucket]
         written = 0
         for entry in entries:
             if self.persist(entry.graph):
@@ -309,6 +391,11 @@ class RefinementCache:
                 for bucket in self._buckets.values()
                 for entry in bucket
             )
+            live += sum(
+                entry.refinement.passes
+                for bucket in self._probation.values()
+                for entry in bucket
+            )
             return live + self._evicted_passes
 
     @property
@@ -326,12 +413,26 @@ class RefinementCache:
         """In-memory misses the attached store could not serve either."""
         return self._store_misses
 
+    @property
+    def admissions(self) -> int:
+        """Probation entries promoted to the main LRU by a second request."""
+        return self._admissions
+
+    @property
+    def admission_rejects(self) -> int:
+        """Probation entries dropped without ever earning a second request."""
+        return self._admission_rejects
+
     def live_bytes(self) -> int:
         """Estimated retained footprint of all live entries (bytes)."""
         with self._lock:
             return sum(
                 entry.estimated_bytes()
                 for bucket in self._buckets.values()
+                for entry in bucket
+            ) + sum(
+                entry.estimated_bytes()
+                for bucket in self._probation.values()
                 for entry in bucket
             )
 
@@ -348,6 +449,9 @@ class RefinementCache:
             "live_bytes": self.live_bytes(),
             "store_hits": self.store_hits,
             "store_misses": self.store_misses,
+            "probation": self._probation_entries,
+            "admissions": self.admissions,
+            "admission_rejects": self.admission_rejects,
         }
 
 

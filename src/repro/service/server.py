@@ -610,6 +610,7 @@ def run_server(
     recycle_after: Optional[int] = None,
     port_file: Optional[str] = None,
     slow_request_s: Optional[float] = None,
+    hot_tier_bytes: int = 0,
 ) -> None:
     """Blocking entry point behind ``repro-leader-election serve``.
 
@@ -617,6 +618,10 @@ def run_server(
     once the listener is up -- the scripting hook that lets harnesses run
     with ``--port 0`` (kernel-assigned, collision-free) and still find the
     server, instead of hard-coding ports that collide across CI legs.
+
+    ``hot_tier_bytes`` (with a store) enables traffic-shaped serving: the
+    store's in-process hot tier plus second-touch cache admission -- see
+    :class:`~repro.service.service.ElectionService`.
     """
     from ..store import ArtifactStore
 
@@ -628,13 +633,22 @@ def run_server(
         backend=backend,
         shards=shards,
         recycle_after=recycle_after,
+        hot_tier_bytes=hot_tier_bytes,
     )
     server = ElectionServer(service, host=host, port=port, slow_request_s=slow_request_s)
 
     async def _main() -> None:
         await server.start()
         location = f"http://{host}:{server.port}"
-        store_note = f", store={store.root}" if store is not None else ", no store"
+        if store is not None:
+            hot_note = (
+                f", hot_tier={service.hot_tier_bytes // (1024 * 1024)}MB"
+                if service.hot_tier_bytes
+                else ""
+            )
+            store_note = f", store={store.root}{hot_note}"
+        else:
+            store_note = ", no store"
         if service.backend == "process":
             backend_note = f"backend=process, shards={service.concurrency}"
         else:

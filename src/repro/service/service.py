@@ -166,6 +166,15 @@ class ElectionService:
     recycle_after:
         Process-backend: retire a shard worker after this many tasks
         (defaults to :data:`repro.service.workers.DEFAULT_RECYCLE_AFTER`).
+    hot_tier_bytes:
+        When positive and a store is attached, serving is *traffic-shaped*:
+        the store's in-process hot tier is enabled with this byte budget
+        (repeat fingerprints decode from mmap'd residents instead of
+        re-reading disk), and the refinement cache switches to the
+        frequency-observing ``"second-touch"`` admission policy for the
+        service's lifetime (restored by :meth:`close`).  Shard workers of
+        the process backend get both via their bootstrap.  ``0`` (the
+        default) keeps the historical cold-path behaviour.
     """
 
     def __init__(
@@ -178,6 +187,7 @@ class ElectionService:
         backend: str = "thread",
         shards: Optional[int] = None,
         recycle_after: Optional[int] = None,
+        hot_tier_bytes: int = 0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -190,6 +200,11 @@ class ElectionService:
         self._default_max_states = default_max_states
         self._compute_delay = compute_delay
         self._closed = False
+        hot = hot_tier_bytes if (hot_tier_bytes > 0 and store is not None) else 0
+        self._hot_tier_bytes = hot
+        self._prior_admission: Optional[str] = None
+        if hot:
+            store.enable_hot_tier(hot)
         self._backend: worker_backends.ComputeBackend
         if backend == "process":
             try:
@@ -198,6 +213,8 @@ class ElectionService:
                     store_path=store.root if store is not None else None,
                     compute_delay=compute_delay,
                     recycle_after=recycle_after,
+                    hot_tier_bytes=hot,
+                    cache_admission="second-touch" if hot else None,
                 )
             except (ImportError, NotImplementedError, OSError) as error:
                 # e.g. a platform without working multiprocessing primitives;
@@ -218,6 +235,8 @@ class ElectionService:
             # thread backend computes in this process: back the process-wide
             # cache; shard workers attach their own cache in bootstrap instead
             refinement_cache.attach_store(store)
+            if hot:
+                self._prior_admission = refinement_cache.set_admission("second-touch")
         self._inflight: Dict[str, asyncio.Future] = {}
         self._counters = {
             "requests": 0,
@@ -235,6 +254,11 @@ class ElectionService:
     @property
     def workers(self) -> int:
         return self._workers
+
+    @property
+    def hot_tier_bytes(self) -> int:
+        """The hot-tier byte budget serving was configured with (0 = cold)."""
+        return self._hot_tier_bytes
 
     @property
     def backend(self) -> str:
@@ -320,8 +344,16 @@ class ElectionService:
             return
         self._closed = True
         self._backend.close()
-        if self._store is not None and refinement_cache.store is self._store:
-            refinement_cache.attach_store(None)
+        if self._prior_admission is not None:
+            refinement_cache.set_admission(self._prior_admission)
+            self._prior_admission = None
+        if self._store is not None:
+            # release the hot tier's mapped buffers; already-decoded records
+            # stay valid (decode copies out of the mapping) and the store
+            # itself remains usable cold
+            self._store.close()
+            if refinement_cache.store is self._store:
+                refinement_cache.attach_store(None)
 
     # ------------------------------------------------------------------ #
     # /election
@@ -460,6 +492,7 @@ class ElectionService:
                 concurrency=self._backend.concurrency,
                 compute_delay=self._compute_delay,
                 kernel_backend=active_backend(),
+                hot_tier_bytes=self._hot_tier_bytes,
             ),
             "cache": backend_stats["cache"],
             "search": backend_stats["search"],

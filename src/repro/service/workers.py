@@ -235,9 +235,16 @@ def _shard_main(
     compute_delay: float,
     recycle_after: int,
     kernel_backend: Optional[str] = None,
+    hot_tier_bytes: int = 0,
+    cache_admission: Optional[str] = None,
 ) -> None:
     """One shard worker: serve jobs off a pipe until recycled or told to exit."""
-    bootstrap_worker(store_path, kernel_backend)
+    bootstrap_worker(
+        store_path,
+        kernel_backend,
+        hot_tier_bytes=hot_tier_bytes,
+        cache_admission=cache_admission,
+    )
     jobs_done = 0
     while True:
         try:
@@ -302,12 +309,16 @@ class _Shard:
         store_path: Optional[str],
         compute_delay: float,
         recycle_after: int,
+        hot_tier_bytes: int = 0,
+        cache_admission: Optional[str] = None,
     ) -> None:
         self.index = index
         self._context = context
         self._store_path = store_path
         self._compute_delay = compute_delay
         self._recycle_after = recycle_after
+        self._hot_tier_bytes = hot_tier_bytes
+        self._cache_admission = cache_admission
         self._lock = threading.Lock()
         self.dispatcher = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"repro-shard-{index}"
@@ -348,6 +359,8 @@ class _Shard:
                 # the parent's backend *request* (not its resolution), so a
                 # shard without numpy falls back instead of failing
                 os.environ.get(BACKEND_ENV_VAR, "auto"),
+                self._hot_tier_bytes,
+                self._cache_admission,
             ),
             name=f"repro-shard-{self.index}",
             daemon=True,
@@ -589,6 +602,8 @@ class ProcessShardBackend(ComputeBackend):
         compute_delay: float = 0.0,
         recycle_after: Optional[int] = None,
         start_method: Optional[str] = None,
+        hot_tier_bytes: int = 0,
+        cache_admission: Optional[str] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be at least 1")
@@ -610,6 +625,8 @@ class ProcessShardBackend(ComputeBackend):
                 store_path=store_path,
                 compute_delay=compute_delay,
                 recycle_after=recycle_after,
+                hot_tier_bytes=hot_tier_bytes,
+                cache_admission=cache_admission,
             )
             for index in range(shards)
         ]

@@ -25,7 +25,14 @@ warm-start from disk: a cold process pointed at a populated store replays a
 sweep with zero refinement passes.
 """
 
+from .hottier import DEFAULT_HOT_TIER_BYTES, HotTier
 from .record import FORMAT_VERSION, ArtifactRecord
 from .store import ArtifactStore
 
-__all__ = ["ArtifactRecord", "ArtifactStore", "FORMAT_VERSION"]
+__all__ = [
+    "ArtifactRecord",
+    "ArtifactStore",
+    "DEFAULT_HOT_TIER_BYTES",
+    "FORMAT_VERSION",
+    "HotTier",
+]

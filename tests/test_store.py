@@ -295,16 +295,85 @@ class TestArtifactStore:
         assert fresh.stats()["records"] == 3
         assert fresh.stats()["manifest_rebuilds"] == 0
 
-    def test_corrupt_object_is_detected(self, tmp_path):
+    @pytest.mark.parametrize(
+        "corruption",
+        ["garbage", "truncated", "empty", "misplaced"],
+    )
+    def test_corrupt_object_is_quarantined_as_a_miss(self, tmp_path, corruption):
+        """A torn or misplaced object must never crash the caller.
+
+        ``get`` validates the decode behind the read: the bad object is
+        counted as a miss (``corrupt_objects``), moved to a ``*.quarantine``
+        sibling off the read path, and reported as ``None`` so the caller
+        falls through to recompute.
+        """
         store = ArtifactStore(str(tmp_path))
         record = _computed_record(generators.star_graph(3))
         store.put(record)
         path = os.path.join(str(tmp_path), "objects", record.fingerprint[:2],
                             record.fingerprint + ".rple")
+        if corruption == "garbage":
+            bad = b"\x00\xff garbage \xfe"
+        elif corruption == "truncated":
+            bad = record.to_bytes()[: len(record.to_bytes()) // 2]
+        elif corruption == "empty":
+            bad = b""
+        else:  # misplaced: a valid record of a *different* graph
+            refinement_cache.clear()
+            bad = _computed_record(generators.asymmetric_cycle(7)).to_bytes()
         with open(path, "wb") as handle:
-            handle.write(b"garbage")
-        with pytest.raises(ValueError):
-            store.get(record.fingerprint)
+            handle.write(bad)
+
+        before = store.stats()
+        assert store.get(record.fingerprint) is None
+        stats = store.stats()
+        assert stats["corrupt_objects"] == 1
+        assert stats["misses"] == before["misses"] + 1
+        assert stats["hits"] == before["hits"]  # the pre-decode hit was re-booked
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".quarantine")
+        # the slot is now a plain miss; a write-through heals it
+        assert store.get(record.fingerprint) is None
+        assert store.stats()["corrupt_objects"] == 1
+        assert store.put(record) is True
+        healed = store.get(record.fingerprint)
+        assert healed is not None and healed.graph == record.graph
+
+    def test_unreadable_object_is_a_miss_not_an_error(self, tmp_path, monkeypatch):
+        """Any ``OSError`` on the object read degrades to a miss.
+
+        ``IsADirectoryError`` (compaction or an operator put a directory on
+        the path) and ``PermissionError`` (permissions clamped mid-deploy)
+        used to escape to the caller as 500s from the service.
+        """
+        store = ArtifactStore(str(tmp_path))
+        record = _computed_record(generators.star_graph(3))
+        store.put(record)
+        path = store._object_path(record.fingerprint)
+
+        os.unlink(path)
+        os.makedirs(path)  # a directory squatting on the object path
+        assert store.get_bytes(record.fingerprint) is None
+        assert store.get(record.fingerprint) is None
+        os.rmdir(path)
+
+        import builtins
+
+        real_open = builtins.open
+
+        def denying_open(file, *args, **kwargs):
+            if str(file) == path:
+                raise PermissionError(13, "Permission denied", str(file))
+            return real_open(file, *args, **kwargs)
+
+        store.put(record)
+        monkeypatch.setattr(builtins, "open", denying_open)
+        before = store.stats()["misses"]
+        assert store.get_bytes(record.fingerprint) is None
+        assert store.get(record.fingerprint) is None
+        monkeypatch.setattr(builtins, "open", real_open)
+        assert store.stats()["misses"] >= before + 2
+        assert store.get(record.fingerprint) is not None  # nothing quarantined
 
     def test_concurrent_readers_and_writers(self, tmp_path):
         """Torn reads must be impossible: writers replace atomically."""
@@ -344,6 +413,287 @@ class TestArtifactStore:
             thread.join()
         assert not errors
         assert ArtifactStore(str(tmp_path)).stats()["records"] == 4
+
+
+class TestManifestStatKeying:
+    def test_same_mtime_same_size_rewrite_is_detected(self, tmp_path):
+        """The stale-index regression: the manifest cache used to be keyed
+        on ``mtime_ns`` alone, so a rewrite landing within one mtime tick
+        (and here, pinned to the *same* ``mtime_ns`` and padded to the same
+        size) served the old index forever.  The stat-triple key includes
+        the inode, which ``os.replace`` changes on every rewrite.
+        """
+        import json
+
+        store = ArtifactStore(str(tmp_path))
+        store.put(_computed_record(generators.asymmetric_cycle(7)))
+        reader = ArtifactStore(str(tmp_path))
+        assert reader.stats()["records"] == 1  # populate the reader's cache
+
+        manifest_path = os.path.join(str(tmp_path), "manifest.json")
+        stat = os.stat(manifest_path)
+        with open(manifest_path, "rb") as handle:
+            original = handle.read()
+        manifest = json.loads(original)
+        manifest["records"] = {}
+        rewritten = (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode()
+        assert len(rewritten) < len(original)
+        rewritten += b" " * (len(original) - len(rewritten))  # identical size
+        tmp = manifest_path + ".tmp.test"
+        with open(tmp, "wb") as handle:
+            handle.write(rewritten)
+        os.replace(tmp, manifest_path)
+        os.utime(manifest_path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        assert os.stat(manifest_path).st_mtime_ns == stat.st_mtime_ns
+        assert os.stat(manifest_path).st_size == stat.st_size
+
+        assert reader.stats()["records"] == 0, "stale manifest cache served"
+
+    def test_generation_advances_on_rebuild_and_compaction(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put(_computed_record(generators.asymmetric_cycle(7)))
+        assert store.generation() == 0
+        store.rebuild_manifest()
+        assert store.generation() == 1
+        summary = store.compact()
+        assert summary["generation"] == 2
+        assert store.generation() == 2
+
+
+class TestCompaction:
+    def test_compact_reclaims_debris_and_preserves_live_records(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        records = []
+        for graph in _sample_graphs()[:2]:
+            record = _computed_record(graph)
+            store.put(record)
+            records.append(record)
+            refinement_cache.clear()
+        baseline = {r.fingerprint: store.get_bytes(r.fingerprint) for r in records}
+
+        objects = os.path.join(str(tmp_path), "objects")
+        # a quarantined object (as the corrupt-read path leaves behind)
+        quarantined = os.path.join(objects, "aa")
+        os.makedirs(quarantined, exist_ok=True)
+        with open(os.path.join(quarantined, "aa" * 32 + ".rple.quarantine"), "wb") as handle:
+            handle.write(b"old corpse")
+        # a corrupt object that predates the quarantine path
+        with open(os.path.join(quarantined, "ab" * 32 + ".rple"), "wb") as handle:
+            handle.write(b"torn write")
+        # a stale temp file from a crashed writer
+        stale_tmp = os.path.join(quarantined, "ac" * 32 + ".rple.tmp.999.1")
+        with open(stale_tmp, "wb") as handle:
+            handle.write(b"half a record")
+        os.utime(stale_tmp, (1, 1))
+        # a *fresh* temp file must survive (a live writer may own it)
+        fresh_tmp = os.path.join(quarantined, "ad" * 32 + ".rple.tmp.999.2")
+        with open(fresh_tmp, "wb") as handle:
+            handle.write(b"in flight")
+
+        summary = store.compact()
+        assert summary["removed_quarantined"] == 1
+        assert summary["removed_corrupt"] == 1
+        assert summary["removed_tmp"] == 1
+        assert summary["removed_spills"] == 0
+        assert summary["live_records"] == 2
+        assert os.path.exists(fresh_tmp)
+        stats = store.stats()
+        assert stats["compactions"] == 1 and stats["compacted_objects"] == 3
+        # live objects are byte-for-byte untouched and still resolve
+        for fingerprint, payload in baseline.items():
+            assert store.get_bytes(fingerprint) == payload
+        assert ArtifactStore(str(tmp_path)).load_for_graph(_sample_graphs()[0]) is not None
+
+    def test_compact_merges_and_drops_superseded_spills(self, tmp_path):
+        """A spill whose labeled graph the primary now holds is redundant --
+        but its memo entries must be folded into the primary, not dropped."""
+        store = ArtifactStore(str(tmp_path))
+        graph = generators.asymmetric_cycle(7)
+        primary = _computed_record(graph, tasks=("S",))
+        store.put(primary)
+        relabeled = graph.relabeled(list(range(graph.num_nodes))[::-1])
+        refinement_cache.clear()
+        spill_record = _computed_record(relabeled, tasks=("S", "PE"))
+        store.put(spill_record)  # different labeling: spills
+        assert store.stats()["put_spills"] == 1
+        # the primary is torn and a later writer of the *relabeled* graph
+        # replaces it -- the spill is now superseded by its own primary
+        primary_path = store._object_path(graph.fingerprint())
+        with open(primary_path, "wb") as handle:
+            handle.write(b"torn")
+        refinement_cache.clear()
+        small = _computed_record(relabeled, tasks=("S",))
+        store.put(small)
+
+        summary = store.compact()
+        assert summary["removed_spills"] == 1
+        assert summary["live_records"] == 1
+        survivor = ArtifactStore(str(tmp_path)).load_for_graph(relabeled)
+        assert survivor is not None and survivor.graph == relabeled
+        assert {entry[0] for entry in survivor.psi} == {"S", "PE"}
+
+    def test_distinct_spills_survive_compaction(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        plain = generators.torus_graph(3, 4)
+        twisted = generators.twisted_torus_graph(3, 4, 1)
+        store.put(_computed_record(plain))
+        refinement_cache.clear()
+        store.put(_computed_record(twisted))
+        summary = store.compact()
+        assert summary["removed_spills"] == 0
+        assert summary["live_records"] == 2
+        for original in (generators.torus_graph(3, 4), generators.twisted_torus_graph(3, 4, 1)):
+            found = store.load_for_graph(original)
+            assert found is not None and found.graph == original
+
+
+class TestHotTier:
+    def test_admit_on_second_touch_serves_from_memory(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), hot_tier_bytes=1 << 20)
+        record = _computed_record(generators.asymmetric_cycle(7))
+        store.put(record)
+        key = record.fingerprint
+
+        first = store.get(key)  # touch 1: doorkeeper only
+        assert store.stats()["hot_entries"] == 0
+        second = store.get(key)  # touch 2: admitted
+        assert store.stats()["hot_entries"] == 1
+        read_bytes = store.stats()["bytes_read"]
+        third = store.get(key)  # resident: no filesystem at all
+        stats = store.stats()
+        assert stats["hot_hits"] == 1
+        assert stats["bytes_read"] == read_bytes
+        assert third is second  # the decoded resident is reused as-is
+        for loaded in (first, second, third):
+            assert loaded.graph == record.graph
+            assert loaded.to_bytes() == record.to_bytes()
+
+    def test_put_invalidates_resident(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), hot_tier_bytes=1 << 20)
+        graph = generators.asymmetric_cycle(7)
+        record = _computed_record(graph, tasks=("S",))
+        store.put(record)
+        store.get(record.fingerprint)
+        store.get(record.fingerprint)  # resident now
+        refinement_cache.clear()
+        merged = record.merged_with(_computed_record(graph, tasks=("PE",)))
+        assert store.put(merged) is True
+        loaded = store.get(record.fingerprint)
+        assert {entry[0] for entry in loaded.psi} == {"S", "PE"}
+
+    def test_byte_budget_evicts_lru(self, tmp_path):
+        record_a = _computed_record(generators.asymmetric_cycle(7))
+        refinement_cache.clear()
+        record_b = _computed_record(generators.star_graph(5))
+        budget = len(record_a.to_bytes()) + len(record_b.to_bytes()) - 1
+        store = ArtifactStore(str(tmp_path), hot_tier_bytes=budget)
+        store.put(record_a)
+        store.put(record_b)
+        for _ in range(2):
+            store.get(record_a.fingerprint)
+        assert store.stats()["hot_entries"] == 1
+        for _ in range(2):
+            store.get(record_b.fingerprint)
+        stats = store.stats()
+        assert stats["hot_entries"] == 1  # A was evicted to fit B
+        assert stats["hot_evictions"] == 1
+        assert stats["hot_bytes"] <= budget
+        # the evicted key still reads fine from disk
+        assert store.get(record_a.fingerprint) is not None
+
+    def test_decoded_records_outlive_close(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), hot_tier_bytes=1 << 20)
+        record = _computed_record(generators.asymmetric_cycle(7))
+        store.put(record)
+        store.get(record.fingerprint)
+        resident = store.get(record.fingerprint)
+        assert store.stats()["hot_entries"] == 1
+        store.close()
+        assert store.hot_tier is None
+        # the mmap is released, but the decoded record copied its arrays out
+        fresh = generators.asymmetric_cycle(7)
+        assert resident.graph == fresh
+        resident.adopt_onto(fresh)
+        assert fresh.refinement_engine().passes == 0
+        # the store still works, just cold
+        assert store.get(record.fingerprint) is not None
+
+    def test_corrupt_object_is_never_admitted(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), hot_tier_bytes=1 << 20)
+        record = _computed_record(generators.star_graph(3))
+        store.put(record)
+        path = store._object_path(record.fingerprint)
+        with open(path, "wb") as handle:
+            handle.write(b"garbage")
+        for _ in range(3):
+            assert store.get(record.fingerprint) is None
+        assert store.stats()["hot_entries"] == 0
+
+
+class TestAdmissionPolicy:
+    def test_always_is_the_default_and_admits_immediately(self):
+        cache = RefinementCache(maxsize=2)
+        assert cache.admission == "always"
+        cache.entry(generators.asymmetric_cycle(6))
+        assert len(cache) == 1
+        assert cache.stats()["probation"] == 0
+
+    def test_second_touch_promotes_only_repeat_requests(self):
+        cache = RefinementCache(maxsize=4, admission="second-touch")
+        hot = generators.asymmetric_cycle(7)
+        cache.entry(hot)  # touch 1: probation
+        assert len(cache) == 0
+        assert cache.stats()["probation"] == 1
+        promoted = cache.entry(hot)  # touch 2: promoted
+        assert len(cache) == 1
+        stats = cache.stats()
+        assert stats["probation"] == 0
+        assert stats["admissions"] == 1
+        assert promoted.graph == hot
+
+    def test_one_hit_wonders_cannot_evict_hot_residents(self):
+        cache = RefinementCache(maxsize=2, admission="second-touch")
+        hot = generators.asymmetric_cycle(7)
+        cache.entry(hot)
+        cache.entry(hot)  # resident
+        resident = cache.entry(hot)
+        for n in range(6, 12):  # a scan of one-hit wonders
+            cache.entry(generators.random_connected_graph(n, extra_edges=2, seed=n))
+        stats = cache.stats()
+        assert stats["evictions"] == 0  # the main LRU never churned
+        assert stats["admission_rejects"] > 0
+        assert cache.entry(hot) is resident
+
+    def test_refinement_passes_stay_monotone_across_probation_drops(self):
+        cache = RefinementCache(maxsize=2, admission="second-touch")
+        for n in range(6, 18):
+            entry = cache.entry(generators.asymmetric_cycle(n))
+            entry.refinement.ensure_stable()
+        assert cache.stats()["admission_rejects"] > 0
+        passes = cache.refinement_passes
+        assert passes > 0
+        cache.entry(generators.asymmetric_cycle(6))
+        assert cache.refinement_passes >= passes
+
+    def test_persist_does_not_count_as_the_promoting_touch(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        cache = RefinementCache(maxsize=4, admission="second-touch")
+        cache.attach_store(store)
+        graph = generators.asymmetric_cycle(7)
+        entry = cache.entry(graph)  # touch 1
+        entry.memo[("feasible",)] = True
+        assert cache.persist(graph) is True  # write-through: not a touch
+        assert len(cache) == 0, "persist must not promote a one-touch entry"
+        assert cache.stats()["probation"] == 1
+        cache.entry(graph)  # the genuine second request promotes
+        assert len(cache) == 1
+
+    def test_set_admission_round_trips(self):
+        cache = RefinementCache(maxsize=2)
+        assert cache.set_admission("second-touch") == "always"
+        assert cache.set_admission("always") == "second-touch"
+        with pytest.raises(ValueError):
+            cache.set_admission("clairvoyant")
 
 
 class TestCacheStoreIntegration:
