@@ -229,6 +229,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="append the sweep's spans to FILE as JSONL (local mode only)",
     )
+    sweep.add_argument(
+        "--mutate",
+        action="store_true",
+        help="dynamic-graph mode: expand each corpus graph into seeded "
+        "cumulative mutation streams and sweep the {base, delta} items "
+        "(delta-replayed against the base instead of recomputed cold)",
+    )
+    sweep.add_argument(
+        "--mutations-per-graph",
+        type=int,
+        default=3,
+        metavar="N",
+        help="--mutate: edit-script steps per corpus graph (default 3)",
+    )
+    sweep.add_argument(
+        "--mutation-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="--mutate: mutation-stream seed (defaults to --seed)",
+    )
 
     warm = sub.add_parser(
         "warm",
@@ -330,6 +351,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="log requests slower than this many seconds to stderr with "
         "their trace id (default 1.0; env REPRO_SLOW_REQUEST_S)",
     )
+    serve.add_argument(
+        "--compact-interval-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="compact the store (GC quarantined/superseded objects, under "
+        "the manifest flock) every SECONDS while serving; requires --store. "
+        "Runs surface as repro_store_events{event=\"compactions\"} on /metrics",
+    )
 
     verify = sub.add_parser(
         "verify",
@@ -345,7 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--protocol",
         action="append",
         default=[],
-        choices=["batch", "worker"],
+        choices=["batch", "worker", "delta"],
         help="check only this protocol (repeatable; skips the mutant gate)",
     )
     verify.add_argument(
@@ -605,6 +635,18 @@ def _command_sweep(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"sweep: {error}", file=sys.stderr)
         return 2
+    if args.mutate:
+        if args.spec:
+            print(
+                "sweep: --mutate expands a named corpus into mutation streams; "
+                "it cannot be combined with --spec",
+                file=sys.stderr,
+            )
+            return 2
+        if args.trace_out is not None:
+            print("sweep: --mutate cannot be combined with --trace-out", file=sys.stderr)
+            return 2
+        return _sweep_mutate(args, tasks)
     if args.url is not None:
         if args.trace_out is not None:
             print(
@@ -661,11 +703,116 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _sweep_remote(args: argparse.Namespace, task_codes: List[str]) -> int:
-    """POST the sweep to a running batch service and relay its NDJSON stream."""
+def _sweep_mutate(args: argparse.Namespace, tasks) -> int:
+    """``sweep --mutate``: stream a dynamic-graph sweep of ``{base, delta}`` items.
+
+    Expands the corpus, generates seeded cumulative mutation streams per
+    graph, and evaluates each item through the service's delta path --
+    locally via :func:`~repro.service.service.compute_election` (the exact
+    worker-side code a server would run, so results are byte-identical), or
+    remotely by POSTing the items to a running ``/elections`` endpoint.
+    """
+    from .scenarios import corpus_specs, mutation_sweep_items
+
+    if args.mutations_per_graph < 1:
+        print("sweep: --mutations-per-graph must be at least 1", file=sys.stderr)
+        return 2
+    mutation_seed = args.mutation_seed if args.mutation_seed is not None else args.seed
+    try:
+        specs = corpus_specs(args.count, seed=args.seed, corpus=args.corpus)
+        items = mutation_sweep_items(
+            specs, seed=mutation_seed, per_graph=args.mutations_per_graph
+        )
+    except ValueError as error:
+        print(f"sweep: {error}", file=sys.stderr)
+        return 2
+    shared = {"tasks": [task.value for task in tasks], "max_states": args.max_states}
+    if args.max_depth is not None:
+        shared["max_depth"] = args.max_depth
+    payload_items = [dict(shared, **item) for item in items]
+    if args.url is not None:
+        body = {"items": payload_items}
+        if args.window is not None:
+            body["window"] = args.window
+        return _relay_batch(args, body)
+    from .runner import refinement_cache
+    from .service.service import ServiceError, compute_election, deterministic_response
+
+    prior_store = refinement_cache.store
+    if args.store is not None:
+        from .store import ArtifactStore
+
+        refinement_cache.attach_store(ArtifactStore(args.store))
+    handle = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
+    written = errors = 0
+    try:
+        for index, item in enumerate(payload_items):
+            parsed = {
+                "graph": None,
+                "spec": None,
+                "base": item["base"],
+                "delta": item["delta"],
+                "tasks": tasks,
+                "max_depth": args.max_depth,
+                "max_states": args.max_states,
+                "advice": False,
+            }
+            try:
+                response = compute_election(parsed)
+                line = dict(deterministic_response(response), index=index, status="ok")
+            except ServiceError as error:
+                line = {"index": index, "status": "error", "error": error.message}
+                errors += 1
+            handle.write(json.dumps(line, sort_keys=True) + "\n")
+            handle.flush()
+            written += 1
+    finally:
+        if handle is not sys.stdout:
+            handle.close()
+        if args.store is not None:
+            refinement_cache.attach_store(prior_store)
+    print(
+        f"sweep --mutate: streamed {written} delta records "
+        f"({len(specs)} bases x {args.mutations_per_graph} steps, "
+        f"{errors} errors)",
+        file=sys.stderr,
+    )
+    return 0 if errors == 0 else 1
+
+
+def _relay_batch(args: argparse.Namespace, body: dict) -> int:
+    """POST ``body`` to a running batch service and relay its NDJSON stream."""
     import urllib.error
     import urllib.request
 
+    request = urllib.request.Request(
+        f"{args.url.rstrip('/')}/elections",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    handle = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
+    written = 0
+    try:
+        with urllib.request.urlopen(request) as response:
+            for raw_line in response:
+                handle.write(raw_line.decode("utf-8"))
+                handle.flush()
+                written += 1
+    except urllib.error.HTTPError as error:
+        print(f"sweep: service rejected the batch: {error.read().decode()}", file=sys.stderr)
+        return 2
+    except (urllib.error.URLError, OSError) as error:
+        print(f"sweep: {error}", file=sys.stderr)
+        return 2
+    finally:
+        if handle is not sys.stdout:
+            handle.close()
+    print(f"sweep: relayed {written} stream lines from {args.url}", file=sys.stderr)
+    return 0
+
+
+def _sweep_remote(args: argparse.Namespace, task_codes: List[str]) -> int:
+    """POST the sweep to a running batch service and relay its NDJSON stream."""
     if args.spec:
         from .runner import SweepSpec
 
@@ -699,30 +846,7 @@ def _sweep_remote(args: argparse.Namespace, task_codes: List[str]) -> int:
         body = {"sweep": declarative}
     if args.window is not None:
         body["window"] = args.window
-    request = urllib.request.Request(
-        f"{args.url.rstrip('/')}/elections",
-        data=json.dumps(body).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
-    )
-    handle = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
-    written = 0
-    try:
-        with urllib.request.urlopen(request) as response:
-            for raw_line in response:
-                handle.write(raw_line.decode("utf-8"))
-                handle.flush()
-                written += 1
-    except urllib.error.HTTPError as error:
-        print(f"sweep: service rejected the batch: {error.read().decode()}", file=sys.stderr)
-        return 2
-    except (urllib.error.URLError, OSError) as error:
-        print(f"sweep: {error}", file=sys.stderr)
-        return 2
-    finally:
-        if handle is not sys.stdout:
-            handle.close()
-    print(f"sweep: relayed {written} stream lines from {args.url}", file=sys.stderr)
-    return 0
+    return _relay_batch(args, body)
 
 
 def _command_warm(args: argparse.Namespace) -> int:
@@ -809,6 +933,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             port_file=args.port_file,
             slow_request_s=args.slow_request_s,
             hot_tier_bytes=args.hot_tier_mb * 1024 * 1024,
+            compact_interval_s=args.compact_interval_s,
         )
     except ValueError as error:
         print(f"serve: {error}", file=sys.stderr)

@@ -42,7 +42,12 @@ from .backend import (
 )
 from .blockcut import BlockCutTree
 from .csr import CSRGraph, as_numpy, bfs_distances_csr, build_csr, from_numpy
-from .refine import CSRPartitionRefinement, make_refinement, refinement_from_stored
+from .refine import (
+    CSRPartitionRefinement,
+    make_refinement,
+    refinement_delta,
+    refinement_from_stored,
+)
 
 __all__ = [
     "BACKEND_ENV_VAR",
@@ -54,6 +59,7 @@ __all__ = [
     "CSRPartitionRefinement",
     "make_refinement",
     "refinement_from_stored",
+    "refinement_delta",
     "BlockCutTree",
     "GraphKernel",
     "active_backend",
@@ -80,6 +86,25 @@ class GraphKernel:
         self.graph = graph
         self._blockcut = None
         self._distances = {}
+
+    @classmethod
+    def derived(cls, graph, base_kernel, *, topology_changed: bool) -> "GraphKernel":
+        """A kernel for a delta-derived graph, carrying what stays valid.
+
+        Selective invalidation of the memoised kernel objects: when the
+        delta only relabeled ports (``topology_changed=False``, node handles
+        and the edge set unchanged) the base's BFS distance arrays are pure
+        topology facts and carry over verbatim, and the block-cut tree's
+        O(n) DFS structure carries via :meth:`BlockCutTree.rebound` (its
+        port queries read the new CSR at query time).  Any topology change
+        drops both — they are rebuilt lazily on first use.
+        """
+        kernel = cls(graph)
+        if not topology_changed:
+            kernel._distances = dict(base_kernel._distances)
+            if base_kernel._blockcut is not None:
+                kernel._blockcut = base_kernel._blockcut.rebound(graph.csr())
+        return kernel
 
     @property
     def csr(self) -> CSRGraph:

@@ -142,6 +142,105 @@ class CSRGraph:
         """The port-ordered neighbours of ``v`` as an array slice."""
         return self.neighbors[self.offsets[v] : self.offsets[v + 1]]
 
+    # ------------------------------------------------------------------ #
+    def patched(self, result) -> "CSRGraph":
+        """The mutated graph's CSR view, patched from this one (the edit API).
+
+        ``result`` is a :class:`repro.portgraph.delta.DeltaResult` whose
+        delta was applied to the graph these arrays encode.  Instead of
+        re-flattening the whole adjacency (:func:`build_csr`'s O(m) python
+        loop), rows of nodes the delta did not touch are *slice-copied* from
+        this instance's arrays (a C-level memcpy per row); only touched rows
+        — and rows adjacent to a renamed handle, whose neighbour ids must be
+        rewritten — are rebuilt entry-by-entry.  The returned view is a
+        fresh instance, so this one's arrays and its lazily-built
+        ``ports`` / ``twin_darts`` memos are untouched (delta consumers
+        invalidate those implicitly by starting from a clean instance; the
+        kernel-level memos are carried or dropped by
+        :meth:`repro.kernel.GraphKernel.derived`).
+
+        Byte-identical to ``build_csr(result.graph)`` — certified by the
+        delta equivalence suite.
+        """
+        graph = result.graph
+        node_map = result.node_map
+        n = graph.num_nodes
+        base_offsets = self.offsets
+        base_neighbors = self.neighbors
+        base_reverse = self.reverse_ports
+
+        rebuild = set(result.touched)
+        for new_id in result.renamed.values():
+            # rows referencing a renamed handle hold stale neighbour ids
+            for u, _q in graph.adjacency(new_id):
+                rebuild.add(u)
+
+        # Identity fast path: no handles added, removed or renamed, so node
+        # ``v`` maps to base node ``v`` and untouched spans between touched
+        # rows are contiguous in *both* dart arrays.  Copy the base arrays
+        # wholesale (C memcpy), shift the offsets suffix per degree change,
+        # and rewrite only the touched rows — O(touched + shifts), not O(n).
+        if not result.renamed and n == self.num_nodes and -1 not in node_map:
+            order = sorted(rebuild)
+            offsets = array(INT_TYPECODE, base_offsets)
+            shifts = []
+            for v in order:
+                delta = graph.degree(v) - (base_offsets[v + 1] - base_offsets[v])
+                if delta:
+                    shifts.append((v, delta))
+            if shifts:
+                numpy = numpy_or_none()
+                if numpy is not None:
+                    off_np = numpy.frombuffer(offsets, dtype=numpy.dtype(INT_TYPECODE))
+                    for v, delta in shifts:
+                        off_np[v + 1 :] += delta
+                else:
+                    bounds = shifts + [(n, 0)]
+                    cumulative = 0
+                    for (v, delta), (nxt, _d) in zip(bounds, bounds[1:]):
+                        cumulative += delta
+                        for i in range(v + 1, nxt + 1):
+                            offsets[i] += cumulative
+            total = offsets[n]
+            neighbors = array(INT_TYPECODE, bytes(total * base_neighbors.itemsize))
+            reverse_ports = array(INT_TYPECODE, bytes(total * base_reverse.itemsize))
+            prev = 0
+            for v in order + [n]:
+                if prev < v:
+                    dst_lo, dst_hi = offsets[prev], offsets[v]
+                    src_lo, src_hi = base_offsets[prev], base_offsets[v]
+                    neighbors[dst_lo:dst_hi] = base_neighbors[src_lo:src_hi]
+                    reverse_ports[dst_lo:dst_hi] = base_reverse[src_lo:src_hi]
+                if v < n:
+                    start = offsets[v]
+                    for p, (u, q) in enumerate(graph.adjacency(v)):
+                        neighbors[start + p] = u
+                        reverse_ports[start + p] = q
+                prev = v + 1
+            return CSRGraph(n, total // 2, offsets, neighbors, reverse_ports)
+
+        offsets = array(INT_TYPECODE, [0] * (n + 1))
+        total = 0
+        for v in range(n):
+            offsets[v] = total
+            total += graph.degree(v)
+        offsets[n] = total
+        neighbors = array(INT_TYPECODE, [0] * total)
+        reverse_ports = array(INT_TYPECODE, [0] * total)
+        for v in range(n):
+            base = offsets[v]
+            if v in rebuild:
+                for p, (u, q) in enumerate(graph.adjacency(v)):
+                    neighbors[base + p] = u
+                    reverse_ports[base + p] = q
+            else:
+                b = node_map[v]
+                lo, hi = base_offsets[b], base_offsets[b + 1]
+                end = base + (hi - lo)
+                neighbors[base:end] = base_neighbors[lo:hi]
+                reverse_ports[base:end] = base_reverse[lo:hi]
+        return CSRGraph(n, total // 2, offsets, neighbors, reverse_ports)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<CSRGraph n={self.num_nodes} m={self.num_edges}>"
 

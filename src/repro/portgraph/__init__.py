@@ -8,6 +8,7 @@ lower-bound graph families) is built on top of it.
 """
 
 from .builder import GraphBuilder
+from .delta import DeltaError, DeltaResult, GraphDelta
 from .graph import PortLabeledGraph
 from .isomorphism import are_isomorphic, extend_isomorphism, find_isomorphism
 from .validation import PortLabelingError, check_connected, validate_adjacency
@@ -16,6 +17,9 @@ from . import generators, io, paths
 __all__ = [
     "PortLabeledGraph",
     "GraphBuilder",
+    "GraphDelta",
+    "DeltaResult",
+    "DeltaError",
     "PortLabelingError",
     "validate_adjacency",
     "check_connected",

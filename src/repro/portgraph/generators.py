@@ -38,6 +38,7 @@ __all__ = [
     "torus_graph",
     "twisted_torus_graph",
     "de_bruijn_like_graph",
+    "beacon_tail_graph",
 ]
 
 
@@ -577,3 +578,38 @@ def de_bruijn_like_graph(
         for v in neighbour_sets[u]:
             adj[u][port_of[u][v]] = (v, port_of[v][u])
     return PortLabeledGraph(adj, name=name or f"debruijn-{base}^{dimension}")
+
+
+def beacon_tail_graph(
+    blob: int, tail: int, *, degree: int = 3, seed: int = 0, name: str = ""
+) -> PortLabeledGraph:
+    """A random-regular *beacon* dragging a long path *tail* behind it.
+
+    The beacon (``blob`` nodes, :func:`random_regular_graph`) is locally
+    asymmetric, so colour refinement discretises it within O(log blob)
+    rounds; the path tail (``tail`` nodes hung off beacon node 0) keeps the
+    global fixpoint ``Theta(tail)`` rounds away, each round splitting one
+    more node off the tail's shrinking middle class.  That combination makes
+    the family the showcase for delta replay: a full recompute pays
+    ``Theta(tail)`` refinement passes (cheap individually -- the worklist
+    pass is O(splits) -- but each materialises a fresh colour table), while
+    an edit inside the beacon re-conforms to the warm base partition as soon
+    as the beacon discretises and fast-forwards every remaining round by
+    aliasing the base tables.
+
+    Tail node ``i`` (handles ``blob .. blob+tail-1``) uses port 0 towards
+    the beacon and port 1 away; the attachment takes beacon node 0's next
+    free port.  Pure function of ``(blob, tail, degree, seed)``.
+    """
+    if tail < 2:
+        raise ValueError("need a tail of at least two nodes")
+    core = random_regular_graph(blob, degree, seed=seed)
+    adj: List[List[Tuple[int, int]]] = [list(core.adjacency(v)) for v in core.nodes()]
+    adj[0].append((blob, 0))
+    adj.append([(0, degree), (blob + 1, 0)])
+    for i in range(1, tail - 1):
+        adj.append([(blob + i - 1, 1), (blob + i + 1, 0)])
+    adj.append([(blob + tail - 2, 1)])
+    return PortLabeledGraph(
+        adj, name=name or f"beacon-{blob}-{degree}-{seed}+tail-{tail}"
+    )

@@ -66,7 +66,11 @@ class PortLabeledGraph:
             validate_adjacency(adjacency, require_contiguous_ports=True, require_connected=True)
         adj: List[Tuple[Endpoint, ...]] = []
         for entry in adjacency:
-            if isinstance(entry, Mapping):
+            if type(entry) is tuple and all(type(pair) is tuple for pair in entry):
+                # already-canonical row (e.g. shared from another graph's
+                # adjacency by the copy-on-write delta path): adopt as-is
+                row = entry
+            elif isinstance(entry, Mapping):
                 degree = len(entry)
                 row = tuple(tuple(entry[p]) for p in range(degree))
             else:
@@ -245,6 +249,25 @@ class PortLabeledGraph:
         from ..kernel.refine import refinement_from_stored  # lazy, as in csr()
 
         self._engine = refinement_from_stored(self.csr(), tables, stable_depth)
+        return True
+
+    def adopt_engine(self, engine) -> bool:
+        """Install a live refinement engine built elsewhere for this graph.
+
+        Used by the delta recompute path: the engine returned by
+        :func:`repro.kernel.refine.refinement_delta` already holds the
+        mutated graph's per-depth partitions, so installing it here (instead
+        of letting :meth:`refinement_engine` build a cold one) is what makes
+        every later depth query replay-priced.  The engine must be bound to
+        this instance's CSR view — the caller pairs :meth:`adopt_csr` with
+        this.  Returns ``False`` (installing nothing) if an engine already
+        exists.
+        """
+        if self._engine is not None:
+            return False
+        if engine.csr is not self.csr():
+            raise ValueError("adopted engine is not bound to this graph's CSR view")
+        self._engine = engine
         return True
 
     # ------------------------------------------------------------------ #

@@ -83,13 +83,17 @@ class CacheEntry:
     exactly as it skips refinement passes.
     """
 
-    __slots__ = ("graph", "refinement", "kernel", "memo")
+    __slots__ = ("graph", "refinement", "kernel", "memo", "lineage")
 
     def __init__(self, graph: PortLabeledGraph, refinement: ViewRefinement) -> None:
         self.graph = graph
         self.refinement = refinement
         self.kernel = GraphKernel(graph)
         self.memo: Dict[Tuple, object] = {}
+        #: ``(parent_fingerprint, delta_digest)`` for delta-derived entries
+        #: (see :meth:`RefinementCache.delta_entry`), else ``None``.  The
+        #: write-through path records it on the persisted record.
+        self.lineage: Optional[Tuple[str, str]] = None
 
     def estimated_bytes(self) -> int:
         """Rough retained footprint of this entry (bytes).
@@ -282,6 +286,126 @@ class RefinementCache:
         """The memoised refinement of ``graph`` (created on first request)."""
         return self.entry(graph).refinement
 
+    # ------------------------------------------------------------------ #
+    # delta-derived entries (the incremental recompute path)
+    # ------------------------------------------------------------------ #
+    def delta_entry(
+        self, base_graph: PortLabeledGraph, delta, *, events: Optional[list] = None
+    ) -> CacheEntry:
+        """The entry of ``delta`` applied to ``base_graph``, replayed not recomputed.
+
+        Applies the :class:`~repro.portgraph.delta.GraphDelta`, then derives
+        the mutated graph's entry from the base's instead of refining cold:
+        the CSR view is patched (:meth:`~repro.kernel.csr.CSRGraph.patched`),
+        the partitions are replayed over the dirty ball
+        (:func:`~repro.kernel.refine.refinement_delta`) and the kernel memos
+        are carried selectively (:meth:`~repro.kernel.GraphKernel.derived`).
+        If the exact mutated graph is already cached (memory or store), that
+        entry wins and no replay happens.
+
+        **Memo invalidation.**  A derived entry never inherits the base's
+        ψ/advice memos: every ψ index and advice bitstring is supported by
+        *all* classes of the graph, and a non-empty delta dirties at least
+        one, so inheriting them is exactly the staleness the write-through
+        regression test pins down.  The one class-local survivor is
+        ``("feasible",)`` — a pure function of the fixpoint partition — which
+        carries over only when the replay proves the partition unchanged
+        (same handles, byte-equal canonical tables).
+
+        The entry's :attr:`~CacheEntry.lineage` names the base fingerprint
+        and delta digest; :meth:`persist` stamps both onto the stored record.
+
+        ``events``, when given, receives the delta-protocol events this call
+        performed (``cache_hit``, or ``base_hit`` / ``memos_invalidated`` /
+        ``replayed``) in order -- the service replays them through
+        :class:`~repro.service.protocol.DeltaStatus` so the lifecycle the
+        model checker verifies is the lifecycle the cache actually ran.
+        """
+        result = delta.apply_to(base_graph)
+        graph = result.graph
+        key = graph.cache_key()
+        with self._lock:
+            for collection in (self._buckets.get(key), self._probation.get(key)):
+                if collection:
+                    for stored in collection:
+                        if stored.graph == graph:
+                            self._hits += 1
+                            if events is not None:
+                                events.append("cache_hit")
+                            return stored
+        if self._store is not None:
+            # an exact record of the mutated graph beats a replay outright
+            record = self._store.load_for_graph(graph)
+            if record is not None:
+                with self._lock:
+                    self._store_hits += 1
+                record.adopt_onto(graph)
+                entry = CacheEntry(graph, ViewRefinement(graph))
+                entry.memo.update(record.memo_entries())
+                with self._lock:
+                    self._admit_locked(key, entry)
+                if events is not None:
+                    events.append("cache_hit")
+                return entry
+
+        base_entry = self._entry(base_graph, request=False)
+        if events is not None:
+            events.append("base_hit")
+        base_engine = base_entry.graph.refinement_engine()
+        from ..kernel.refine import refinement_delta  # lazy, mirrors graph.py
+
+        patched = base_entry.graph.csr().patched(result)
+        graph.adopt_csr(patched)
+        # the fresh entry's memo starts empty: this IS the invalidation --
+        # none of the base's ψ/advice memos survive into the derived entry
+        if events is not None:
+            events.append("memos_invalidated")
+        engine = refinement_delta(base_engine, patched, result.node_map, result.touched)
+        graph.adopt_engine(engine)
+        if events is not None:
+            events.append("replayed")
+        entry = CacheEntry(graph, ViewRefinement(graph))
+        entry.kernel = GraphKernel.derived(
+            graph, base_entry.kernel, topology_changed=result.topology_changed
+        )
+        entry.lineage = (base_entry.graph.fingerprint(), delta.digest())
+        base_feasible = base_entry.memo.get(("feasible",))
+        if (
+            base_feasible is not None
+            and not result.renamed
+            and len(result.node_map) == base_graph.num_nodes
+            and engine.class_counts == base_engine.class_counts
+            and engine.canonical_tables() == base_engine.canonical_tables()
+        ):
+            entry.memo[("feasible",)] = base_feasible
+        with self._lock:
+            self._misses += 1
+            # computing the base above may have admitted an entry for this
+            # very labeling (a delta that composes back to the identity):
+            # replace it, or a later lookup -- persist() in particular --
+            # would resolve the lineage-less duplicate first.  Equality is
+            # exact labeled equality, so the duplicate's memos answer for
+            # the same graph and carry over soundly.
+            for collection, counter in (
+                (self._buckets, "_num_entries"),
+                (self._probation, "_probation_entries"),
+            ):
+                bucket = collection.get(key)
+                if not bucket:
+                    continue
+                for stored in list(bucket):
+                    if stored.graph == graph:
+                        bucket.remove(stored)
+                        setattr(self, counter, getattr(self, counter) - 1)
+                        self._evicted_passes += stored.refinement.passes
+                        self._evicted_bytes += stored.estimated_bytes()
+                        for memo_key, value in stored.memo.items():
+                            entry.memo.setdefault(memo_key, value)
+                if not bucket:
+                    del collection[key]
+            self._admit_locked(key, entry)
+        return entry
+
     def clear(self) -> None:
         """Drop all entries and reset the counters (the store and the
         admission policy stay as configured)."""
@@ -335,8 +459,17 @@ class RefinementCache:
         # the write-through of a freshly computed entry must not count as
         # the promoting touch, or every one-hit item would self-admit
         entry = self._entry(graph, request=False)
+        lineage = entry.lineage or ("", "")
+        # the record's ψ/advice sections come from entry.memo alone: a
+        # delta-derived entry starts with an empty memo (its base's ψ/advice
+        # are never inherited — see delta_entry), so nothing stale from the
+        # parent fingerprint can reach the store through this write
         record = ArtifactRecord.from_computed(
-            entry.graph, memo=entry.memo, include_advice=include_advice
+            entry.graph,
+            memo=entry.memo,
+            include_advice=include_advice,
+            parent_fingerprint=lineage[0],
+            delta_digest=lineage[1],
         )
         # merge with what the store holds for this *exact labeled graph* --
         # resolved through the same lookup the warm-start path uses, so a

@@ -17,10 +17,14 @@ from .corpus import (
     corpus_specs,
     scenario_kinds,
 )
+from .mutations import MUTATION_KINDS, mutation_stream, mutation_sweep_items
 
 __all__ = [
     "SCENARIO_BUILDERS",
+    "MUTATION_KINDS",
     "corpus_names",
     "corpus_specs",
+    "mutation_stream",
+    "mutation_sweep_items",
     "scenario_kinds",
 ]

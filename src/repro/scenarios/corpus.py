@@ -47,6 +47,9 @@ SCENARIO_BUILDERS: Dict[str, Callable[..., PortLabeledGraph]] = {
         rows, cols, twist
     ),
     "de-bruijn": lambda dimension, base=2: generators.de_bruijn_like_graph(dimension, base),
+    "beacon-tail": lambda blob, tail, degree=3, seed=0: generators.beacon_tail_graph(
+        blob, tail, degree=degree, seed=seed
+    ),
 }
 
 
@@ -112,6 +115,23 @@ def _t_caterpillar(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
     return "caterpillar", {"spine": rng.randint(2, 4), "legs": rng.randint(1, 3)}
 
 
+def _t_grid(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
+    return "grid", {"rows": rng.randint(3, 5), "cols": rng.randint(3, 5)}
+
+
+def _t_grid_xl(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
+    rng.random()  # consume one draw so later templates stay prefix-stable
+    return "grid", {"rows": 72, "cols": 72}
+
+
+def _t_torus_xl(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
+    return "torus", {"rows": 24, "cols": rng.randint(24, 32)}
+
+
+def _t_beacon_xl(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
+    return "beacon-tail", {"blob": 1000, "tail": 5000, "seed": rng.randint(0, 9999)}
+
+
 #: corpus name -> template cycle.  ``mixed`` interleaves every family --
 #: feasible and infeasible, regular and irregular -- which is the default
 #: sweep corpus of the batch endpoint, the conformance suite and E17.
@@ -133,6 +153,13 @@ _CORPORA: Dict[str, Tuple[_Template, ...]] = {
     "random": (_t_random_regular, _t_erdos_renyi, _t_random_tree, _t_random_graph),
     # vertex-transitive labelings: every graph infeasible by construction
     "symmetric": (_t_circulant, _t_torus, _t_symmetric_cycle),
+    # mutation-friendly bases for the dynamic-graph sweeps: 2-connected-ish
+    # families where edge removals / node leaves rarely run out of candidates
+    "dynamic": (_t_grid, _t_torus, _t_circulant, _t_random_regular, _t_erdos_renyi),
+    # E19 scale tier: the first member is a 72x72 grid (5184 nodes, the
+    # dense-influence stress case), the third a 6000-node beacon-tail (the
+    # delta-vs-full speedup-gate subject)
+    "dynamic-xl": (_t_grid_xl, _t_torus_xl, _t_beacon_xl),
 }
 
 

@@ -54,6 +54,18 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 __all__ = [
+    "DELTA_DONE",
+    "DELTA_EVALUATING",
+    "DELTA_FAILED",
+    "DELTA_INVALIDATING",
+    "DELTA_RECEIVED",
+    "DELTA_RECOMPUTING",
+    "DELTA_REPLAYING",
+    "DELTA_RESOLVING",
+    "DELTA_STATES",
+    "DELTA_TERMINAL",
+    "DELTA_TRANSITIONS",
+    "DeltaStatus",
     "ProtocolViolation",
     "SWEEP_CANCELLED",
     "SWEEP_DONE",
@@ -68,6 +80,7 @@ __all__ = [
     "WORKER_STATES",
     "WORKER_TRANSITIONS",
     "WindowLedger",
+    "delta_transition",
     "sweep_transition",
     "window_acquire",
     "window_release",
@@ -165,6 +178,92 @@ class WindowLedger:
             raise ProtocolViolation(
                 f"window protocol: sweep finished with {self.in_flight} slots leaked"
             )
+
+
+# --------------------------------------------------------------------------- #
+# delta-item lifecycle
+# --------------------------------------------------------------------------- #
+DELTA_RECEIVED = "received"
+DELTA_RESOLVING = "resolving"
+DELTA_INVALIDATING = "invalidating"
+DELTA_REPLAYING = "replaying"
+DELTA_RECOMPUTING = "recomputing"
+DELTA_EVALUATING = "evaluating"
+DELTA_DONE = "done"
+DELTA_FAILED = "failed"
+
+DELTA_STATES = (
+    DELTA_RECEIVED,
+    DELTA_RESOLVING,
+    DELTA_INVALIDATING,
+    DELTA_REPLAYING,
+    DELTA_RECOMPUTING,
+    DELTA_EVALUATING,
+    DELTA_DONE,
+    DELTA_FAILED,
+)
+DELTA_TERMINAL = frozenset({DELTA_DONE, DELTA_FAILED})
+
+#: ``(state, event) -> state`` for one ``{"base": ..., "delta": [...]}`` item.
+#:
+#: The ordering this table encodes is the memo-invalidation discipline: a
+#: ``base_hit`` item MUST pass ``memos_invalidated`` before ``replayed`` --
+#: the base's ψ/advice memos are valid for the *base* graph only, so an
+#: entry replayed from it starts memo-clean (the PR-10 blind-spot fix in
+#: ``RefinementCache``).  There is deliberately no edge from
+#: ``invalidating`` or ``resolving`` straight to ``replaying``'s successor:
+#: skipping invalidation is the seeded mutant ``repro verify`` must catch.
+#: ``cache_hit`` (the exact mutated graph already cached/stored) jumps to
+#: ``evaluating`` because that entry's memos were scoped correctly when it
+#: was created; ``base_miss`` (a base fingerprint the store does not hold)
+#: falls back to ``recomputing``, which can only succeed when the item
+#: carries enough information to build the mutated graph cold.
+DELTA_TRANSITIONS: Dict[Tuple[str, str], str] = {
+    (DELTA_RECEIVED, "lookup"): DELTA_RESOLVING,
+    (DELTA_RESOLVING, "cache_hit"): DELTA_EVALUATING,
+    (DELTA_RESOLVING, "base_hit"): DELTA_INVALIDATING,
+    (DELTA_RESOLVING, "base_miss"): DELTA_RECOMPUTING,
+    (DELTA_RESOLVING, "error"): DELTA_FAILED,
+    (DELTA_INVALIDATING, "memos_invalidated"): DELTA_REPLAYING,
+    (DELTA_INVALIDATING, "error"): DELTA_FAILED,
+    (DELTA_REPLAYING, "replayed"): DELTA_EVALUATING,
+    (DELTA_REPLAYING, "error"): DELTA_FAILED,
+    (DELTA_RECOMPUTING, "recomputed"): DELTA_EVALUATING,
+    (DELTA_RECOMPUTING, "error"): DELTA_FAILED,
+    (DELTA_EVALUATING, "evaluated"): DELTA_DONE,
+    (DELTA_EVALUATING, "error"): DELTA_FAILED,
+}
+
+
+def delta_transition(state: str, event: str) -> str:
+    """The delta-item state after ``event``; raises on an illegal transition."""
+    try:
+        return DELTA_TRANSITIONS[(state, event)]
+    except KeyError:
+        raise ProtocolViolation(
+            f"delta protocol: event {event!r} is not allowed in state {state!r}"
+        ) from None
+
+
+class DeltaStatus:
+    """Mutable delta-item lifecycle for production code, over the pure table.
+
+    The service's delta path (and the refinement cache, through the
+    ``events`` hook of ``delta_entry``) advances one of these per item; an
+    out-of-order step -- replaying before invalidating, evaluating a failed
+    item -- raises :class:`ProtocolViolation` at the faulty call site.  The
+    ``repro verify`` delta model evolves the same table exhaustively.
+    """
+
+    __slots__ = ("state", "events")
+
+    def __init__(self) -> None:
+        self.state = DELTA_RECEIVED
+        self.events: list = []
+
+    def apply(self, event: str) -> None:
+        self.state = delta_transition(self.state, event)
+        self.events.append(event)
 
 
 # --------------------------------------------------------------------------- #

@@ -611,6 +611,7 @@ def run_server(
     port_file: Optional[str] = None,
     slow_request_s: Optional[float] = None,
     hot_tier_bytes: int = 0,
+    compact_interval_s: Optional[float] = None,
 ) -> None:
     """Blocking entry point behind ``repro-leader-election serve``.
 
@@ -622,10 +623,22 @@ def run_server(
     ``hot_tier_bytes`` (with a store) enables traffic-shaped serving: the
     store's in-process hot tier plus second-touch cache admission -- see
     :class:`~repro.service.service.ElectionService`.
+
+    ``compact_interval_s`` (with a store) schedules
+    :meth:`~repro.store.ArtifactStore.compact` every that many seconds, off
+    the event loop.  Compaction runs under the store's manifest flock, so it
+    is safe against concurrent writers (shard workers, a parallel ``repro
+    warm``); each run bumps the store's ``compactions`` counter, which the
+    existing stats plumbing surfaces as
+    ``repro_store_events{event="compactions"}`` on ``GET /metrics``.
     """
     from ..store import ArtifactStore
 
     store = ArtifactStore(store_path) if store_path is not None else None
+    if compact_interval_s is not None and compact_interval_s <= 0:
+        raise ValueError("compact_interval_s must be positive")
+    if compact_interval_s is not None and store is None:
+        raise ValueError("compact_interval_s requires a store")
     service = ElectionService(
         store=store,
         workers=workers,
@@ -637,8 +650,29 @@ def run_server(
     )
     server = ElectionServer(service, host=host, port=port, slow_request_s=slow_request_s)
 
+    async def _compact_periodically(interval_s: float) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(interval_s)
+            try:
+                report = await loop.run_in_executor(None, store.compact)
+            except OSError as error:
+                print(f"repro serve: store compaction failed: {error}", file=sys.stderr)
+            else:
+                removed = sum(v for k, v in report.items() if k.startswith("removed_"))
+                if removed:
+                    print(
+                        f"repro serve: compacted store "
+                        f"(generation {report['generation']}): "
+                        f"{removed} objects reclaimed, {report['live_records']} live",
+                        file=sys.stderr,
+                    )
+
     async def _main() -> None:
         await server.start()
+        if compact_interval_s is not None:
+            # dies with the loop; asyncio.run cancels it on shutdown
+            asyncio.ensure_future(_compact_periodically(compact_interval_s))
         location = f"http://{host}:{server.port}"
         if store is not None:
             hot_note = (

@@ -58,11 +58,14 @@ MAX_SUBMITTED_NODES = 100_000
 
 #: Response fields that legitimately vary between otherwise identical
 #: queries (wall time, whether this request drafted behind another, the
-#: serving request's trace id).  The batch endpoint strips them before
-#: stamping its own per-request trace, so streamed items are byte-identical
-#: to what sequential ``POST /election`` calls return minus exactly this
-#: set, and the CI gate compares through the same helper.
-VOLATILE_RESPONSE_FIELDS = frozenset({"elapsed_ms", "coalesced", "trace_id"})
+#: serving request's trace id, which lifecycle path a delta item took --
+#: first submission replays, a repeat hits the cache).  The batch endpoint
+#: strips them before stamping its own per-request trace, so streamed items
+#: are byte-identical to what sequential ``POST /election`` calls return
+#: minus exactly this set, and the CI gate compares through the same helper.
+VOLATILE_RESPONSE_FIELDS = frozenset(
+    {"elapsed_ms", "coalesced", "trace_id", "delta_path"}
+)
 
 
 def deterministic_response(response: Dict[str, Any]) -> Dict[str, Any]:
@@ -79,6 +82,69 @@ class ServiceError(Exception):
         self.message = message
 
 
+def _resolve_delta(parsed: Dict[str, Any]):
+    """Resolve a ``{"base": ..., "delta": [...]}`` item into a warm cache entry.
+
+    Drives the delta-item lifecycle (:mod:`repro.service.protocol`):
+    ``lookup`` -> resolve the base (spec build, or store fingerprint; a
+    missing fingerprint is ``base_miss`` and, because the mutated graph
+    cannot be reconstructed without the base adjacency, fails the item) ->
+    :meth:`~repro.runner.cache.RefinementCache.delta_entry` (which reports
+    ``cache_hit``, or ``base_hit``/``memos_invalidated``/``replayed``).
+    Returns ``(entry, label, delta_section, status)``; the caller finishes
+    the lifecycle with ``evaluated`` after the election evaluation.
+    """
+    from ..portgraph.delta import DeltaError, GraphDelta
+    from .protocol import DeltaStatus
+
+    status = DeltaStatus()
+    status.apply("lookup")
+    try:
+        delta = GraphDelta.from_payload(parsed["delta"])
+    except (DeltaError, ValueError, TypeError) as error:
+        status.apply("error")
+        raise ServiceError(400, f"invalid delta: {error}") from None
+    base_ref = parsed["base"]
+    if isinstance(base_ref, dict):
+        try:
+            spec = GraphSpec.make(base_ref["kind"], **base_ref.get("params", {}))
+            base_graph = spec.build()
+        except ValueError as error:
+            status.apply("error")
+            raise ServiceError(400, str(error)) from None
+        base_label = spec.label
+    else:
+        store = refinement_cache.store
+        record = store.get(base_ref) if store is not None else None
+        if record is None:
+            status.apply("base_miss")
+            # without the base adjacency the mutated graph cannot be built,
+            # so the recompute fallback has nothing to recompute from
+            status.apply("error")
+            raise ServiceError(
+                404, f"base fingerprint {base_ref!r} is not in the store"
+            )
+        base_graph = record.graph
+        record.adopt_onto(base_graph)
+        base_label = base_graph.name or base_ref[:12]
+    events: list = []
+    try:
+        entry = refinement_cache.delta_entry(base_graph, delta, events=events)
+    except DeltaError as error:
+        for event in events:
+            status.apply(event)
+        status.apply("error")
+        raise ServiceError(400, f"delta does not apply to base: {error}") from None
+    for event in events:
+        status.apply(event)
+    delta_section = {
+        "base": base_label,
+        "digest": delta.digest(),
+        "edit_distance": delta.edit_distance,
+    }
+    return entry, entry.graph.name or base_label, delta_section, status
+
+
 def compute_election(parsed: Dict[str, Any], *, compute_delay: float = 0.0) -> Dict[str, Any]:
     """Build the graph of a parsed query and answer it (pure worker-side code).
 
@@ -92,8 +158,12 @@ def compute_election(parsed: Dict[str, Any], *, compute_delay: float = 0.0) -> D
         if compute_delay:
             time.sleep(compute_delay)
         started = time.perf_counter()
+        delta_section = delta_status = None
         with obs_span("graph_build"):
-            if parsed["spec"] is not None:
+            if parsed.get("delta") is not None:
+                entry, label, delta_section, delta_status = _resolve_delta(parsed)
+                graph = entry.graph
+            elif parsed["spec"] is not None:
                 spec_dict = parsed["spec"]
                 try:
                     spec = GraphSpec.make(spec_dict["kind"], **spec_dict.get("params", {}))
@@ -133,6 +203,12 @@ def compute_election(parsed: Dict[str, Any], *, compute_delay: float = 0.0) -> D
             from ..advice.map_advice import encode_map_advice  # lazy import, heavy layer
 
             response["advice"] = {"map": encode_map_advice(graph)}
+        if delta_status is not None:
+            delta_status.apply("evaluated")
+            response["delta"] = delta_section
+            # volatile by design: a first submission replays, a repeat hits
+            # the cache -- the result bytes are identical either way
+            response["delta_path"] = list(delta_status.events)
         sp.add_tags({"graph": label, "n": graph.num_nodes, "advice": parsed["advice"]})
         return response
 
@@ -411,12 +487,27 @@ class ElectionService:
             raise ServiceError(400, "request body must be a JSON object")
         graph_dict = payload.get("graph")
         spec_dict = payload.get("spec")
-        if (graph_dict is None) == (spec_dict is None):
-            raise ServiceError(400, "provide exactly one of 'graph' or 'spec'")
+        base_ref = payload.get("base")
+        delta_ops = payload.get("delta")
+        given = sum(1 for value in (graph_dict, spec_dict, base_ref) if value is not None)
+        if given != 1:
+            raise ServiceError(400, "provide exactly one of 'graph', 'spec' or 'base'")
+        if base_ref is not None:
+            if isinstance(base_ref, dict):
+                if "kind" not in base_ref:
+                    raise ServiceError(400, "'base' spec must be an object with a 'kind'")
+            elif not isinstance(base_ref, str):
+                raise ServiceError(
+                    400, "'base' must be a generator spec object or a fingerprint string"
+                )
+            if not isinstance(delta_ops, list) or not delta_ops:
+                raise ServiceError(400, "'base' requires a non-empty 'delta' op list")
+        elif delta_ops is not None:
+            raise ServiceError(400, "'delta' requires a 'base' to apply to")
         if spec_dict is not None:
             if not isinstance(spec_dict, dict) or "kind" not in spec_dict:
                 raise ServiceError(400, "'spec' must be an object with a 'kind'")
-        elif not isinstance(graph_dict, dict):
+        elif graph_dict is not None and not isinstance(graph_dict, dict):
             raise ServiceError(400, "'graph' must be the adjacency dict format")
         task_codes = payload.get("tasks")
         if task_codes is None:
@@ -440,6 +531,8 @@ class ElectionService:
         parsed = {
             "graph": graph_dict,
             "spec": spec_dict,
+            "base": base_ref,
+            "delta": delta_ops,
             "tasks": tasks,
             "max_depth": max_depth,
             "max_states": max_states,
@@ -449,6 +542,8 @@ class ElectionService:
             {
                 "graph": graph_dict,
                 "spec": spec_dict,
+                "base": base_ref,
+                "delta": delta_ops,
                 "tasks": [task.value for task in tasks],
                 "max_depth": max_depth,
                 "max_states": max_states,
@@ -458,8 +553,11 @@ class ElectionService:
             separators=(",", ":"),
         )
         key = hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+        # delta items route on the BASE alone: every mutation of one base
+        # lands on the shard whose cache holds that base (and its earlier
+        # mutations) warm
         route_canonical = json.dumps(
-            {"graph": graph_dict, "spec": spec_dict},
+            {"graph": graph_dict, "spec": spec_dict, "base": base_ref},
             sort_keys=True,
             separators=(",", ":"),
         )

@@ -17,11 +17,15 @@ graph and of the (deterministic) computations performed on it:
 * bit-exact advice strings (the full-map advice of Theorem 2.4's universal
   scheme by default).
 
-The byte encoding (format version 1) is canonical: unsigned-LEB128 varints
+The byte encoding (format version 2) is canonical: unsigned-LEB128 varints
 and length-prefixed UTF-8, sections in a fixed order, ψ entries and advice
 sorted -- so ``encode(decode(b)) == b`` and two processes that computed the
 same things about equal graphs produce identical record bytes.  That is what
 makes the store content-addressed *and* lets write-through skip rewrites.
+Version 2 appends the delta lineage section -- ``parent_fingerprint`` and
+``delta_digest``, naming the base record and edit script a delta-derived
+record was replayed from -- after the version-1 sections, so version-1
+records still decode (with empty lineage) and re-encode as version 2.
 Volatile observations (wall times, cumulative search-statistics snapshots)
 deliberately live in the store manifest, not in the record.
 """
@@ -38,7 +42,9 @@ from ..portgraph.io import graph_from_bytes, graph_to_bytes, read_uvarint, write
 __all__ = ["ArtifactRecord", "FORMAT_VERSION", "MAGIC"]
 
 MAGIC = b"RPLE"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Versions :meth:`ArtifactRecord.from_bytes` accepts (v1 = no lineage).
+_DECODABLE_VERSIONS = (1, 2)
 
 #: One computed ψ_Z outcome: (task code, max_depth, max_states, status, value)
 #: with status ``"ok"`` or ``"limited"`` (search budget exceeded).
@@ -94,6 +100,13 @@ class ArtifactRecord:
     feasible: bool
     psi: Tuple[PsiEntry, ...]
     advice: Tuple[AdviceEntry, ...]
+    #: Delta lineage (format v2): the fingerprint of the base graph this
+    #: record was replayed from and the edit script's content digest; empty
+    #: strings for records computed cold.  Provenance only -- every result
+    #: section is a pure function of ``graph`` regardless of how it was
+    #: computed (the delta path is certified byte-identical).
+    parent_fingerprint: str = ""
+    delta_digest: str = ""
 
     # ------------------------------------------------------------------ #
     # construction from live state
@@ -105,12 +118,16 @@ class ArtifactRecord:
         *,
         memo: Optional[Mapping[tuple, object]] = None,
         include_advice: bool = True,
+        parent_fingerprint: str = "",
+        delta_digest: str = "",
     ) -> "ArtifactRecord":
         """Snapshot a (possibly warm) graph into a record.
 
         Refines to the fixpoint if that has not happened yet; ``memo`` is the
         runner cache entry's memo dict, whose ``("psi", ...)`` and
         ``("feasible",)`` entries become the record's result sections.
+        ``parent_fingerprint`` / ``delta_digest`` record delta lineage when
+        the graph's tables were replayed from a base record.
         """
         fingerprint = graph.fingerprint()
         engine = graph.refinement_engine()
@@ -141,6 +158,8 @@ class ArtifactRecord:
             feasible=bool(feasible),
             psi=tuple(psi),
             advice=tuple(sorted(advice)),
+            parent_fingerprint=parent_fingerprint,
+            delta_digest=delta_digest,
         )
 
     def merged_with(self, other: "ArtifactRecord") -> "ArtifactRecord":
@@ -174,6 +193,9 @@ class ArtifactRecord:
             feasible=self.feasible,
             psi=merged_psi,
             advice=tuple(sorted(advice.values())),
+            # lineage is provenance: keep the freshest known ancestry
+            parent_fingerprint=self.parent_fingerprint or other.parent_fingerprint,
+            delta_digest=self.delta_digest or other.delta_digest,
         )
 
     # ------------------------------------------------------------------ #
@@ -237,6 +259,9 @@ class ArtifactRecord:
             packed = _pack_bits(bits)
             write_uvarint(out, len(packed))
             out.extend(packed)
+        # format v2: the delta lineage section sits after every v1 section
+        _write_str(out, self.parent_fingerprint)
+        _write_str(out, self.delta_digest)
         return bytes(out)
 
     @classmethod
@@ -245,7 +270,7 @@ class ArtifactRecord:
             raise ValueError("not an artifact record (bad magic)")
         offset = len(MAGIC)
         version, offset = read_uvarint(data, offset)
-        if version != FORMAT_VERSION:
+        if version not in _DECODABLE_VERSIONS:
             raise ValueError(f"unsupported record format version {version}")
         fingerprint, offset = _read_str(data, offset)
         cache_key, offset = _read_str(data, offset)
@@ -299,6 +324,10 @@ class ArtifactRecord:
             packed = data[offset : offset + packed_length]
             offset += packed_length
             advice.append((name, _unpack_bits(packed, bit_length)))
+        parent_fingerprint = delta_digest = ""
+        if version >= 2:
+            parent_fingerprint, offset = _read_str(data, offset)
+            delta_digest, offset = _read_str(data, offset)
         record = cls(
             fingerprint=fingerprint,
             cache_key=cache_key,
@@ -308,6 +337,8 @@ class ArtifactRecord:
             feasible=feasible,
             psi=tuple(psi),
             advice=tuple(advice),
+            parent_fingerprint=parent_fingerprint,
+            delta_digest=delta_digest,
         )
         record.adopt_onto(graph)
         return record

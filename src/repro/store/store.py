@@ -444,7 +444,7 @@ class ArtifactStore:
 
     @staticmethod
     def _record_meta(record: ArtifactRecord, payload_size: int) -> dict:
-        return {
+        meta = {
             "cache_key": record.cache_key,
             "name": record.graph.name,
             "n": record.graph.num_nodes,
@@ -453,6 +453,11 @@ class ArtifactStore:
             "stable_depth": record.stable_depth,
             "psi_entries": len(record.psi),
         }
+        if record.parent_fingerprint:
+            # delta lineage: which base record this one was replayed from
+            meta["parent"] = record.parent_fingerprint
+            meta["delta"] = record.delta_digest
+        return meta
 
     def rebuild_manifest(self) -> int:
         """Regenerate the manifest by decoding every object; returns the count.

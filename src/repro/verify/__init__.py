@@ -16,12 +16,13 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Optional
 
 from .checker import CheckResult, Model, Violation, check_model
-from .models import BatchStreamModel, ShardWorkerModel
+from .models import BatchStreamModel, DeltaLifecycleModel, ShardWorkerModel
 from .mutants import MUTANTS
 
 __all__ = [
     "BatchStreamModel",
     "CheckResult",
+    "DeltaLifecycleModel",
     "Model",
     "ShardWorkerModel",
     "Violation",
@@ -33,6 +34,7 @@ __all__ = [
 PROTOCOL_MODELS = {
     "batch": BatchStreamModel,
     "worker": ShardWorkerModel,
+    "delta": DeltaLifecycleModel,
 }
 
 
@@ -65,8 +67,10 @@ def run_verification(
             ) from None
         if factory is BatchStreamModel:
             model: Model = BatchStreamModel(items=batch_items, window=batch_window)
-        else:
+        elif factory is ShardWorkerModel:
             model = ShardWorkerModel(jobs=worker_jobs, recycle_after=worker_recycle_after)
+        else:
+            model = factory()
         result = check_model(model, max_states=max_states, max_depth=max_depth)
         entry = result.to_dict()
         if not result.ok or not result.complete:
@@ -74,7 +78,10 @@ def run_verification(
         report["models"].append(entry)
     if include_mutants:
         for mutant_factory in MUTANTS:
-            mutant = mutant_factory(items=batch_items, window=batch_window)
+            if issubclass(mutant_factory, BatchStreamModel):
+                mutant = mutant_factory(items=batch_items, window=batch_window)
+            else:
+                mutant = mutant_factory()
             result = check_model(mutant, max_states=max_states, max_depth=max_depth)
             expected = getattr(mutant, "expected_kind", None)
             caught = any(

@@ -19,6 +19,15 @@ from __future__ import annotations
 from typing import Hashable, Iterable, List, Optional, Tuple
 
 from ..service.protocol import (
+    DELTA_DONE,
+    DELTA_EVALUATING,
+    DELTA_FAILED,
+    DELTA_INVALIDATING,
+    DELTA_RECEIVED,
+    DELTA_RECOMPUTING,
+    DELTA_REPLAYING,
+    DELTA_RESOLVING,
+    DELTA_TERMINAL,
     SWEEP_CANCELLED,
     SWEEP_DONE,
     SWEEP_RUNNING,
@@ -27,6 +36,7 @@ from ..service.protocol import (
     WORKER_CLOSED,
     WORKER_DOWN,
     WORKER_IDLE,
+    delta_transition,
     sweep_transition,
     window_acquire,
     window_release,
@@ -34,7 +44,7 @@ from ..service.protocol import (
 )
 from .checker import Model
 
-__all__ = ["BatchStreamModel", "ShardWorkerModel"]
+__all__ = ["BatchStreamModel", "DeltaLifecycleModel", "ShardWorkerModel"]
 
 # item stages of the batch stream (strictly ordered per item)
 _PENDING = 0  # not yet past the window gate
@@ -170,6 +180,98 @@ class BatchStreamModel(Model):
         sweep, stages, client = state
         glyphs = "".join(".acE"[stage] for stage in stages)
         return f"sweep={sweep} items={glyphs} client={client}"
+
+
+class DeltaLifecycleModel(Model):
+    """One ``{"base": ..., "delta": [...]}`` item's recompute lifecycle.
+
+    State: ``(state, invalidated, replayed, recomputed)`` -- the protocol
+    state plus history bits recording which certifying events have fired.
+    The environment chooses every outcome at each stage: the exact mutated
+    graph may already be cached (``cache_hit``), the base may resolve
+    (``base_hit``) or be missing from the store (``base_miss`` -> the
+    recompute fallback), and any stage may fail (``error``).  Transitions go
+    through the production table
+    (:data:`~repro.service.protocol.DELTA_TRANSITIONS`) via
+    :meth:`_transition`, which mutants override to reintroduce bugs.
+
+    The safety property is the **memo-invalidation ordering**: a replayed
+    entry must have had its inherited ψ/advice memos invalidated first
+    (the base's memos are valid for the base graph only).  Concretely:
+    whenever the item reaches ``replaying`` or beyond along the replay path,
+    ``memos_invalidated`` must already have fired -- the exact blind spot
+    the ``RefinementCache.persist`` regression test pins at the store layer.
+    """
+
+    name = "delta-lifecycle"
+
+    #: events the environment can choose from each non-terminal state
+    _STAGE_EVENTS = {
+        DELTA_RECEIVED: ("lookup",),
+        DELTA_RESOLVING: ("cache_hit", "base_hit", "base_miss", "error"),
+        DELTA_INVALIDATING: ("memos_invalidated", "error"),
+        DELTA_REPLAYING: ("replayed", "error"),
+        DELTA_RECOMPUTING: ("recomputed", "error"),
+        DELTA_EVALUATING: ("evaluated", "error"),
+    }
+
+    def _transition(self, state: str, event: str) -> str:
+        """The successor state of ``event`` (mutants override this)."""
+        return delta_transition(state, event)
+
+    # -- Model interface ------------------------------------------------ #
+    def initial(self) -> Hashable:
+        return (DELTA_RECEIVED, False, False, False)
+
+    def actions(self, state: Hashable) -> Iterable[Tuple[str, Hashable]]:
+        protocol_state, invalidated, replayed, recomputed = state
+        moves: List[Tuple[str, Hashable]] = []
+        for event in self._STAGE_EVENTS.get(protocol_state, ()):
+            successor = self._transition(protocol_state, event)
+            moves.append(
+                (
+                    event,
+                    (
+                        successor,
+                        invalidated or event == "memos_invalidated",
+                        replayed or event == "replayed",
+                        recomputed or event == "recomputed",
+                    ),
+                )
+            )
+        return moves
+
+    def invariant(self, state: Hashable) -> Optional[str]:
+        protocol_state, invalidated, replayed, recomputed = state
+        if replayed and not invalidated:
+            return (
+                "memo-invalidation ordering broken: the delta was replayed "
+                "without invalidating the base's ψ/advice memos first"
+            )
+        if protocol_state == DELTA_REPLAYING and not invalidated:
+            return (
+                "memo-invalidation ordering broken: replaying with the "
+                "base's ψ/advice memos still live"
+            )
+        if protocol_state == DELTA_DONE and invalidated and not replayed:
+            # the invalidation path's only legal exit into "done" is replay
+            return "delta item done after invalidation but without a replay"
+        return None
+
+    def is_terminal(self, state: Hashable) -> bool:
+        return state[0] in DELTA_TERMINAL
+
+    def describe(self, state: Hashable) -> str:
+        protocol_state, invalidated, replayed, recomputed = state
+        flags = "".join(
+            glyph if flag else "-"
+            for glyph, flag in (
+                ("i", invalidated),
+                ("r", replayed),
+                ("c", recomputed),
+            )
+        )
+        return f"state={protocol_state} history={flags}"
 
 
 class ShardWorkerModel(Model):

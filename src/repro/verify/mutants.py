@@ -22,9 +22,10 @@ from __future__ import annotations
 
 from typing import Hashable, Tuple
 
-from .models import _CLIENT_GONE, _EMITTED, BatchStreamModel
+from ..service.protocol import DELTA_REPLAYING, DELTA_RESOLVING
+from .models import _CLIENT_GONE, _EMITTED, BatchStreamModel, DeltaLifecycleModel
 
-__all__ = ["CancelledSweepMutant", "MUTANTS"]
+__all__ = ["CancelledSweepMutant", "MUTANTS", "SkipInvalidationMutant"]
 
 
 class CancelledSweepMutant(BatchStreamModel):
@@ -48,5 +49,28 @@ class CancelledSweepMutant(BatchStreamModel):
         )
 
 
+class SkipInvalidationMutant(DeltaLifecycleModel):
+    """The PR-10 memo-invalidation blind spot, reintroduced as a lifecycle.
+
+    Before the fix, a delta-derived cache entry could reach the store with
+    the *base* graph's ψ/advice memos write-through-merged onto the mutated
+    graph's record -- in lifecycle terms, a ``base_hit`` went straight to
+    replaying without passing ``memos_invalidated``.  The checker must find
+    the ordering violation within a few steps.
+    """
+
+    name = "delta-lifecycle[mutant:skip-invalidation]"
+
+    #: What the checker must report against this mutant.
+    expected_kind = "invariant"
+
+    def _transition(self, state: str, event: str) -> str:
+        # BUG (deliberate): base_hit skips the invalidating stage entirely,
+        # carrying the base's memos into the replayed entry
+        if state == DELTA_RESOLVING and event == "base_hit":
+            return DELTA_REPLAYING
+        return super()._transition(state, event)
+
+
 #: Every seeded mutant, paired with the defect kind the checker must find.
-MUTANTS = (CancelledSweepMutant,)
+MUTANTS = (CancelledSweepMutant, SkipInvalidationMutant)

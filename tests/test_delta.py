@@ -1,0 +1,573 @@
+"""Delta-aware incremental recompute: edit scripts, replay, cache, service.
+
+The contract under test is *byte-identity*: a mutation applied as a
+:class:`~repro.portgraph.delta.GraphDelta` and replayed over the base
+graph's warm state -- patched CSR, dirty-ball partition replay, carried
+kernel memos -- must be indistinguishable, in every observable, from
+building the mutated graph cold.  The hypothesis suite at the bottom
+drives random seeded edit scripts through both kernel backends and a
+store round-trip; the targeted classes above it pin the individual
+layers (op validation, cache lifecycle events, the ψ-memo write-through
+regression, the service envelope, the verified delta-lifecycle model).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Task, is_feasible
+from repro.kernel import numpy_available, use_backend
+from repro.portgraph import generators
+from repro.portgraph.delta import DELTA_OPS, DeltaError, GraphDelta
+from repro.portgraph.graph import PortLabeledGraph
+from repro.portgraph.io import graph_to_dict
+from repro.runner import GraphSpec, SweepSpec, refinement_cache
+from repro.runner.runner import evaluate_graph
+from repro.scenarios import (
+    MUTATION_KINDS,
+    corpus_specs,
+    mutation_stream,
+    mutation_sweep_items,
+)
+from repro.service.protocol import (
+    DELTA_DONE,
+    DELTA_EVALUATING,
+    DELTA_INVALIDATING,
+    DELTA_RECEIVED,
+    DELTA_REPLAYING,
+    DELTA_RESOLVING,
+    DELTA_STATES,
+    DELTA_TERMINAL,
+    DELTA_TRANSITIONS,
+    DeltaStatus,
+    ProtocolViolation,
+    delta_transition,
+)
+from repro.service.service import ServiceError, compute_election, deterministic_response
+from repro.store import ArtifactStore
+from repro.verify import DeltaLifecycleModel, check_model, run_verification
+from repro.verify.mutants import SkipInvalidationMutant
+
+needs_numpy = pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+
+BACKENDS = ("python",) + (("numpy",) if numpy_available() else ())
+
+
+@pytest.fixture(autouse=True)
+def _detached_cache(isolated_refinement_cache):
+    yield
+
+
+def _fresh_copy(graph) -> PortLabeledGraph:
+    """An independent instance of the same labeled graph (no memoised state)."""
+    return PortLabeledGraph(
+        [graph.adjacency(v) for v in graph.nodes()], name=graph.name, validate=False
+    )
+
+
+def _cold_tables(graph):
+    """Canonical fixpoint tables of a cold rebuild (no warm state leaks in)."""
+    fresh = _fresh_copy(graph)
+    engine = fresh.refinement_engine()
+    engine.ensure_stable()
+    return engine.canonical_tables(), engine.class_counts, fresh.fingerprint()
+
+
+def _parsed(payload: dict) -> dict:
+    """A worker-side parsed query, the shape ``compute_election`` consumes."""
+    return {
+        "graph": payload.get("graph"),
+        "spec": payload.get("spec"),
+        "base": payload.get("base"),
+        "delta": payload.get("delta"),
+        "tasks": list(Task.ordered()),
+        "max_depth": None,
+        "max_states": 200_000,
+        "advice": False,
+    }
+
+
+# --------------------------------------------------------------------- #
+# edit-script object
+# --------------------------------------------------------------------- #
+class TestGraphDelta:
+    def test_payload_round_trip_and_digest_stability(self):
+        ops = [
+            {"op": "remove-edge", "v": 0, "u": 1},
+            {"op": "add-edge", "v": 0, "u": 4},
+            {"op": "add-node", "anchor": 2},
+            {"op": "remove-node", "v": 5},
+            {"op": "relabel-ports", "v": 3, "perm": [1, 0]},
+        ]
+        delta = GraphDelta.from_payload(ops)
+        assert delta.edit_distance == len(delta) == 5
+        assert delta.topology_changed
+        again = GraphDelta.from_payload(delta.to_payload())
+        assert again == delta and hash(again) == hash(delta)
+        assert again.digest() == delta.digest()
+
+    def test_relabel_only_script_does_not_change_topology(self):
+        delta = GraphDelta([{"op": "relabel-ports", "v": 0, "perm": [1, 0]}])
+        assert not delta.topology_changed
+
+    def test_rejects_malformed_payloads(self):
+        with pytest.raises(DeltaError):
+            GraphDelta.from_payload({"op": "add-edge"})  # not a list
+        with pytest.raises(DeltaError):
+            GraphDelta.from_payload([])  # empty script
+        with pytest.raises(DeltaError):
+            GraphDelta([{"op": "grow-edge", "v": 0, "u": 1}])  # unknown op
+        with pytest.raises(DeltaError):
+            GraphDelta([{"op": "add-edge", "v": 0}])  # missing endpoint
+        with pytest.raises(DeltaError):
+            GraphDelta(["add-edge"])  # bare string is not an op object
+
+    def test_apply_rejects_invalid_edits(self):
+        base = generators.grid_graph(3, 3)
+        cases = [
+            [{"op": "remove-edge", "v": 0, "u": 4}],  # not an edge
+            [{"op": "add-edge", "v": 0, "u": 1}],  # already an edge
+            [{"op": "add-edge", "v": 2, "u": 2}],  # self-loop
+            [{"op": "remove-edge", "v": 0, "u": 999}],  # out of range
+            [{"op": "add-node", "anchor": 99}],  # dangling anchor
+        ]
+        for ops in cases:
+            with pytest.raises(DeltaError):
+                GraphDelta(ops).apply_to(base)
+
+    def test_remove_node_renames_and_reports_map(self):
+        base = generators.grid_graph(3, 3)
+        result = GraphDelta([{"op": "remove-node", "v": 4}]).apply_to(base)
+        assert result.graph.num_nodes == base.num_nodes - 1
+        assert result.topology_changed
+        # node_map is new handle -> base handle: 4 is gone, the rest survive
+        assert 4 not in result.node_map
+        assert sorted(result.node_map) == [v for v in range(base.num_nodes) if v != 4]
+
+
+# --------------------------------------------------------------------- #
+# kernel replay byte-identity
+# --------------------------------------------------------------------- #
+class TestKernelReplay:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_cumulative_prefixes_replay_byte_identical(self, backend):
+        with use_backend(backend):
+            base = generators.grid_graph(4, 4)
+            for delta in mutation_stream(base, seed=9, length=4):
+                result = delta.apply_to(base)
+                warm = result.graph
+                warm.adopt_csr(base.csr().patched(result))
+                from repro.kernel.refine import refinement_delta
+
+                engine = refinement_delta(
+                    base.refinement_engine(), warm.csr(), result.node_map, result.touched
+                )
+                engine.ensure_stable()
+                cold_tables, cold_counts, cold_fp = _cold_tables(warm)
+                assert engine.canonical_tables() == cold_tables
+                assert engine.class_counts == cold_counts
+
+    @pytest.mark.parametrize(
+        "kinds",
+        [
+            None,  # node joins/leaves: exercises the renamed-handle slow path
+            # identity node_map: exercises the memcpy + offset-shift fast path
+            ("add-edge", "remove-edge", "relabel-ports"),
+            ("relabel-ports",),  # identity with zero degree shifts
+        ],
+    )
+    def test_patched_csr_matches_built_csr(self, kinds):
+        base = generators.torus_graph(4, 5)
+        for delta in mutation_stream(base, seed=2, length=3, kinds=kinds):
+            result = delta.apply_to(base)
+            patched = base.csr().patched(result)
+            built = _fresh_copy(result.graph).csr()
+            assert patched.offsets == built.offsets
+            assert patched.neighbors == built.neighbors
+            assert patched.reverse_ports == built.reverse_ports
+            assert patched.ports == built.ports
+
+
+# --------------------------------------------------------------------- #
+# cache lifecycle + lineage
+# --------------------------------------------------------------------- #
+class TestDeltaEntry:
+    def test_first_call_replays_second_hits_with_events(self):
+        base = generators.grid_graph(3, 4)
+        delta = mutation_stream(base, seed=5, length=1)[0]
+        events: list = []
+        entry = refinement_cache.delta_entry(base, delta, events=events)
+        assert events == ["base_hit", "memos_invalidated", "replayed"]
+        assert entry.lineage == (base.fingerprint(), delta.digest())
+        again: list = []
+        hit = refinement_cache.delta_entry(base, delta, events=again)
+        assert again == ["cache_hit"]
+        assert hit is entry
+
+    def test_store_record_of_mutated_graph_beats_replay(self, tmp_path):
+        base = generators.grid_graph(3, 4)
+        delta = mutation_stream(base, seed=5, length=1)[0]
+        mutated = delta.apply_to(base).graph
+        store = ArtifactStore(tmp_path / "store")
+        refinement_cache.attach_store(store)
+        sweep = SweepSpec.make((), tasks=list(Task.ordered()), max_states=200_000)
+        evaluate_graph(_fresh_copy(mutated), sweep)  # persists the exact record
+        refinement_cache.clear()
+        events: list = []
+        entry = refinement_cache.delta_entry(base, delta, events=events)
+        assert events == ["cache_hit"]
+        assert entry.memo  # arrived warm, ψ memos included
+        refinement_cache.attach_store(None)
+
+    def test_feasibility_memo_not_carried_across_partition_change(self):
+        base = generators.circulant_graph(8, (1,))  # symmetric: infeasible
+        refinement_cache.entry(base).memo[("feasible",)] = is_feasible(base)
+        assert refinement_cache.entry(base).memo[("feasible",)] is False
+        delta = GraphDelta([{"op": "add-edge", "v": 0, "u": 3}])  # breaks symmetry
+        entry = refinement_cache.delta_entry(base, delta)
+        assert ("feasible",) not in entry.memo
+        assert is_feasible(entry.graph, refinement=entry.refinement) is True
+
+    def test_inapplicable_delta_raises_delta_error(self):
+        base = generators.grid_graph(3, 3)
+        with pytest.raises(DeltaError):
+            refinement_cache.delta_entry(
+                base, GraphDelta([{"op": "remove-edge", "v": 0, "u": 8}])
+            )
+
+
+class TestPersistRegression:
+    def test_delta_entry_never_writes_through_stale_psi_memos(self, tmp_path):
+        """The ψ_PE-feasibility-flip write-through regression.
+
+        Evaluating the *base* fills its entry with ψ/advice memos; the
+        delta flips feasibility (symmetric ring -> chorded ring).  The
+        derived entry must start memo-clean, so the record persisted for
+        the mutated fingerprint carries freshly computed answers plus the
+        delta lineage -- never the base's stale ψ table.
+        """
+        store = ArtifactStore(tmp_path / "store")
+        refinement_cache.attach_store(store)
+        try:
+            base = generators.circulant_graph(8, (1,))
+            sweep = SweepSpec.make((), tasks=list(Task.ordered()), max_states=200_000)
+            base_record = evaluate_graph(base, sweep)
+            assert base_record["feasible"] is False
+            delta = GraphDelta([{"op": "add-edge", "v": 0, "u": 3}])
+            entry = refinement_cache.delta_entry(base, delta)
+            assert not entry.memo, "derived entry must start with an empty memo"
+            warm_record = evaluate_graph(entry.graph, sweep)
+            assert warm_record["feasible"] is True
+            stored = store.load_for_graph(entry.graph)
+            assert stored is not None
+            assert stored.parent_fingerprint == base.fingerprint()
+            assert stored.delta_digest == delta.digest()
+            # the stored memo answers equal a cold evaluation of the graph
+            refinement_cache.clear()
+            refinement_cache.attach_store(None)
+            cold_record = evaluate_graph(_fresh_copy(entry.graph), sweep)
+            for key in ("feasible", "psi_S", "psi_PE", "psi_PPE", "psi_CPPE"):
+                assert warm_record[key] == cold_record[key], key
+        finally:
+            refinement_cache.attach_store(None)
+
+
+# --------------------------------------------------------------------- #
+# mutation streams
+# --------------------------------------------------------------------- #
+class TestMutationStreams:
+    def test_streams_are_seed_deterministic_and_cumulative(self):
+        base = generators.grid_graph(4, 4)
+        one = mutation_stream(base, seed=13, length=4)
+        two = mutation_stream(base, seed=13, length=4)
+        assert [d.digest() for d in one] == [d.digest() for d in two]
+        assert [d.edit_distance for d in one] == [1, 2, 3, 4]
+        # cumulative: each script extends the previous one
+        for shorter, longer in zip(one, one[1:]):
+            assert longer.ops[: len(shorter.ops)] == shorter.ops
+        assert mutation_stream(base, seed=14, length=4)[-1].digest() != one[-1].digest()
+
+    def test_every_prefix_applies_and_stays_connected(self):
+        for spec in corpus_specs(3, seed=21, corpus="dynamic"):
+            base = spec.build()
+            for delta in mutation_stream(base, seed=8, length=3):
+                mutated = delta.apply_to(base).graph
+                # connectivity is what the generators promise by never
+                # removing bridges or cut vertices
+                from repro.portgraph.validation import check_connected
+
+                adjacency = [mutated.adjacency(v) for v in mutated.nodes()]
+                assert check_connected(adjacency), (spec.label, delta.ops)
+
+    def test_kind_restriction_and_validation(self):
+        base = generators.grid_graph(4, 4)
+        only_ports = mutation_stream(
+            base, seed=3, length=3, kinds=("relabel-ports",)
+        )
+        assert all(
+            op[0] == "relabel-ports" for delta in only_ports for op in delta.ops
+        )
+        with pytest.raises(ValueError):
+            mutation_stream(base, seed=3, length=2, kinds=("melt-node",))
+
+    def test_sweep_items_envelope(self):
+        specs = corpus_specs(2, seed=7, corpus="dynamic")
+        items = mutation_sweep_items(specs, seed=7, per_graph=2)
+        assert len(items) == 4
+        for item in items:
+            assert set(item) == {"base", "delta"}
+            assert isinstance(item["delta"], list) and item["delta"]
+            GraphSpec.from_dict(item["base"])  # round-trips as a spec
+
+    def test_dynamic_xl_corpus_leads_with_5k_grid(self):
+        spec = corpus_specs(1, seed=0, corpus="dynamic-xl")[0]
+        assert spec.kind == "grid"
+        params = dict(spec.params)
+        assert params["rows"] * params["cols"] >= 5_000
+
+    def test_region_restricted_stream_draws_only_region_nodes(self):
+        base = generators.grid_graph(6, 6)
+        region = range(12)
+        stream = mutation_stream(
+            base,
+            seed=4,
+            length=4,
+            kinds=("add-edge", "remove-edge", "relabel-ports"),
+            region=region,
+        )
+        for delta in stream:
+            for op in delta.ops:
+                named = op[1:3] if op[0] in ("add-edge", "remove-edge") else op[1:2]
+                assert all(v in region for v in named), op
+
+    def test_region_none_preserves_legacy_draw_sequence(self):
+        base = generators.grid_graph(4, 4)
+        legacy = mutation_stream(base, seed=13, length=4)
+        explicit = mutation_stream(base, seed=13, length=4, region=None)
+        assert [d.digest() for d in legacy] == [d.digest() for d in explicit]
+
+    def test_beacon_tail_member_is_xl_and_region_edits_apply(self):
+        spec = corpus_specs(3, seed=10, corpus="dynamic-xl")[2]
+        assert spec.kind == "beacon-tail"
+        blob = dict(spec.params)["blob"]
+        base = spec.build()
+        assert base.num_nodes >= 5_000
+        delta = mutation_stream(
+            base,
+            seed=10,
+            length=1,
+            kinds=("add-edge", "remove-edge", "relabel-ports"),
+            region=range(blob),
+        )[0]
+        result = delta.apply_to(base)
+        assert all(v < blob for v in result.touched)
+
+
+# --------------------------------------------------------------------- #
+# protocol + verified model
+# --------------------------------------------------------------------- #
+class TestDeltaProtocol:
+    def test_happy_paths(self):
+        for events, final in [
+            (["lookup", "cache_hit", "evaluated"], DELTA_DONE),
+            (
+                ["lookup", "base_hit", "memos_invalidated", "replayed", "evaluated"],
+                DELTA_DONE,
+            ),
+            (["lookup", "base_miss", "recomputed", "evaluated"], DELTA_DONE),
+        ]:
+            status = DeltaStatus()
+            for event in events:
+                status.apply(event)
+            assert status.state == final and status.events == events
+
+    def test_illegal_transitions_raise(self):
+        with pytest.raises(ProtocolViolation):
+            delta_transition(DELTA_RECEIVED, "replayed")
+        with pytest.raises(ProtocolViolation):
+            delta_transition(DELTA_RESOLVING, "replayed")  # must invalidate first
+        with pytest.raises(ProtocolViolation):
+            delta_transition(DELTA_DONE, "lookup")  # terminal
+
+    def test_table_is_closed_over_declared_states(self):
+        for (state, _event), nxt in DELTA_TRANSITIONS.items():
+            assert state in DELTA_STATES and nxt in DELTA_STATES
+            assert state not in DELTA_TERMINAL
+
+    def test_model_verifies_clean_and_mutant_is_caught(self):
+        result = check_model(DeltaLifecycleModel(), max_states=10_000, max_depth=100)
+        assert result.ok and result.complete
+        mutant = check_model(SkipInvalidationMutant(), max_states=10_000, max_depth=100)
+        assert any(v.kind == "invariant" for v in mutant.violations)
+
+    def test_run_verification_includes_delta_leg(self):
+        report = run_verification(["delta"], max_states=10_000, max_depth=100)
+        assert report["ok"] is True
+        assert [m["model"] for m in report["models"]] == ["delta-lifecycle"]
+        caught = {m["model"]: m["caught"] for m in report["mutants"]}
+        assert caught["delta-lifecycle[mutant:skip-invalidation]"] is True
+
+
+# --------------------------------------------------------------------- #
+# service envelope
+# --------------------------------------------------------------------- #
+class TestServiceDelta:
+    def test_spec_base_replays_then_hits_and_matches_cold_submission(self):
+        spec = {"kind": "grid", "params": {"rows": 3, "cols": 3}}
+        ops = [
+            {"op": "remove-edge", "v": 0, "u": 1},
+            {"op": "add-edge", "v": 0, "u": 4},
+        ]
+        first = compute_election(_parsed({"base": spec, "delta": ops}))
+        assert first["delta_path"] == [
+            "lookup",
+            "base_hit",
+            "memos_invalidated",
+            "replayed",
+            "evaluated",
+        ]
+        assert first["delta"]["base"] == GraphSpec.from_dict(spec).label
+        assert first["delta"]["edit_distance"] == 2
+        repeat = compute_election(_parsed({"base": spec, "delta": ops}))
+        assert repeat["delta_path"] == ["lookup", "cache_hit", "evaluated"]
+        assert deterministic_response(repeat) == deterministic_response(first)
+        # a plain submission of the mutated graph answers byte-identically
+        base = GraphSpec.from_dict(spec).build()
+        mutated = GraphDelta(ops).apply_to(base).graph
+        cold = compute_election(_parsed({"graph": graph_to_dict(mutated)}))
+        for key in ("fingerprint", "feasible", "indices", "n", "m"):
+            assert cold[key] == first[key], key
+
+    def test_fingerprint_base_resolves_through_store(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        refinement_cache.attach_store(store)
+        try:
+            spec = {"kind": "grid", "params": {"rows": 3, "cols": 3}}
+            seeded = compute_election(_parsed({"spec": spec}))
+            response = compute_election(
+                _parsed(
+                    {
+                        "base": seeded["fingerprint"],
+                        "delta": [{"op": "add-edge", "v": 0, "u": 4}],
+                    }
+                )
+            )
+            assert response["delta"]["edit_distance"] == 1
+            assert response["delta_path"][1] in ("base_hit", "cache_hit")
+        finally:
+            refinement_cache.attach_store(None)
+
+    def test_fingerprint_base_miss_is_404(self, tmp_path):
+        refinement_cache.attach_store(ArtifactStore(tmp_path / "store"))
+        try:
+            with pytest.raises(ServiceError) as info:
+                compute_election(
+                    _parsed(
+                        {"base": "0" * 64, "delta": [{"op": "add-edge", "v": 0, "u": 4}]}
+                    )
+                )
+            assert info.value.status == 404
+        finally:
+            refinement_cache.attach_store(None)
+
+    def test_inapplicable_delta_is_400(self):
+        with pytest.raises(ServiceError) as info:
+            compute_election(
+                _parsed(
+                    {
+                        "base": {"kind": "grid", "params": {"rows": 3, "cols": 3}},
+                        "delta": [{"op": "remove-edge", "v": 0, "u": 8}],
+                    }
+                )
+            )
+        assert info.value.status == 400
+
+    def test_delta_path_is_volatile_in_deterministic_response(self):
+        spec = {"kind": "grid", "params": {"rows": 3, "cols": 3}}
+        ops = [{"op": "add-edge", "v": 0, "u": 4}]
+        response = compute_election(_parsed({"base": spec, "delta": ops}))
+        cleaned = deterministic_response(response)
+        assert "delta_path" not in cleaned
+        assert "delta" in cleaned  # the identifying section stays
+
+
+# --------------------------------------------------------------------- #
+# hypothesis: random edit scripts == cold recompute, everywhere
+# --------------------------------------------------------------------- #
+_BASE_BUILDERS = (
+    lambda: generators.grid_graph(4, 4),
+    lambda: generators.torus_graph(3, 5),
+    lambda: generators.circulant_graph(10, (1, 2)),
+    lambda: generators.random_regular_graph(10, 4, seed=6),
+    lambda: generators.erdos_renyi_graph(11, seed=9),
+)
+
+
+class TestDeltaProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        base_index=st.integers(min_value=0, max_value=len(_BASE_BUILDERS) - 1),
+        seed=st.integers(min_value=0, max_value=10_000),
+        length=st.integers(min_value=1, max_value=4),
+    )
+    def test_replay_matches_cold_recompute(self, base_index, seed, length):
+        base = _BASE_BUILDERS[base_index]()
+        delta = mutation_stream(base, seed=seed, length=length)[-1]
+        refinement_cache.clear()
+        entry = refinement_cache.delta_entry(base, delta)
+        warm_engine = entry.graph.refinement_engine()
+        warm_engine.ensure_stable()
+        cold_tables, cold_counts, cold_fp = _cold_tables(entry.graph)
+        assert warm_engine.canonical_tables() == cold_tables
+        assert warm_engine.class_counts == cold_counts
+        assert entry.graph.fingerprint() == cold_fp
+        assert is_feasible(entry.graph, refinement=entry.refinement) == is_feasible(
+            _fresh_copy(entry.graph)
+        )
+
+    @needs_numpy
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_backends_agree_on_replayed_tables(self, seed):
+        base_graph = generators.grid_graph(4, 5)
+        delta = mutation_stream(base_graph, seed=seed, length=3)[-1]
+        observed = {}
+        for backend in ("python", "numpy"):
+            with use_backend(backend):
+                refinement_cache.clear()
+                entry = refinement_cache.delta_entry(_fresh_copy(base_graph), delta)
+                engine = entry.graph.refinement_engine()
+                engine.ensure_stable()
+                observed[backend] = (
+                    engine.canonical_tables(),
+                    engine.class_counts,
+                    entry.graph.fingerprint(),
+                )
+        assert observed["python"] == observed["numpy"]
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_store_round_trip_preserves_lineage_and_answers(self, seed, tmp_path_factory):
+        base = generators.grid_graph(4, 4)
+        delta = mutation_stream(base, seed=seed, length=2)[-1]
+        store = ArtifactStore(tmp_path_factory.mktemp("delta-store"))
+        refinement_cache.clear()
+        refinement_cache.attach_store(store)
+        try:
+            sweep = SweepSpec.make((), tasks=list(Task.ordered()), max_states=200_000)
+            entry = refinement_cache.delta_entry(base, delta)
+            warm = evaluate_graph(entry.graph, sweep)
+            record = store.load_for_graph(entry.graph)
+            assert record is not None
+            assert record.parent_fingerprint == base.fingerprint()
+            assert record.delta_digest == delta.digest()
+            refinement_cache.clear()
+            reloaded: list = []
+            again = refinement_cache.delta_entry(base, delta, events=reloaded)
+            assert reloaded == ["cache_hit"]  # the stored record answered
+            replayed = evaluate_graph(again.graph, sweep)
+            for key in ("feasible", "psi_S", "psi_PE", "psi_PPE", "psi_CPPE"):
+                assert replayed[key] == warm[key], key
+        finally:
+            refinement_cache.attach_store(None)

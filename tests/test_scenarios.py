@@ -71,6 +71,22 @@ class TestScenarioGenerators:
         assert graph.num_nodes == 8
         assert is_feasible(graph)
 
+    def test_beacon_tail_shape_and_seeding(self):
+        graph = generators.beacon_tail_graph(8, 5, degree=3, seed=2)
+        assert graph.num_nodes == 13
+        # beacon nodes keep their regular degree except the attachment
+        assert graph.degree(0) == 4  # degree 3 + the tail edge
+        assert all(graph.degree(v) == 3 for v in range(1, 8))
+        # the tail is a path: inner nodes degree 2, the tip degree 1
+        assert all(graph.degree(v) == 2 for v in range(8, 12))
+        assert graph.degree(12) == 1
+        assert graph == generators.beacon_tail_graph(8, 5, degree=3, seed=2)
+        assert graph != generators.beacon_tail_graph(8, 5, degree=3, seed=3)
+
+    def test_beacon_tail_rejects_degenerate_tails(self):
+        with pytest.raises(ValueError):
+            generators.beacon_tail_graph(8, 1)
+
 
 class TestRegistry:
     def test_scenario_kinds_are_registered_graph_kinds(self):
@@ -107,7 +123,11 @@ class TestCorpusExpansion:
         assert full != corpus_specs(40, seed=12)
 
     def test_mixed_corpus_covers_every_scenario_family(self):
+        # beacon-tail is a scale-tier family: it only appears in dynamic-xl
+        # (a 6000-node member has no place in the small mixed sweeps), so
+        # coverage is asserted over the union of the two corpora.
         kinds = {spec.kind for spec in corpus_specs(22, seed=0)}
+        kinds |= {spec.kind for spec in corpus_specs(3, seed=0, corpus="dynamic-xl")}
         assert set(scenario_kinds()) <= kinds
 
     def test_every_corpus_name_expands_and_builds(self):

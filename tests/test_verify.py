@@ -191,6 +191,7 @@ class TestRunVerification:
         assert {entry["model"] for entry in report["models"]} == {
             "batch-stream",
             "shard-worker",
+            "delta-lifecycle",
         }
         assert all(entry["complete"] for entry in report["models"])
         assert all(entry["caught"] for entry in report["mutants"])
